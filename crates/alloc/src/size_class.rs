@@ -1,0 +1,64 @@
+//! Size-class machinery shared by every allocator model.
+
+/// The size classes used by the small-object paths, in bytes.
+///
+/// A blend of the class ladders real allocators use: tight spacing for
+/// tiny objects, geometric above 256 B, capped at 32 KB. Larger requests
+/// take each allocator's large-object path.
+pub const CLASSES: [u64; 17] = [
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// Largest size served from size classes.
+pub const MAX_SMALL: u64 = CLASSES[CLASSES.len() - 1];
+
+/// Map a request to `(class_index, class_size)`.
+///
+/// # Panics
+/// Panics when `size` exceeds [`MAX_SMALL`]; callers must route large
+/// requests to their large-object path first.
+#[inline]
+pub fn class_of(size: u64) -> (usize, u64) {
+    debug_assert!(size > 0);
+    match CLASSES.binary_search(&size.max(1)) {
+        Ok(i) => (i, CLASSES[i]),
+        Err(i) => {
+            assert!(i < CLASSES.len(), "size {size} exceeds MAX_SMALL");
+            (i, CLASSES[i])
+        }
+    }
+}
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = CLASSES.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_class_sizes_map_to_themselves() {
+        for (i, &c) in CLASSES.iter().enumerate() {
+            assert_eq!(class_of(c), (i, c));
+        }
+    }
+
+    #[test]
+    fn sizes_round_up() {
+        assert_eq!(class_of(1), (0, 16));
+        assert_eq!(class_of(17), (1, 32));
+        assert_eq!(class_of(65), (4, 96));
+        assert_eq!(class_of(32768), (16, 32768));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_SMALL")]
+    fn oversized_requests_panic() {
+        class_of(MAX_SMALL + 1);
+    }
+
+    #[test]
+    fn classes_are_strictly_increasing() {
+        assert!(CLASSES.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Tables I, II, IV + Figure 1: the experiment workloads, machine
+//! specifications, parameter space, and NUMA topologies.
+
+use nqp_bench::{banner, Tbl};
+use nqp_topology::{machines, render_ascii};
+
+fn print_table1() {
+    let mut t = Tbl::new(["Workload", "SQL equivalent"]);
+    t.row(["W1 Holistic Aggregation", "SELECT groupkey, MEDIAN(val) FROM records GROUP BY groupkey"]);
+    t.row(["W2 Distributive Aggregation", "SELECT groupkey, COUNT(val) FROM records GROUP BY groupkey"]);
+    t.row(["W3 Hash Join", "SELECT * FROM t1 INNER JOIN t2 ON t1.pk = t2.fk"]);
+    t.row(["W4 Index Nested Loop Join", "same join via ART / Masstree / B+tree / Skip List"]);
+    t.row(["W5 TPC-H", "22 analytical queries (Q1 ... Q22)"]);
+    t.print("Table I — Experiment Workloads");
+}
+
+fn print_table4() {
+    use nqp_alloc::AllocatorKind;
+    use nqp_datagen::Dataset;
+    use nqp_engines::SystemKind;
+    use nqp_indexes::IndexKind;
+    use nqp_sim::{MemPolicy, ThreadPlacement};
+    let mut t = Tbl::new(["Parameter", "Values (defaults bold in the paper)"]);
+    t.row([
+        "Thread Placement".to_string(),
+        ThreadPlacement::ALL.map(|p| p.label()).join(", "),
+    ]);
+    t.row([
+        "Memory Placement Policy".to_string(),
+        MemPolicy::ALL.map(|p| p.label()).join(", "),
+    ]);
+    t.row([
+        "Memory Allocator".to_string(),
+        AllocatorKind::MAIN.map(|a| a.label()).join(", "),
+    ]);
+    t.row([
+        "Dataset Distribution".to_string(),
+        Dataset::PAPER.map(|d| d.label()).join(", "),
+    ]);
+    t.row([
+        "Database System (W5)".to_string(),
+        SystemKind::ALL.map(|s| s.label()).join(", "),
+    ]);
+    t.row([
+        "W4 Index".to_string(),
+        IndexKind::ALL.map(|i| i.label()).join(", "),
+    ]);
+    t.row(["OS Configuration".to_string(), "AutoNUMA on/off, THP on/off".to_string()]);
+    t.row([
+        "Hardware System".to_string(),
+        machines::paper_machines()
+            .iter()
+            .map(|m| format!("Machine {}", m.name))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.print("Table IV — Experiment Parameters");
+}
+
+fn main() {
+    banner("Tables I, II, IV — Workloads, Machines, Parameters / Figure 1 — Topologies");
+    print_table1();
+    print_table4();
+    let specs = machines::paper_machines();
+    let mut t = Tbl::new([
+        "System",
+        "CPUs/Model",
+        "Nodes",
+        "Topology",
+        "Cores/Threads",
+        "LLC",
+        "Mem/Node",
+        "Latency tiers",
+    ]);
+    for m in &specs {
+        t.row([
+            format!("Machine {}", m.name),
+            m.cpu_model.clone(),
+            m.topology.num_nodes().to_string(),
+            m.topology.name().to_string(),
+            format!("{}/{}", m.total_cores(), m.total_hw_threads()),
+            format!("{} MB", m.llc.size_bytes >> 20),
+            format!("{} GB", m.mem_per_node_bytes >> 30),
+            format!("{:?}", m.topology.latency_tiers()),
+        ]);
+    }
+    t.print("Table II");
+    for m in &specs {
+        println!("\n--- Figure 1: Machine {} ---", m.name);
+        print!("{}", render_ascii(&m.topology));
+    }
+}

@@ -1,0 +1,62 @@
+//! Table III: perf-style profiling of thread placement — W1 on Machine A,
+//! default (OS-managed) vs modified (Sparse affinity).
+
+use nqp_bench::{agg_cardinality, agg_n, banner, Tbl, SEED};
+use nqp_core::TuningConfig;
+use nqp_datagen::{generate, Dataset};
+use nqp_query::{run_aggregation_on, AggConfig};
+use nqp_sim::ThreadPlacement;
+use nqp_topology::machines;
+
+fn main() {
+    banner("Table III — Profiling thread placement (W1, Machine A)");
+    let records = generate(Dataset::MovingCluster, agg_n(), agg_cardinality(), SEED);
+    let cfg = AggConfig::w1(agg_n(), agg_cardinality(), SEED);
+
+    let run = |placement: ThreadPlacement| {
+        let c = TuningConfig::os_default(machines::machine_a()).with_threads(placement);
+        run_aggregation_on(&c.env(16), &cfg, &records)
+    };
+    let default = run(ThreadPlacement::None);
+    let modified = run(ThreadPlacement::Sparse);
+
+    let pct = |d: f64, m: f64| -> String {
+        if d == 0.0 {
+            "n/a".into()
+        } else {
+            format!("{:+.2}%", (m - d) / d * 100.0)
+        }
+    };
+    let mut t = Tbl::new(["Performance Metric", "Default", "Modified", "Percent Change"]);
+    let rows: [(&str, u64, u64); 5] = [
+        (
+            "Thread Migrations",
+            default.counters.thread_migrations,
+            modified.counters.thread_migrations,
+        ),
+        ("Cache Misses", default.counters.cache_misses, modified.counters.cache_misses),
+        (
+            "Local Memory Accesses",
+            default.counters.local_accesses,
+            modified.counters.local_accesses,
+        ),
+        (
+            "Remote Memory Accesses",
+            default.counters.remote_accesses,
+            modified.counters.remote_accesses,
+        ),
+        (
+            "Local Access Ratio (x1000)",
+            (default.counters.local_access_ratio() * 1000.0) as u64,
+            (modified.counters.local_access_ratio() * 1000.0) as u64,
+        ),
+    ];
+    for (name, d, m) in rows {
+        t.row([name.to_string(), d.to_string(), m.to_string(), pct(d as f64, m as f64)]);
+    }
+    t.print("Table III — Default (OS scheduler) vs Modified (Sparse affinity)");
+    println!(
+        "\nPaper shape: migrations collapse (~-99.9%), cache misses drop \
+         (~-33%), remote accesses drop, and the local access ratio rises."
+    );
+}

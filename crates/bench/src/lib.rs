@@ -1,0 +1,167 @@
+//! Shared plumbing for the figure/table bench harnesses: experiment
+//! scales, a fixed-width table printer, and the standard workload sizes.
+//!
+//! Every bench target under `benches/` regenerates one table or figure
+//! of the paper and prints it in the paper's row/series structure. Set
+//! `NQP_FULL=1` to run at larger scale (slower, closer to the paper's
+//! input sizes; shapes are scale-stable).
+
+use std::fmt::Display;
+
+/// Whether the harness runs at quick (CI) or full scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Default: minutes for the whole suite.
+    Quick,
+    /// `NQP_FULL=1`: larger inputs, closer to the paper's sizes.
+    Full,
+}
+
+/// Read the scale from the environment.
+pub fn scale() -> Scale {
+    if std::env::var("NQP_FULL").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}
+
+/// W1/W2 record count.
+pub fn agg_n() -> usize {
+    match scale() {
+        Scale::Quick => 600_000,
+        Scale::Full => 2_000_000,
+    }
+}
+
+/// W1/W2 group-by cardinality (the directory must exceed Machine A's
+/// LLC for the placement effects to appear, as at the paper's scale).
+pub fn agg_cardinality() -> u64 {
+    match scale() {
+        Scale::Quick => 150_000,
+        Scale::Full => 1_000_000,
+    }
+}
+
+/// W3/W4 build-relation size (probe side is 16x).
+pub fn join_r_size() -> usize {
+    match scale() {
+        Scale::Quick => 40_000,
+        Scale::Full => 250_000,
+    }
+}
+
+/// W5 TPC-H scale factor.
+pub fn tpch_sf() -> f64 {
+    match scale() {
+        Scale::Quick => 0.01,
+        Scale::Full => 0.02,
+    }
+}
+
+/// Standard data seed for every harness.
+pub const SEED: u64 = 42;
+
+/// Giga-cycle formatting used in all runtime tables (the paper reports
+/// "Billion CPU Cycles").
+pub fn gcyc(cycles: u64) -> String {
+    format!("{:.3}", cycles as f64 / 1e9)
+}
+
+/// Minimal fixed-width table printer.
+pub struct Tbl {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Tbl {
+    /// Start a table with the given column headers.
+    pub fn new<S: Display>(headers: impl IntoIterator<Item = S>) -> Self {
+        Tbl {
+            headers: headers.into_iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified).
+    pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table with a figure/table heading.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+    }
+}
+
+/// Print the harness banner (scale note included).
+pub fn banner(what: &str) {
+    println!(
+        "# {what}  [scale: {:?}; set NQP_FULL=1 for full scale]",
+        scale()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Tbl::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "22"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("short "));
+    }
+
+    #[test]
+    fn quick_scale_is_default() {
+        // The test environment does not set NQP_FULL.
+        if std::env::var("NQP_FULL").is_err() {
+            assert_eq!(scale(), Scale::Quick);
+            assert!(agg_n() < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn gcyc_formats_billions() {
+        assert_eq!(gcyc(1_500_000_000), "1.500");
+        assert_eq!(gcyc(0), "0.000");
+    }
+}

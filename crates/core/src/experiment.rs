@@ -1,0 +1,145 @@
+//! The experiment runner behind every table and figure: named tuning
+//! configurations, sweep helpers, and speedup arithmetic.
+
+use nqp_alloc::AllocatorKind;
+use nqp_query::WorkloadEnv;
+use nqp_sim::{MemPolicy, SimConfig, ThreadPlacement};
+use nqp_topology::MachineSpec;
+
+/// One point in the Table IV parameter space, with a display name.
+#[derive(Debug, Clone)]
+pub struct TuningConfig {
+    /// Label shown in result tables.
+    pub name: String,
+    /// The OS/machine side of the configuration.
+    pub sim: SimConfig,
+    /// The preloaded allocator.
+    pub allocator: AllocatorKind,
+}
+
+impl TuningConfig {
+    /// The out-of-the-box configuration the paper starts every
+    /// comparison from.
+    pub fn os_default(machine: MachineSpec) -> Self {
+        TuningConfig {
+            name: "os-default".into(),
+            sim: SimConfig::os_default(machine),
+            allocator: AllocatorKind::Ptmalloc,
+        }
+    }
+
+    /// The paper's fully tuned configuration for standalone workloads.
+    pub fn tuned(machine: MachineSpec) -> Self {
+        TuningConfig {
+            name: "tuned".into(),
+            sim: SimConfig::tuned(machine),
+            allocator: AllocatorKind::Tbbmalloc,
+        }
+    }
+
+    /// Builder-style rename.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builder-style allocator override.
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Builder-style memory-policy override.
+    pub fn with_policy(mut self, policy: MemPolicy) -> Self {
+        self.sim = self.sim.with_policy(policy);
+        self
+    }
+
+    /// Builder-style thread-placement override.
+    pub fn with_threads(mut self, placement: ThreadPlacement) -> Self {
+        self.sim = self.sim.with_threads(placement);
+        self
+    }
+
+    /// Builder-style AutoNUMA toggle.
+    pub fn with_autonuma(mut self, on: bool) -> Self {
+        self.sim = self.sim.with_autonuma(on);
+        self
+    }
+
+    /// Builder-style THP toggle.
+    pub fn with_thp(mut self, on: bool) -> Self {
+        self.sim = self.sim.with_thp(on);
+        self
+    }
+
+    /// Convert to the workload environment the W1–W4 runners take.
+    pub fn env(&self, threads: usize) -> WorkloadEnv {
+        WorkloadEnv { sim: self.sim.clone(), allocator: self.allocator, threads }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The configuration's display name.
+    pub name: String,
+    /// Simulated execution cycles.
+    pub cycles: u64,
+}
+
+/// Speedup of `b` relative to `a` (how many times faster `b` is).
+pub fn speedup(a_cycles: u64, b_cycles: u64) -> f64 {
+    a_cycles as f64 / b_cycles.max(1) as f64
+}
+
+/// Latency reduction of `tuned` vs `default`, in percent — the metric of
+/// Figure 8.
+pub fn reduction_pct(default_cycles: u64, tuned_cycles: u64) -> f64 {
+    (1.0 - tuned_cycles as f64 / default_cycles.max(1) as f64) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    #[test]
+    fn presets_differ() {
+        let d = TuningConfig::os_default(machines::machine_a());
+        let t = TuningConfig::tuned(machines::machine_a());
+        assert_eq!(d.allocator, AllocatorKind::Ptmalloc);
+        assert_eq!(t.allocator, AllocatorKind::Tbbmalloc);
+        assert!(d.sim.autonuma && !t.sim.autonuma);
+        assert_eq!(d.name, "os-default");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = TuningConfig::os_default(machines::machine_b())
+            .named("experiment-7")
+            .with_allocator(AllocatorKind::Hoard)
+            .with_policy(MemPolicy::Interleave)
+            .with_threads(ThreadPlacement::Dense)
+            .with_autonuma(false)
+            .with_thp(false);
+        assert_eq!(c.name, "experiment-7");
+        assert_eq!(c.allocator, AllocatorKind::Hoard);
+        assert_eq!(c.sim.mem_policy, MemPolicy::Interleave);
+        assert_eq!(c.sim.thread_placement, ThreadPlacement::Dense);
+        assert!(!c.sim.autonuma && !c.sim.thp);
+        let env = c.env(8);
+        assert_eq!(env.threads, 8);
+        assert_eq!(env.allocator, AllocatorKind::Hoard);
+    }
+
+    #[test]
+    fn speedup_and_reduction_arithmetic() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+        assert!((reduction_pct(200, 100) - 50.0).abs() < 1e-12);
+        assert!(reduction_pct(100, 120) < 0.0);
+        // Degenerate zero denominators stay finite.
+        assert!(speedup(100, 0).is_finite());
+        assert!(reduction_pct(0, 10).is_finite());
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's contribution as a library: systematic, application-
+//! agnostic NUMA tuning.
+//!
+//! * [`advisor`] — the Figure 10 decision flowchart as an executable
+//!   function: describe your workload and environment, get back an
+//!   ordered [`TuningPlan`].
+//! * [`experiment`] — the experiment runner used by every bench target:
+//!   sweeps [`TuningConfig`]s over workloads and reports speedups.
+//!
+//! ```
+//! use nqp_core::advisor::{advise, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile {
+//!     threads_managed: false,
+//!     memory_bandwidth_bound: true,
+//!     superuser: true,
+//!     memory_placement_defined: false,
+//!     allocation_heavy: true,
+//!     free_memory_constrained: false,
+//! };
+//! let plan = advise(&profile);
+//! assert!(plan.disable_autonuma && plan.disable_thp);
+//! ```
+
+pub mod advisor;
+pub mod experiment;
+
+pub use advisor::{advise, TuningPlan, WorkloadProfile};
+pub use experiment::{speedup, ExperimentResult, TuningConfig};

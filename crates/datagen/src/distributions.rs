@@ -1,0 +1,173 @@
+//! The aggregation-workload datasets of §IV-B: moving cluster,
+//! sequential, and zipfian (plus heavy hitter and uniform controls).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One input record of the aggregation workloads: a group key and a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The `groupkey` column.
+    pub key: u64,
+    /// The `val` column.
+    pub val: u64,
+}
+
+/// The dataset distributions of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Keys drawn from a window that slides across the domain — the
+    /// locality pattern of streaming/spatial workloads. Default for W1.
+    MovingCluster,
+    /// Keys increase in segments, mimicking transactional data with
+    /// incrementing keys. Default for W3/W4's build side.
+    Sequential,
+    /// Keys approximate Zipf's law (exponent 0.5). Default for W2.
+    Zipfian,
+    /// A handful of keys dominate the input — the worst case for
+    /// contended aggregation.
+    HeavyHitter,
+    /// Uniform keys: the no-structure control.
+    Uniform,
+}
+
+impl Dataset {
+    /// The three distributions Figures 4 and 6j sweep over.
+    pub const PAPER: [Dataset; 3] =
+        [Dataset::MovingCluster, Dataset::Sequential, Dataset::Zipfian];
+
+    /// Label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::MovingCluster => "moving-cluster",
+            Dataset::Sequential => "sequential",
+            Dataset::Zipfian => "zipf",
+            Dataset::HeavyHitter => "heavy-hitter",
+            Dataset::Uniform => "uniform",
+        }
+    }
+}
+
+/// Generate `n` records with group-by `cardinality` under `dataset`.
+///
+/// Deterministic in `(dataset, n, cardinality, seed)`. Values are drawn
+/// uniformly; only the key distribution varies.
+pub fn generate(dataset: Dataset, n: usize, cardinality: u64, seed: u64) -> Vec<Record> {
+    assert!(cardinality > 0, "cardinality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e2d);
+    let mut out = Vec::with_capacity(n);
+    match dataset {
+        Dataset::MovingCluster => {
+            // Window of W keys sliding once across the domain.
+            let window = (cardinality / 8).max(1);
+            for i in 0..n {
+                let start = (i as u64 * cardinality) / n.max(1) as u64;
+                let key = (start + rng.random_range(0..window)) % cardinality;
+                out.push(Record { key, val: rng.random() });
+            }
+        }
+        Dataset::Sequential => {
+            // `cardinality` segments of n/cardinality consecutive records.
+            let per_segment = (n as u64 / cardinality).max(1);
+            for i in 0..n {
+                let key = (i as u64 / per_segment).min(cardinality - 1);
+                out.push(Record { key, val: rng.random() });
+            }
+        }
+        Dataset::Zipfian => {
+            let zipf = Zipf::new(cardinality, 0.5);
+            for _ in 0..n {
+                out.push(Record { key: zipf.sample(&mut rng), val: rng.random() });
+            }
+        }
+        Dataset::HeavyHitter => {
+            for _ in 0..n {
+                let key = if rng.random::<f64>() < 0.5 {
+                    0
+                } else {
+                    rng.random_range(0..cardinality)
+                };
+                out.push(Record { key, val: rng.random() });
+            }
+        }
+        Dataset::Uniform => {
+            for _ in 0..n {
+                out.push(Record { key: rng.random_range(0..cardinality), val: rng.random() });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generates_exactly_n_records_within_domain() {
+        for d in [
+            Dataset::MovingCluster,
+            Dataset::Sequential,
+            Dataset::Zipfian,
+            Dataset::HeavyHitter,
+            Dataset::Uniform,
+        ] {
+            let recs = generate(d, 5_000, 100, 9);
+            assert_eq!(recs.len(), 5_000, "{d:?}");
+            assert!(recs.iter().all(|r| r.key < 100), "{d:?} key out of domain");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Dataset::Zipfian, 1_000, 50, 7);
+        let b = generate(Dataset::Zipfian, 1_000, 50, 7);
+        let c = generate(Dataset::Zipfian, 1_000, 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sequential_keys_are_nondecreasing_and_cover_domain() {
+        let recs = generate(Dataset::Sequential, 10_000, 100, 1);
+        assert!(recs.windows(2).all(|w| w[0].key <= w[1].key));
+        let distinct: HashSet<u64> = recs.iter().map(|r| r.key).collect();
+        assert_eq!(distinct.len(), 100);
+    }
+
+    #[test]
+    fn moving_cluster_stays_in_a_window() {
+        let card = 1_000u64;
+        let recs = generate(Dataset::MovingCluster, 10_000, card, 2);
+        let window = card / 8;
+        for (i, r) in recs.iter().enumerate() {
+            let start = (i as u64 * card) / recs.len() as u64;
+            let dist = (r.key + card - start) % card;
+            assert!(dist < window, "record {i} key {} outside window", r.key);
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_concentrates_on_key_zero() {
+        let recs = generate(Dataset::HeavyHitter, 10_000, 1_000, 3);
+        let zeros = recs.iter().filter(|r| r.key == 0).count();
+        assert!(zeros > 4_500 && zeros < 5_600, "zeros={zeros}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: HashSet<&str> = [
+            Dataset::MovingCluster,
+            Dataset::Sequential,
+            Dataset::Zipfian,
+            Dataset::HeavyHitter,
+            Dataset::Uniform,
+        ]
+        .iter()
+        .map(|d| d.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! The two-table join dataset of W3/W4, after Blanas et al. (SIGMOD'11).
+//!
+//! Two relations with a 1:16 size ratio — the shape of a decision-support
+//! schema where a dimension table joins a fact table. The build side `r`
+//! holds unique primary keys; the probe side `s` holds foreign keys
+//! drawn from `r`'s key domain, so every probe finds exactly one match.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A 16-byte `(key, payload)` tuple, the layout of the original study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// Join key: primary key in `r`, foreign key in `s`.
+    pub key: u64,
+    /// Record id / payload.
+    pub payload: u64,
+}
+
+/// The generated pair of relations.
+#[derive(Debug, Clone)]
+pub struct JoinDataset {
+    /// The smaller build relation (unique keys, shuffled).
+    pub r: Vec<Tuple>,
+    /// The larger probe relation (foreign keys into `r`).
+    pub s: Vec<Tuple>,
+}
+
+impl JoinDataset {
+    /// The paper's size ratio between `s` and `r`.
+    pub const RATIO: usize = 16;
+
+    /// Generate with `r_size` build tuples and `r_size * 16` probe tuples.
+    pub fn generate(r_size: usize, seed: u64) -> Self {
+        Self::generate_with_ratio(r_size, Self::RATIO, seed)
+    }
+
+    /// Generate with an explicit `|s| / |r|` ratio.
+    pub fn generate_with_ratio(r_size: usize, ratio: usize, seed: u64) -> Self {
+        assert!(r_size > 0 && ratio > 0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6a01_4ea5);
+        // Build side: a shuffled permutation of 0..r_size, so the hash
+        // table sees keys in random order (as dbgen-style data would).
+        let mut r: Vec<Tuple> = (0..r_size as u64)
+            .map(|key| Tuple { key, payload: key ^ 0x5555_5555 })
+            .collect();
+        for i in (1..r.len()).rev() {
+            let j = rng.random_range(0..=i);
+            r.swap(i, j);
+        }
+        let s_size = r_size * ratio;
+        let s: Vec<Tuple> = (0..s_size as u64)
+            .map(|i| Tuple { key: rng.random_range(0..r_size as u64), payload: i })
+            .collect();
+        JoinDataset { r, s }
+    }
+
+    /// Number of probe tuples per build tuple.
+    pub fn ratio(&self) -> usize {
+        self.s.len() / self.r.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sizes_respect_the_paper_ratio() {
+        let d = JoinDataset::generate(1_000, 1);
+        assert_eq!(d.r.len(), 1_000);
+        assert_eq!(d.s.len(), 16_000);
+        assert_eq!(d.ratio(), 16);
+    }
+
+    #[test]
+    fn build_keys_are_a_permutation() {
+        let d = JoinDataset::generate(500, 2);
+        let keys: HashSet<u64> = d.r.iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), 500);
+        assert!(keys.iter().all(|&k| k < 500));
+        // ...and genuinely shuffled (not identity order).
+        assert!(d.r.iter().enumerate().any(|(i, t)| t.key != i as u64));
+    }
+
+    #[test]
+    fn every_probe_key_has_a_build_match() {
+        let d = JoinDataset::generate(200, 3);
+        assert!(d.s.iter().all(|t| t.key < 200));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(JoinDataset::generate(100, 5).r, JoinDataset::generate(100, 5).r);
+        assert_ne!(JoinDataset::generate(100, 5).r, JoinDataset::generate(100, 6).r);
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded dataset generators for every workload in the paper (Table IV).
+//!
+//! * [`distributions`] — the aggregation datasets of W1/W2: moving
+//!   cluster, sequential, zipfian (plus heavy hitter and uniform).
+//! * [`join`] — the two-table join dataset of W3/W4, with the 1:16 size
+//!   ratio of Blanas et al. that mimics decision-support schemas.
+//! * [`tpch`] — a TPC-H-shaped generator (all eight tables) at arbitrary
+//!   scale, with the value distributions the 22 queries' predicates rely
+//!   on.
+//!
+//! All generators are deterministic functions of `(parameters, seed)`.
+
+pub mod distributions;
+pub mod join;
+pub mod tpch;
+mod zipf;
+
+pub use distributions::{generate, Dataset, Record};
+pub use join::{JoinDataset, Tuple};
+pub use zipf::Zipf;

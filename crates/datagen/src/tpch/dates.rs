@@ -1,0 +1,170 @@
+//! Compact date handling for the TPC-H tables: days since 1992-01-01.
+
+/// A date, stored as days since 1992-01-01 (the start of the TPC-H
+/// order-date range).
+pub type Date = i32;
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Build a [`Date`] from a calendar date.
+///
+/// # Panics
+/// Panics on out-of-range months/days.
+pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
+    assert!((1..=12).contains(&month), "month {month} out of range");
+    let month = month as usize;
+    let max_day = if month == 2 && is_leap(year) {
+        29
+    } else {
+        MONTH_DAYS[month - 1]
+    };
+    assert!((1..=max_day as u32).contains(&day), "day {day} out of range");
+    let mut days: i32 = 0;
+    if year >= 1992 {
+        for y in 1992..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1992 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 1..month {
+        days += MONTH_DAYS[m - 1];
+        if m == 2 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + day as i32 - 1
+}
+
+/// Parse a `YYYY-MM-DD` literal (the format TPC-H queries use).
+///
+/// # Panics
+/// Panics on malformed input; query plans use literal constants.
+pub fn parse(s: &str) -> Date {
+    let mut parts = s.splitn(3, '-');
+    let y: i32 = parts.next().and_then(|p| p.parse().ok()).expect("year");
+    let m: u32 = parts.next().and_then(|p| p.parse().ok()).expect("month");
+    let d: u32 = parts.next().and_then(|p| p.parse().ok()).expect("day");
+    from_ymd(y, m, d)
+}
+
+/// Render a [`Date`] back to `YYYY-MM-DD`.
+pub fn format(date: Date) -> String {
+    let mut remaining = date;
+    let mut year = 1992;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if remaining >= len {
+            remaining -= len;
+            year += 1;
+        } else if remaining < 0 {
+            year -= 1;
+            remaining += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 1;
+    loop {
+        let mut len = MONTH_DAYS[month - 1];
+        if month == 2 && is_leap(year) {
+            len += 1;
+        }
+        if remaining >= len {
+            remaining -= len;
+            month += 1;
+        } else {
+            break;
+        }
+    }
+    format!("{year:04}-{:02}-{:02}", month, remaining + 1)
+}
+
+/// Calendar year of a date (the `EXTRACT(year FROM ...)` of Q7–Q9).
+pub fn year(date: Date) -> i32 {
+    format(date)[0..4].parse().expect("year digits")
+}
+
+/// Calendar month of a date, 1–12.
+pub fn month(date: Date) -> u32 {
+    format(date)[5..7].parse().expect("month digits")
+}
+
+/// Shift a date by whole months (used by `date '1995-01-01' + interval
+/// 'n' month` predicates). Day-of-month clamps to the target month.
+pub fn add_months(date: Date, months: i32) -> Date {
+    let text = format(date);
+    let y: i32 = text[0..4].parse().expect("year digits");
+    let m: i32 = text[5..7].parse().expect("month digits");
+    let d: u32 = text[8..10].parse().expect("day digits");
+    let total = (y * 12 + (m - 1)) + months;
+    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) + 1);
+    let mut max_day = MONTH_DAYS[(nm - 1) as usize] as u32;
+    if nm == 2 && is_leap(ny) {
+        max_day += 1;
+    }
+    from_ymd(ny, nm as u32, d.min(max_day))
+}
+
+/// Shift a date by whole years.
+pub fn add_years(date: Date, years: i32) -> Date {
+    add_months(date, years * 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(from_ymd(1992, 1, 1), 0);
+    }
+
+    #[test]
+    fn leap_years_count() {
+        assert_eq!(from_ymd(1992, 3, 1), 31 + 29); // 1992 is a leap year
+        assert_eq!(from_ymd(1993, 1, 1), 366);
+        assert_eq!(from_ymd(1994, 1, 1), 366 + 365);
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for s in ["1992-01-01", "1995-06-17", "1998-08-02", "1996-02-29", "1998-12-31"] {
+            assert_eq!(format(parse(s)), s);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        assert!(parse("1994-01-01") < parse("1995-01-01"));
+        assert!(parse("1995-03-15") < parse("1995-03-16"));
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        assert_eq!(format(add_months(parse("1995-01-31"), 1)), "1995-02-28");
+        assert_eq!(format(add_months(parse("1995-12-01"), 3)), "1996-03-01");
+        assert_eq!(format(add_years(parse("1994-06-01"), 1)), "1995-06-01");
+        assert_eq!(format(add_months(parse("1995-03-01"), -2)), "1995-01-01");
+    }
+
+    #[test]
+    fn negative_dates_format() {
+        let d = from_ymd(1991, 12, 31);
+        assert_eq!(d, -1);
+        assert_eq!(format(d), "1991-12-31");
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn bad_month_panics() {
+        from_ymd(1995, 13, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Word pools and composite-string builders for the TPC-H tables.
+//!
+//! The lists are the subsets of the official `dbgen` vocabularies that
+//! the 22 queries' predicates actually exercise (e.g. `p_name` must be
+//! able to contain `green` for Q9 and start with `forest` for Q20).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The five regions, in key order.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations as `(name, region key)`, in nation-key order — the
+/// official dbgen mapping.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Colour words for `p_name` (Q9 matches `%green%`, Q20 `forest%`).
+pub const COLORS: [&str; 24] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "forest", "frosted", "green", "honeydew", "hot", "indian",
+];
+
+/// `p_type` syllables: `TYPE_1 TYPE_2 TYPE_3` (Q8 wants
+/// `ECONOMY ANODIZED STEEL`, Q14 `PROMO%`, Q16 `MEDIUM POLISHED%`).
+pub const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// `p_container`: `SIZE KIND` (Q19 uses the SM/MED/LG groups).
+pub const CONTAINER_1: [&str; 4] = ["SM", "MED", "LG", "JUMBO"];
+pub const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// `c_mktsegment` values (Q3 filters on BUILDING).
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// `o_orderpriority` values (Q4 groups by these).
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// `l_shipmode` values (Q12 filters on MAIL/SHIP, Q19 on AIR/AIR REG).
+pub const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// `l_shipinstruct` values (Q19 wants DELIVER IN PERSON).
+pub const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Filler lexicon for comment columns.
+const LEXICON: [&str; 28] = [
+    "furiously", "carefully", "express", "final", "ironic", "pending", "regular", "bold",
+    "quick", "silent", "even", "unusual", "slyly", "blithely", "deposits", "packages",
+    "accounts", "theodolites", "instructions", "foxes", "pinto", "beans", "dependencies",
+    "platelets", "ideas", "excuses", "asymptotes", "dolphins",
+];
+
+/// Pick one entry of a word list.
+pub fn pick<'a>(rng: &mut StdRng, words: &[&'a str]) -> &'a str {
+    words[rng.random_range(0..words.len())]
+}
+
+/// A `p_name`: three distinct colour words.
+pub fn part_name(rng: &mut StdRng) -> String {
+    let mut idx = [0usize; 3];
+    idx[0] = rng.random_range(0..COLORS.len());
+    loop {
+        idx[1] = rng.random_range(0..COLORS.len());
+        if idx[1] != idx[0] {
+            break;
+        }
+    }
+    loop {
+        idx[2] = rng.random_range(0..COLORS.len());
+        if idx[2] != idx[0] && idx[2] != idx[1] {
+            break;
+        }
+    }
+    format!("{} {} {}", COLORS[idx[0]], COLORS[idx[1]], COLORS[idx[2]])
+}
+
+/// A `p_type`: one syllable from each tier.
+pub fn part_type(rng: &mut StdRng) -> String {
+    format!("{} {} {}", pick(rng, &TYPE_1), pick(rng, &TYPE_2), pick(rng, &TYPE_3))
+}
+
+/// A `p_brand` consistent with dbgen's `Brand#MN` format.
+pub fn brand(rng: &mut StdRng) -> String {
+    format!("Brand#{}{}", rng.random_range(1..=5), rng.random_range(1..=5))
+}
+
+/// A `p_container`: `SIZE KIND`.
+pub fn container(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, &CONTAINER_1), pick(rng, &CONTAINER_2))
+}
+
+/// A phone number whose first two characters are the country code
+/// `10 + nationkey` — the property Q22 slices on.
+pub fn phone(rng: &mut StdRng, nation_key: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation_key,
+        rng.random_range(100..1000),
+        rng.random_range(100..1000),
+        rng.random_range(1000..10000)
+    )
+}
+
+/// A comment of `words` lexicon words. With probability `special_ppm`
+/// parts-per-million, the phrase `special ... requests` is embedded (the
+/// pattern Q13 excludes); with the same probability independently,
+/// `Customer ... Complaints` is embedded (the pattern Q16 excludes).
+pub fn comment(rng: &mut StdRng, words: usize, special_ppm: u32) -> String {
+    let mut parts: Vec<&str> = (0..words).map(|_| pick(rng, &LEXICON)).collect();
+    if rng.random_range(0..1_000_000) < special_ppm {
+        let at = rng.random_range(0..parts.len().max(1));
+        parts.insert(at, "special");
+        parts.insert(at + 1, "requests");
+    }
+    if rng.random_range(0..1_000_000) < special_ppm {
+        let at = rng.random_range(0..parts.len().max(1));
+        parts.insert(at, "Customer");
+        parts.insert(at + 1, "Complaints");
+    }
+    parts.join(" ")
+}
+
+/// A street-address-looking filler string.
+pub fn address(rng: &mut StdRng) -> String {
+    format!("{} {} {}", rng.random_range(1..9999), pick(rng, &LEXICON), pick(rng, &LEXICON))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        assert_eq!(NATIONS.len(), 25);
+        assert!(NATIONS.iter().all(|&(_, r)| (r as usize) < REGIONS.len()));
+    }
+
+    #[test]
+    fn part_names_use_three_distinct_colors() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let name = part_name(&mut r);
+            let words: Vec<&str> = name.split(' ').collect();
+            assert_eq!(words.len(), 3);
+            assert!(words[0] != words[1] && words[1] != words[2] && words[0] != words[2]);
+            assert!(words.iter().all(|w| COLORS.contains(w)));
+        }
+    }
+
+    #[test]
+    fn phones_carry_the_country_code() {
+        let mut r = rng();
+        let p = phone(&mut r, 7);
+        assert!(p.starts_with("17-"), "{p}");
+        assert_eq!(p.len(), "17-123-456-7890".len());
+    }
+
+    #[test]
+    fn brands_match_dbgen_format() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let b = brand(&mut r);
+            assert!(b.starts_with("Brand#") && b.len() == 8, "{b}");
+        }
+    }
+
+    #[test]
+    fn special_comments_appear_at_the_requested_rate() {
+        let mut r = rng();
+        let hits = (0..2_000)
+            .filter(|_| comment(&mut r, 6, 100_000).contains("special"))
+            .count();
+        // 10% +- noise.
+        assert!(hits > 120 && hits < 300, "hits={hits}");
+    }
+
+    #[test]
+    fn zero_rate_comments_never_contain_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let c = comment(&mut r, 8, 0);
+            assert!(!c.contains("special requests"));
+            assert!(!c.contains("Customer Complaints"));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A Zipf-distributed sampler over a finite key domain.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples keys in `0..cardinality` with `P(k) ∝ 1/(k+1)^exponent`.
+///
+/// Implemented by inverting a precomputed cumulative table with binary
+/// search: exact, deterministic, and O(log n) per sample. The paper's
+/// W2 dataset uses exponent 0.5.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for the given domain size and exponent.
+    ///
+    /// # Panics
+    /// Panics when `cardinality` is zero or `exponent` is negative/NaN.
+    pub fn new(cardinality: u64, exponent: f64) -> Self {
+        assert!(cardinality > 0, "zipf domain must be non-empty");
+        assert!(exponent >= 0.0, "zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(cardinality as usize);
+        let mut acc = 0.0f64;
+        for k in 0..cardinality {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random();
+        self.cumulative.partition_point(|&c| c < u) as u64
+    }
+
+    /// Domain size.
+    pub fn cardinality(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(100, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_keys_dominate() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // Key 0 should take roughly 1/H(1000) ~ 13% of mass.
+        assert!(counts[0] > 1_500, "key 0 drawn {} times", counts[0]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform draw too skewed: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 0.5);
+    }
+}

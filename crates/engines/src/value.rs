@@ -1,0 +1,88 @@
+//! Result values and rows.
+
+use std::fmt;
+
+/// A scalar in a query result. Money and rates are fixed-point `i64`
+/// (cents / hundredths), dates are days since 1992-01-01, and ratios are
+/// scaled integers — keeping results exactly comparable across engine
+/// profiles (no float drift).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer / count / fixed-point money.
+    I(i64),
+    /// String column value.
+    S(String),
+    /// Date (days since 1992-01-01).
+    D(i32),
+}
+
+impl Value {
+    /// The integer inside, panicking on non-integers (plan-internal use).
+    pub fn as_i(&self) -> i64 {
+        match self {
+            Value::I(v) => *v,
+            other => panic!("expected integer value, got {other:?}"),
+        }
+    }
+
+    /// The string inside, panicking on non-strings.
+    pub fn as_s(&self) -> &str {
+        match self {
+            Value::S(v) => v,
+            other => panic!("expected string value, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I(v) => write!(f, "{v}"),
+            Value::S(v) => write!(f, "{v}"),
+            Value::D(v) => write!(f, "{}", nqp_datagen::tpch::dates::format(*v)),
+        }
+    }
+}
+
+/// One result row.
+pub type Row = Vec<Value>;
+
+/// Shorthand constructors used by the query plans.
+pub fn i(v: i64) -> Value {
+    Value::I(v)
+}
+
+/// String value shorthand.
+pub fn s(v: impl Into<String>) -> Value {
+    Value::S(v.into())
+}
+
+/// Date value shorthand.
+pub fn d(v: i32) -> Value {
+    Value::D(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        assert_eq!(i(5).as_i(), 5);
+        assert_eq!(s("x").as_s(), "x");
+        assert_eq!(format!("{}", d(0)), "1992-01-01");
+        assert_eq!(format!("{}", i(-3)), "-3");
+    }
+
+    #[test]
+    fn ordering_is_total_within_variants() {
+        assert!(i(1) < i(2));
+        assert!(s("a") < s("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn as_i_panics_on_string() {
+        s("no").as_i();
+    }
+}

@@ -1,0 +1,440 @@
+//! An Adaptive Radix Tree (ART) over simulated memory.
+//!
+//! Fixed 8-byte keys are consumed one big-endian byte per level. Inner
+//! nodes adapt among four layouts (Node4/16/48/256) and grow in place
+//! (well, by reallocation) as they fill — the "variable node sizes"
+//! that make ART exercise more allocator size classes than any other
+//! index in W4 (§IV-D3). Leaves are 16-byte `[key, value]` allocations
+//! referenced by tagged pointers, giving lazy expansion: a leaf sits as
+//! high in the tree as its key prefix is unique, so chains of
+//! single-child nodes only appear where keys genuinely collide.
+
+use crate::{Index, IndexKind};
+use nqp_sim::{VAddr, Worker};
+use nqp_storage::SimHeap;
+
+/// Node type tags.
+const T4: u8 = 0;
+const T16: u8 = 1;
+const T48: u8 = 2;
+const T256: u8 = 3;
+
+/// Allocation sizes per node type.
+const BYTES4: u64 = 40; // hdr 4 + keys 4 + children 4*8
+const BYTES16: u64 = 152; // hdr 4 + keys 16 + pad + children 16*8
+const BYTES48: u64 = 648; // hdr 4 + index 256 + pad + children 48*8
+const BYTES256: u64 = 2056; // hdr 8 + children 256*8
+
+/// Child-array offsets per node type.
+const CH4: u64 = 8;
+const CH16: u64 = 24;
+const CH48: u64 = 264;
+const CH256: u64 = 8;
+
+/// Empty slot marker in a Node48 index array.
+const EMPTY48: u8 = 0xFF;
+
+/// Leaf pointers are tagged in bit 0 (all allocations are even).
+fn tag_leaf(addr: VAddr) -> VAddr {
+    addr | 1
+}
+
+fn is_leaf(ptr: VAddr) -> bool {
+    ptr & 1 == 1
+}
+
+fn untag(ptr: VAddr) -> VAddr {
+    ptr & !1
+}
+
+/// Big-endian byte `depth` of a key.
+#[inline]
+fn key_byte(key: u64, depth: usize) -> u8 {
+    (key >> (56 - 8 * depth)) as u8
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Art {
+    root: VAddr,
+    len: u64,
+}
+
+impl Art {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Art { root: 0, len: 0 }
+    }
+
+    fn node_type(w: &mut Worker<'_>, node: VAddr) -> u8 {
+        w.read_u8(node)
+    }
+
+    fn count(w: &mut Worker<'_>, node: VAddr) -> usize {
+        w.read_u8(node + 1) as usize
+    }
+
+    fn set_count(w: &mut Worker<'_>, node: VAddr, count: usize) {
+        w.write_u8(node + 1, count as u8);
+    }
+
+    fn new_leaf(w: &mut Worker<'_>, heap: &mut SimHeap, key: u64, value: u64) -> VAddr {
+        let leaf = heap.alloc(w, 16);
+        debug_assert_eq!(leaf & 1, 0, "allocations must be even for tagging");
+        w.write_u64(leaf, key);
+        w.write_u64(leaf + 8, value);
+        tag_leaf(leaf)
+    }
+
+    fn new_node4(w: &mut Worker<'_>, heap: &mut SimHeap) -> VAddr {
+        let node = heap.alloc(w, BYTES4);
+        w.write_u8(node, T4);
+        Self::set_count(w, node, 0);
+        node
+    }
+
+    /// Find the child pointer for `byte`, or 0.
+    fn find_child(w: &mut Worker<'_>, node: VAddr, byte: u8) -> VAddr {
+        match Self::node_type(w, node) {
+            T4 => {
+                let count = Self::count(w, node);
+                for i in 0..count {
+                    if w.read_u8(node + 4 + i as u64) == byte {
+                        return w.read_u64(node + CH4 + i as u64 * 8);
+                    }
+                }
+                0
+            }
+            T16 => {
+                let count = Self::count(w, node);
+                for i in 0..count {
+                    if w.read_u8(node + 4 + i as u64) == byte {
+                        return w.read_u64(node + CH16 + i as u64 * 8);
+                    }
+                }
+                0
+            }
+            T48 => {
+                let idx = w.read_u8(node + 4 + byte as u64);
+                if idx == EMPTY48 {
+                    0
+                } else {
+                    w.read_u64(node + CH48 + idx as u64 * 8)
+                }
+            }
+            _ => w.read_u64(node + CH256 + byte as u64 * 8),
+        }
+    }
+
+    /// Overwrite the existing child slot for `byte` (must exist).
+    fn replace_child(w: &mut Worker<'_>, node: VAddr, byte: u8, child: VAddr) {
+        match Self::node_type(w, node) {
+            T4 => {
+                let count = Self::count(w, node);
+                for i in 0..count {
+                    if w.read_u8(node + 4 + i as u64) == byte {
+                        w.write_u64(node + CH4 + i as u64 * 8, child);
+                        return;
+                    }
+                }
+                unreachable!("replace_child: byte {byte} absent from Node4");
+            }
+            T16 => {
+                let count = Self::count(w, node);
+                for i in 0..count {
+                    if w.read_u8(node + 4 + i as u64) == byte {
+                        w.write_u64(node + CH16 + i as u64 * 8, child);
+                        return;
+                    }
+                }
+                unreachable!("replace_child: byte {byte} absent from Node16");
+            }
+            T48 => {
+                let idx = w.read_u8(node + 4 + byte as u64);
+                debug_assert_ne!(idx, EMPTY48);
+                w.write_u64(node + CH48 + idx as u64 * 8, child);
+            }
+            _ => w.write_u64(node + CH256 + byte as u64 * 8, child),
+        }
+    }
+
+    /// Add a new child, growing the node if necessary. Returns the
+    /// (possibly new) node address.
+    fn add_child(
+        w: &mut Worker<'_>,
+        heap: &mut SimHeap,
+        node: VAddr,
+        byte: u8,
+        child: VAddr,
+    ) -> VAddr {
+        match Self::node_type(w, node) {
+            T4 => {
+                let count = Self::count(w, node);
+                if count < 4 {
+                    w.write_u8(node + 4 + count as u64, byte);
+                    w.write_u64(node + CH4 + count as u64 * 8, child);
+                    Self::set_count(w, node, count + 1);
+                    return node;
+                }
+                // Grow 4 -> 16.
+                let grown = heap.alloc(w, BYTES16);
+                w.write_u8(grown, T16);
+                Self::set_count(w, grown, count);
+                for i in 0..count {
+                    let k = w.read_u8(node + 4 + i as u64);
+                    let c = w.read_u64(node + CH4 + i as u64 * 8);
+                    w.write_u8(grown + 4 + i as u64, k);
+                    w.write_u64(grown + CH16 + i as u64 * 8, c);
+                }
+                heap.free(w, node, BYTES4);
+                Self::add_child(w, heap, grown, byte, child)
+            }
+            T16 => {
+                let count = Self::count(w, node);
+                if count < 16 {
+                    w.write_u8(node + 4 + count as u64, byte);
+                    w.write_u64(node + CH16 + count as u64 * 8, child);
+                    Self::set_count(w, node, count + 1);
+                    return node;
+                }
+                // Grow 16 -> 48.
+                let grown = heap.alloc(w, BYTES48);
+                w.write_u8(grown, T48);
+                Self::set_count(w, grown, count);
+                for b in 0..=255u64 {
+                    w.write_u8(grown + 4 + b, EMPTY48);
+                }
+                for i in 0..count {
+                    let k = w.read_u8(node + 4 + i as u64);
+                    let c = w.read_u64(node + CH16 + i as u64 * 8);
+                    w.write_u8(grown + 4 + k as u64, i as u8);
+                    w.write_u64(grown + CH48 + i as u64 * 8, c);
+                }
+                heap.free(w, node, BYTES16);
+                Self::add_child(w, heap, grown, byte, child)
+            }
+            T48 => {
+                let count = Self::count(w, node);
+                if count < 48 {
+                    w.write_u8(node + 4 + byte as u64, count as u8);
+                    w.write_u64(node + CH48 + count as u64 * 8, child);
+                    Self::set_count(w, node, count + 1);
+                    return node;
+                }
+                // Grow 48 -> 256.
+                let grown = heap.alloc(w, BYTES256);
+                w.write_u8(grown, T256);
+                Self::set_count(w, grown, count);
+                for b in 0..=255u64 {
+                    w.write_u64(grown + CH256 + b * 8, 0);
+                }
+                for b in 0..=255u64 {
+                    let idx = w.read_u8(node + 4 + b);
+                    if idx != EMPTY48 {
+                        let c = w.read_u64(node + CH48 + idx as u64 * 8);
+                        w.write_u64(grown + CH256 + b * 8, c);
+                    }
+                }
+                heap.free(w, node, BYTES48);
+                Self::add_child(w, heap, grown, byte, child)
+            }
+            _ => {
+                let count = Self::count(w, node);
+                w.write_u64(node + CH256 + byte as u64 * 8, child);
+                Self::set_count(w, node, (count + 1).min(255));
+                node
+            }
+        }
+    }
+
+    /// Split a leaf collision at `depth`: both keys share bytes up to
+    /// some deeper level; build the Node4 chain covering the shared
+    /// suffix and hang both leaves off the diverging byte.
+    fn split_leaves(
+        w: &mut Worker<'_>,
+        heap: &mut SimHeap,
+        existing_leaf: VAddr,
+        existing_key: u64,
+        key: u64,
+        value: u64,
+        mut depth: usize,
+    ) -> VAddr {
+        let top = Self::new_node4(w, heap);
+        let mut cur = top;
+        while key_byte(existing_key, depth) == key_byte(key, depth) {
+            debug_assert!(depth < 7, "identical keys reached the last byte");
+            let inner = Self::new_node4(w, heap);
+            let updated = Self::add_child(w, heap, cur, key_byte(key, depth), inner);
+            debug_assert_eq!(updated, cur, "fresh Node4 cannot grow");
+            cur = inner;
+            depth += 1;
+        }
+        let new_leaf = Self::new_leaf(w, heap, key, value);
+        Self::add_child(w, heap, cur, key_byte(existing_key, depth), existing_leaf);
+        Self::add_child(w, heap, cur, key_byte(key, depth), new_leaf);
+        top
+    }
+}
+
+impl Default for Art {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index for Art {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Art
+    }
+
+    fn insert(&mut self, w: &mut Worker<'_>, heap: &mut SimHeap, key: u64, value: u64) {
+        if self.root == 0 {
+            self.root = Self::new_leaf(w, heap, key, value);
+            self.len = 1;
+            return;
+        }
+        if is_leaf(self.root) {
+            let existing = untag(self.root);
+            let existing_key = w.read_u64(existing);
+            if existing_key == key {
+                w.write_u64(existing + 8, value);
+                return;
+            }
+            self.root =
+                Self::split_leaves(w, heap, self.root, existing_key, key, value, 0);
+            self.len += 1;
+            return;
+        }
+        // Iterative descent over internal nodes, tracking the parent so
+        // in-place growth can be linked back.
+        let mut parent: Option<(VAddr, u8)> = None;
+        let mut node = self.root;
+        let mut depth = 0usize;
+        loop {
+            let byte = key_byte(key, depth);
+            let child = Self::find_child(w, node, byte);
+            if child == 0 {
+                let leaf = Self::new_leaf(w, heap, key, value);
+                let updated = Self::add_child(w, heap, node, byte, leaf);
+                if updated != node {
+                    match parent {
+                        Some((p, pb)) => Self::replace_child(w, p, pb, updated),
+                        None => self.root = updated,
+                    }
+                }
+                self.len += 1;
+                return;
+            }
+            if is_leaf(child) {
+                let existing = untag(child);
+                let existing_key = w.read_u64(existing);
+                if existing_key == key {
+                    w.write_u64(existing + 8, value);
+                    return;
+                }
+                let sub = Self::split_leaves(
+                    w, heap, child, existing_key, key, value, depth + 1,
+                );
+                Self::replace_child(w, node, byte, sub);
+                self.len += 1;
+                return;
+            }
+            parent = Some((node, byte));
+            node = child;
+            depth += 1;
+        }
+    }
+
+    fn get(&self, w: &mut Worker<'_>, key: u64) -> Option<u64> {
+        if self.root == 0 {
+            return None;
+        }
+        let mut node = self.root;
+        let mut depth = 0usize;
+        loop {
+            if is_leaf(node) {
+                let leaf = untag(node);
+                return if w.read_u64(leaf) == key {
+                    Some(w.read_u64(leaf + 8))
+                } else {
+                    None
+                };
+            }
+            let child = Self::find_child(w, node, key_byte(key, depth));
+            if child == 0 {
+                return None;
+            }
+            node = child;
+            depth += 1;
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::with_heap;
+
+    #[test]
+    fn node_growth_through_all_four_layouts() {
+        with_heap(|w, heap| {
+            let mut art = Art::new();
+            // 300 keys differing only in the last byte-pair force one
+            // node to pass 4 -> 16 -> 48 -> 256.
+            for i in 0..300u64 {
+                art.insert(w, heap, 0xAA00 + i, i);
+            }
+            assert_eq!(art.len(), 300);
+            for i in 0..300u64 {
+                assert_eq!(art.get(w, 0xAA00 + i), Some(i), "key {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn shared_prefix_keys_build_chains() {
+        with_heap(|w, heap| {
+            let mut art = Art::new();
+            // Diverge only in the lowest byte: seven shared levels.
+            art.insert(w, heap, 0x0102_0304_0506_0701, 1);
+            art.insert(w, heap, 0x0102_0304_0506_0702, 2);
+            assert_eq!(art.get(w, 0x0102_0304_0506_0701), Some(1));
+            assert_eq!(art.get(w, 0x0102_0304_0506_0702), Some(2));
+            assert_eq!(art.get(w, 0x0102_0304_0506_0703), None);
+        });
+    }
+
+    #[test]
+    fn lazy_expansion_keeps_sparse_keys_shallow() {
+        with_heap(|w, heap| {
+            let mut art = Art::new();
+            // Keys that diverge in the first byte: root Node4 with leaves.
+            art.insert(w, heap, 0x11_00000000000000, 1);
+            art.insert(w, heap, 0x22_00000000000000, 2);
+            assert!(!is_leaf(art.root));
+            let child = Art::find_child(w, untag(art.root), 0x11);
+            assert!(is_leaf(child), "sparse key should hang as a direct leaf");
+        });
+    }
+
+    #[test]
+    fn dense_random_keys() {
+        with_heap(|w, heap| {
+            let mut art = Art::new();
+            let keys: Vec<u64> = (0..2_000u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .collect();
+            for (i, &k) in keys.iter().enumerate() {
+                art.insert(w, heap, k, i as u64);
+            }
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(art.get(w, k), Some(i as u64));
+            }
+            assert_eq!(art.len(), 2_000);
+        });
+    }
+}

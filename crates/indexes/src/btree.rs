@@ -1,0 +1,344 @@
+//! A cache-conscious B+tree over simulated memory.
+//!
+//! Nodes are 264 bytes (~4 cache lines), in the spirit of the STX B+tree
+//! the paper evaluates: small enough that a node's key scan stays in a
+//! few lines, large enough that the tree is shallow.
+//!
+//! Node layout (both kinds):
+//! ```text
+//! off 0   u8   is_leaf
+//! off 1   u8   count
+//! off 8   u64  next leaf (leaves only)
+//! off 16  u64  keys[15]
+//! off 136      leaves: values[15]   |   inners: children[16]
+//! ```
+
+use crate::{Index, IndexKind};
+use nqp_sim::{VAddr, Worker};
+use nqp_storage::SimHeap;
+
+/// Keys per node.
+const CAP: usize = 15;
+/// Node allocation size (inner nodes need 136 + 16*8 = 264).
+const NODE_BYTES: u64 = 264;
+
+const OFF_IS_LEAF: u64 = 0;
+const OFF_COUNT: u64 = 1;
+const OFF_NEXT: u64 = 8;
+const OFF_KEYS: u64 = 16;
+const OFF_PAYLOAD: u64 = 136;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct BPlusTree {
+    root: VAddr,
+    len: u64,
+}
+
+enum Outcome {
+    /// Insert finished; `true` when a new key was added.
+    Done(bool),
+    /// The child split: push `sep` and the new right sibling up.
+    Split { added: bool, sep: u64, right: VAddr },
+}
+
+impl BPlusTree {
+    /// An empty tree (the root leaf is allocated lazily on first insert).
+    pub fn new() -> Self {
+        BPlusTree { root: 0, len: 0 }
+    }
+
+    /// Rebuild a handle from a stored root pointer and key count — used
+    /// by Masstree, whose layer-1 roots live in simulated memory.
+    pub(crate) fn from_raw(root: VAddr, len: u64) -> Self {
+        BPlusTree { root, len }
+    }
+
+    /// The root pointer to store (0 while empty).
+    pub(crate) fn raw_root(&self) -> VAddr {
+        self.root
+    }
+
+    fn new_node(w: &mut Worker<'_>, heap: &mut SimHeap, is_leaf: bool) -> VAddr {
+        let node = heap.alloc(w, NODE_BYTES);
+        w.write_u8(node + OFF_IS_LEAF, is_leaf as u8);
+        w.write_u8(node + OFF_COUNT, 0);
+        w.write_u64(node + OFF_NEXT, 0);
+        node
+    }
+
+    fn key_at(w: &mut Worker<'_>, node: VAddr, i: usize) -> u64 {
+        w.read_u64(node + OFF_KEYS + i as u64 * 8)
+    }
+
+    fn set_key(w: &mut Worker<'_>, node: VAddr, i: usize, key: u64) {
+        w.write_u64(node + OFF_KEYS + i as u64 * 8, key);
+    }
+
+    fn payload_at(w: &mut Worker<'_>, node: VAddr, i: usize) -> u64 {
+        w.read_u64(node + OFF_PAYLOAD + i as u64 * 8)
+    }
+
+    fn set_payload(w: &mut Worker<'_>, node: VAddr, i: usize, value: u64) {
+        w.write_u64(node + OFF_PAYLOAD + i as u64 * 8, value);
+    }
+
+    fn count(w: &mut Worker<'_>, node: VAddr) -> usize {
+        w.read_u8(node + OFF_COUNT) as usize
+    }
+
+    fn set_count(w: &mut Worker<'_>, node: VAddr, count: usize) {
+        w.write_u8(node + OFF_COUNT, count as u8);
+    }
+
+    fn is_leaf(w: &mut Worker<'_>, node: VAddr) -> bool {
+        w.read_u8(node + OFF_IS_LEAF) != 0
+    }
+
+    /// First index whose key is >= `key` (linear scan: within-node keys
+    /// share cache lines, which is the point of the layout).
+    fn lower_bound(w: &mut Worker<'_>, node: VAddr, count: usize, key: u64) -> usize {
+        let mut i = 0;
+        while i < count && Self::key_at(w, node, i) < key {
+            i += 1;
+        }
+        i
+    }
+
+    fn insert_rec(
+        w: &mut Worker<'_>,
+        heap: &mut SimHeap,
+        node: VAddr,
+        key: u64,
+        value: u64,
+    ) -> Outcome {
+        let count = Self::count(w, node);
+        if Self::is_leaf(w, node) {
+            let pos = Self::lower_bound(w, node, count, key);
+            if pos < count && Self::key_at(w, node, pos) == key {
+                Self::set_payload(w, node, pos, value);
+                return Outcome::Done(false);
+            }
+            if count < CAP {
+                // Shift right and insert.
+                for i in (pos..count).rev() {
+                    let k = Self::key_at(w, node, i);
+                    let v = Self::payload_at(w, node, i);
+                    Self::set_key(w, node, i + 1, k);
+                    Self::set_payload(w, node, i + 1, v);
+                }
+                Self::set_key(w, node, pos, key);
+                Self::set_payload(w, node, pos, value);
+                Self::set_count(w, node, count + 1);
+                return Outcome::Done(true);
+            }
+            // Split the leaf, then insert into the proper half.
+            let right = Self::new_node(w, heap, true);
+            let half = count / 2;
+            for i in half..count {
+                let k = Self::key_at(w, node, i);
+                let v = Self::payload_at(w, node, i);
+                Self::set_key(w, right, i - half, k);
+                Self::set_payload(w, right, i - half, v);
+            }
+            Self::set_count(w, right, count - half);
+            Self::set_count(w, node, half);
+            let next = w.read_u64(node + OFF_NEXT);
+            w.write_u64(right + OFF_NEXT, next);
+            w.write_u64(node + OFF_NEXT, right);
+            let sep = Self::key_at(w, right, 0);
+            let target = if key < sep { node } else { right };
+            match Self::insert_rec(w, heap, target, key, value) {
+                Outcome::Done(added) => Outcome::Split { added, sep, right },
+                Outcome::Split { .. } => unreachable!("post-split leaf cannot split again"),
+            }
+        } else {
+            let idx = {
+                // Child index: first key strictly greater than `key`.
+                let mut i = 0;
+                while i < count && Self::key_at(w, node, i) <= key {
+                    i += 1;
+                }
+                i
+            };
+            let child = Self::payload_at(w, node, idx);
+            match Self::insert_rec(w, heap, child, key, value) {
+                Outcome::Done(added) => Outcome::Done(added),
+                Outcome::Split { added, sep, right } => {
+                    if count < CAP {
+                        for i in (idx..count).rev() {
+                            let k = Self::key_at(w, node, i);
+                            Self::set_key(w, node, i + 1, k);
+                        }
+                        for i in (idx + 1..=count).rev() {
+                            let c = Self::payload_at(w, node, i);
+                            Self::set_payload(w, node, i + 1, c);
+                        }
+                        Self::set_key(w, node, idx, sep);
+                        Self::set_payload(w, node, idx + 1, right);
+                        Self::set_count(w, node, count + 1);
+                        return Outcome::Done(added);
+                    }
+                    // Split this inner node: middle key moves up.
+                    let mid = count / 2;
+                    let up = Self::key_at(w, node, mid);
+                    let new_right = Self::new_node(w, heap, false);
+                    let right_keys = count - mid - 1;
+                    for i in 0..right_keys {
+                        let k = Self::key_at(w, node, mid + 1 + i);
+                        Self::set_key(w, new_right, i, k);
+                    }
+                    for i in 0..=right_keys {
+                        let c = Self::payload_at(w, node, mid + 1 + i);
+                        Self::set_payload(w, new_right, i, c);
+                    }
+                    Self::set_count(w, new_right, right_keys);
+                    Self::set_count(w, node, mid);
+                    // Re-insert the pending separator into whichever half.
+                    let target = if sep < up { node } else { new_right };
+                    let tcount = Self::count(w, target);
+                    let tpos = Self::lower_bound(w, target, tcount, sep);
+                    for i in (tpos..tcount).rev() {
+                        let k = Self::key_at(w, target, i);
+                        Self::set_key(w, target, i + 1, k);
+                    }
+                    for i in (tpos + 1..=tcount).rev() {
+                        let c = Self::payload_at(w, target, i);
+                        Self::set_payload(w, target, i + 1, c);
+                    }
+                    Self::set_key(w, target, tpos, sep);
+                    Self::set_payload(w, target, tpos + 1, right);
+                    Self::set_count(w, target, tcount + 1);
+                    Outcome::Split { added, sep: up, right: new_right }
+                }
+            }
+        }
+    }
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index for BPlusTree {
+    fn kind(&self) -> IndexKind {
+        IndexKind::BPlusTree
+    }
+
+    fn insert(&mut self, w: &mut Worker<'_>, heap: &mut SimHeap, key: u64, value: u64) {
+        if self.root == 0 {
+            self.root = Self::new_node(w, heap, true);
+        }
+        match Self::insert_rec(w, heap, self.root, key, value) {
+            Outcome::Done(added) => {
+                if added {
+                    self.len += 1;
+                }
+            }
+            Outcome::Split { added, sep, right } => {
+                let new_root = Self::new_node(w, heap, false);
+                Self::set_key(w, new_root, 0, sep);
+                Self::set_payload(w, new_root, 0, self.root);
+                Self::set_payload(w, new_root, 1, right);
+                Self::set_count(w, new_root, 1);
+                self.root = new_root;
+                if added {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    fn get(&self, w: &mut Worker<'_>, key: u64) -> Option<u64> {
+        if self.root == 0 {
+            return None;
+        }
+        let mut node = self.root;
+        loop {
+            let count = Self::count(w, node);
+            if Self::is_leaf(w, node) {
+                let pos = Self::lower_bound(w, node, count, key);
+                return if pos < count && Self::key_at(w, node, pos) == key {
+                    Some(Self::payload_at(w, node, pos))
+                } else {
+                    None
+                };
+            }
+            let mut i = 0;
+            while i < count && Self::key_at(w, node, i) <= key {
+                i += 1;
+            }
+            node = Self::payload_at(w, node, i);
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::with_heap;
+
+    #[test]
+    fn splits_produce_a_taller_tree() {
+        with_heap(|w, heap| {
+            let mut t = BPlusTree::new();
+            for key in 0..200u64 {
+                t.insert(w, heap, key, key);
+            }
+            assert_eq!(t.len(), 200);
+            // Root must no longer be a leaf.
+            assert!(!BPlusTree::is_leaf(w, t.root));
+            for key in 0..200u64 {
+                assert_eq!(t.get(w, key), Some(key));
+            }
+        });
+    }
+
+    #[test]
+    fn reverse_insertion_order_works() {
+        with_heap(|w, heap| {
+            let mut t = BPlusTree::new();
+            for key in (0..500u64).rev() {
+                t.insert(w, heap, key, key + 1);
+            }
+            for key in 0..500u64 {
+                assert_eq!(t.get(w, key), Some(key + 1));
+            }
+        });
+    }
+
+    #[test]
+    fn leaf_chain_stays_sorted() {
+        with_heap(|w, heap| {
+            let mut t = BPlusTree::new();
+            // Insert in scrambled order.
+            for i in 0..300u64 {
+                t.insert(w, heap, (i * 7919) % 300, i);
+            }
+            // Walk to the leftmost leaf, then follow next pointers.
+            let mut node = t.root;
+            while !BPlusTree::is_leaf(w, node) {
+                node = BPlusTree::payload_at(w, node, 0);
+            }
+            let mut last = None;
+            let mut seen = 0;
+            while node != 0 {
+                let count = BPlusTree::count(w, node);
+                for i in 0..count {
+                    let k = BPlusTree::key_at(w, node, i);
+                    assert!(last.map_or(true, |l| l < k), "unsorted leaf chain");
+                    last = Some(k);
+                    seen += 1;
+                }
+                node = w.read_u64(node + OFF_NEXT);
+            }
+            assert_eq!(seen, 300);
+        });
+    }
+}

@@ -1,0 +1,190 @@
+//! A canonical skip list over simulated memory.
+//!
+//! Node layout: `[key: u64][value: u64][height: u64][next[height]: u64]`,
+//! so a node's allocation size varies with its tower height — one reason
+//! the skip list's allocator profile differs from the fixed-node B+tree.
+//! Tower heights are drawn deterministically (p = 1/2) from a hash of
+//! the key and insertion count, so runs reproduce exactly.
+
+use crate::{Index, IndexKind};
+use nqp_sim::{VAddr, Worker};
+use nqp_storage::SimHeap;
+
+/// Maximum tower height.
+const MAX_HEIGHT: usize = 16;
+
+const OFF_KEY: u64 = 0;
+const OFF_VALUE: u64 = 8;
+const OFF_HEIGHT: u64 = 16;
+const OFF_NEXT: u64 = 24;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct SkipList {
+    /// Head tower: `MAX_HEIGHT` next pointers (no key).
+    head: VAddr,
+    len: u64,
+}
+
+fn node_bytes(height: usize) -> u64 {
+    OFF_NEXT + height as u64 * 8
+}
+
+/// Deterministic height: count trailing ones of a mixed hash (p = 1/2).
+fn tower_height(key: u64, salt: u64) -> usize {
+    let mut x = key ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+impl SkipList {
+    /// An empty skip list (head allocated lazily).
+    pub fn new() -> Self {
+        SkipList { head: 0, len: 0 }
+    }
+
+    fn next_of(w: &mut Worker<'_>, node: VAddr, level: usize) -> VAddr {
+        w.read_u64(node + OFF_NEXT + level as u64 * 8)
+    }
+
+    fn set_next(w: &mut Worker<'_>, node: VAddr, level: usize, to: VAddr) {
+        w.write_u64(node + OFF_NEXT + level as u64 * 8, to);
+    }
+
+    fn ensure_head(&mut self, w: &mut Worker<'_>, heap: &mut SimHeap) {
+        if self.head == 0 {
+            self.head = heap.alloc(w, node_bytes(MAX_HEIGHT));
+            w.write_u64(self.head + OFF_KEY, 0);
+            w.write_u64(self.head + OFF_HEIGHT, MAX_HEIGHT as u64);
+            for level in 0..MAX_HEIGHT {
+                Self::set_next(w, self.head, level, 0);
+            }
+        }
+    }
+
+    /// Predecessors of `key` at every level.
+    fn find_predecessors(
+        &self,
+        w: &mut Worker<'_>,
+        key: u64,
+    ) -> ([VAddr; MAX_HEIGHT], VAddr) {
+        let mut preds = [self.head; MAX_HEIGHT];
+        let mut cur = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            loop {
+                let next = Self::next_of(w, cur, level);
+                if next == 0 || w.read_u64(next + OFF_KEY) >= key {
+                    break;
+                }
+                cur = next;
+            }
+            preds[level] = cur;
+        }
+        let candidate = Self::next_of(w, cur, 0);
+        (preds, candidate)
+    }
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index for SkipList {
+    fn kind(&self) -> IndexKind {
+        IndexKind::SkipList
+    }
+
+    fn insert(&mut self, w: &mut Worker<'_>, heap: &mut SimHeap, key: u64, value: u64) {
+        self.ensure_head(w, heap);
+        let (preds, candidate) = self.find_predecessors(w, key);
+        if candidate != 0 && w.read_u64(candidate + OFF_KEY) == key {
+            w.write_u64(candidate + OFF_VALUE, value);
+            return;
+        }
+        let height = tower_height(key, self.len);
+        let node = heap.alloc(w, node_bytes(height));
+        w.write_u64(node + OFF_KEY, key);
+        w.write_u64(node + OFF_VALUE, value);
+        w.write_u64(node + OFF_HEIGHT, height as u64);
+        for level in 0..height {
+            let succ = Self::next_of(w, preds[level], level);
+            Self::set_next(w, node, level, succ);
+            Self::set_next(w, preds[level], level, node);
+        }
+        self.len += 1;
+    }
+
+    fn get(&self, w: &mut Worker<'_>, key: u64) -> Option<u64> {
+        if self.head == 0 {
+            return None;
+        }
+        let (_, candidate) = self.find_predecessors(w, key);
+        if candidate != 0 && w.read_u64(candidate + OFF_KEY) == key {
+            Some(w.read_u64(candidate + OFF_VALUE))
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::with_heap;
+
+    #[test]
+    fn height_distribution_halves_per_level() {
+        let heights: Vec<usize> = (0..4_000u64).map(|k| tower_height(k, k)).collect();
+        let h1 = heights.iter().filter(|&&h| h == 1).count();
+        let h2 = heights.iter().filter(|&&h| h == 2).count();
+        let h3 = heights.iter().filter(|&&h| h >= 3).count();
+        assert!(h1 > 1_700 && h1 < 2_300, "h1={h1}");
+        assert!(h2 > 800 && h2 < 1_200, "h2={h2}");
+        assert!(h3 > 700 && h3 < 1_300, "h3={h3}");
+        assert!(heights.iter().all(|&h| h <= MAX_HEIGHT));
+    }
+
+    #[test]
+    fn bottom_level_is_sorted() {
+        with_heap(|w, heap| {
+            let mut s = SkipList::new();
+            for i in 0..500u64 {
+                s.insert(w, heap, (i * 6151) % 500, i);
+            }
+            let mut cur = SkipList::next_of(w, s.head, 0);
+            let mut last = None;
+            let mut seen = 0;
+            while cur != 0 {
+                let k = w.read_u64(cur + OFF_KEY);
+                assert!(last.map_or(true, |l| l < k), "unsorted at key {k}");
+                last = Some(k);
+                seen += 1;
+                cur = SkipList::next_of(w, cur, 0);
+            }
+            assert_eq!(seen, 500);
+        });
+    }
+
+    #[test]
+    fn tall_towers_skip_correctly() {
+        with_heap(|w, heap| {
+            let mut s = SkipList::new();
+            for i in 0..1_000u64 {
+                s.insert(w, heap, i * 2, i);
+            }
+            // Lookups between keys miss; exact keys hit.
+            assert_eq!(s.get(w, 500), Some(250));
+            assert_eq!(s.get(w, 501), None);
+            assert_eq!(s.get(w, 0), Some(0));
+            assert_eq!(s.get(w, 1_998), Some(999));
+        });
+    }
+}

@@ -1,0 +1,175 @@
+//! W3: the non-partitioning hash join of Blanas et al. [15].
+//!
+//! Build an ad hoc shared hash table over the 1× relation `R`, then
+//! probe it with every tuple of the 16× relation `S`. The build phase is
+//! allocation-heavy (one entry per build tuple); the probe phase is pure
+//! memory traffic — together they make W3 the workload with the largest
+//! allocator gains in Figure 6g–6i.
+
+use crate::hash_table::HashTable;
+use crate::runner::WorkloadEnv;
+use nqp_datagen::JoinDataset;
+use nqp_sim::{Counters, NumaSim};
+use nqp_storage::{SimHeap, TupleArray};
+
+/// Parameters of one hash-join run.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Build-relation size; probe side is `ratio` times larger.
+    pub r_size: usize,
+    /// `|S| / |R|`; the paper uses 16.
+    pub ratio: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl JoinConfig {
+    /// The paper's shape at a chosen scale.
+    pub fn scaled(r_size: usize, seed: u64) -> Self {
+        JoinConfig { r_size, ratio: JoinDataset::RATIO, seed }
+    }
+}
+
+/// Result of one hash-join run.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Cycles of the build phase (table construction over R).
+    pub build_cycles: u64,
+    /// Cycles of the probe phase (S against the table).
+    pub probe_cycles: u64,
+    /// Cycles spent loading both relations (excluded from the above).
+    pub load_cycles: u64,
+    /// Matched probe tuples (every S tuple matches by construction).
+    pub matches: u64,
+    /// XOR mix over joined `(r.payload, s.payload)` pairs.
+    pub checksum: u64,
+    /// Counters over build + probe only.
+    pub counters: Counters,
+}
+
+/// Run W3 under `env`.
+pub fn run_hash_join(env: &WorkloadEnv, cfg: &JoinConfig) -> JoinOutcome {
+    let data = JoinDataset::generate_with_ratio(cfg.r_size, cfg.ratio, cfg.seed);
+    run_hash_join_on(env, &data)
+}
+
+/// Like [`run_hash_join`] but over a pre-generated dataset.
+pub fn run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> JoinOutcome {
+    let mut sim = NumaSim::new(env.sim.clone());
+    let heap = SimHeap::new(env.allocator, &mut sim);
+    let table = HashTable::new(&mut sim, (data.r.len() as u64) * 2);
+    let threads = env.threads;
+
+    // Load both relations partition-parallel.
+    let mut arrays: Option<(TupleArray, TupleArray)> = None;
+    sim.serial(&mut arrays, |w, arrays| {
+        *arrays = Some((
+            TupleArray::new(w, data.r.len()),
+            TupleArray::new(w, data.s.len()),
+        ));
+    });
+    let (r_arr, s_arr) = arrays.expect("arrays mapped");
+    sim.parallel(threads, &mut (), |w, _| {
+        for i in r_arr.partition(w.tid(), threads) {
+            r_arr.write(w, i, data.r[i].key, data.r[i].payload);
+        }
+        for i in s_arr.partition(w.tid(), threads) {
+            s_arr.write(w, i, data.s[i].key, data.s[i].payload);
+        }
+    });
+    let load_cycles = sim.now_cycles();
+    let counters_before = sim.counters();
+
+    // Build: coordinator initialises the directory, workers fill it.
+    let mut state = (table, heap);
+    sim.serial(&mut state, |w, (table, _)| table.init(w));
+    sim.parallel(threads, &mut state, |w, (table, heap)| {
+        for i in r_arr.partition(w.tid(), threads) {
+            let (key, payload) = r_arr.read(w, i);
+            table.upsert(w, heap, key, payload, |_, _| {});
+        }
+    });
+    let build_cycles = sim.now_cycles() - load_cycles;
+
+    // Probe: lock-free lookups, accumulate per-thread then combine.
+    let mut probe = (state.0, state.1, 0u64, 0u64); // (+matches, +checksum)
+    sim.parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
+        let mut local_matches = 0u64;
+        let mut local_sum = 0u64;
+        for i in s_arr.partition(w.tid(), threads) {
+            let (key, s_payload) = s_arr.read(w, i);
+            if let Some(r_payload) = table.get(w, key) {
+                local_matches += 1;
+                local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+            }
+        }
+        *matches += local_matches;
+        *checksum ^= local_sum;
+    });
+    let probe_cycles = sim.now_cycles() - load_cycles - build_cycles;
+
+    JoinOutcome {
+        build_cycles,
+        probe_cycles,
+        load_cycles,
+        matches: probe.2,
+        checksum: probe.3,
+        counters: sim.counters() - counters_before,
+    }
+}
+
+/// Host-side reference join for verification.
+pub fn reference_join(data: &JoinDataset) -> (u64, u64) {
+    use std::collections::HashMap;
+    let table: HashMap<u64, u64> = data.r.iter().map(|t| (t.key, t.payload)).collect();
+    let mut matches = 0u64;
+    let mut checksum = 0u64;
+    for s in &data.s {
+        if let Some(&r_payload) = table.get(&s.key) {
+            matches += 1;
+            checksum ^= r_payload.wrapping_mul(31).wrapping_add(s.payload);
+        }
+    }
+    (matches, checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    fn env() -> WorkloadEnv {
+        WorkloadEnv::tuned(machines::machine_b()).with_threads(4)
+    }
+
+    #[test]
+    fn join_matches_reference() {
+        let data = JoinDataset::generate(500, 7);
+        let (expect_matches, expect_checksum) = reference_join(&data);
+        let out = run_hash_join_on(&env(), &data);
+        assert_eq!(out.matches, expect_matches);
+        assert_eq!(out.matches, 500 * 16);
+        assert_eq!(out.checksum, expect_checksum);
+    }
+
+    #[test]
+    fn probe_dominates_build_at_ratio_16() {
+        let out = run_hash_join(&env(), &JoinConfig::scaled(400, 1));
+        assert!(
+            out.probe_cycles > out.build_cycles,
+            "probe={} build={}",
+            out.probe_cycles,
+            out.build_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = JoinConfig::scaled(200, 3);
+        let a = run_hash_join(&env(), &cfg);
+        let b = run_hash_join(&env(), &cfg);
+        assert_eq!(a.build_cycles, b.build_cycles);
+        assert_eq!(a.probe_cycles, b.probe_cycles);
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,153 @@
+//! W4: index nested-loop join over a pre-built in-memory index.
+//!
+//! Same data as W3, but the build relation is indexed once (ART,
+//! Masstree, B+tree, or Skip List) and the probe relation drives point
+//! lookups. Because the index is pre-built, the join phase performs few
+//! allocations; lookup path length and node locality dominate — which is
+//! why W4's allocator gains are smaller than W3's (§IV-F) and why the
+//! *index structure* is the interesting axis (Figure 7).
+
+use crate::runner::WorkloadEnv;
+use nqp_datagen::JoinDataset;
+use nqp_indexes::{build_index, IndexKind};
+use nqp_sim::{Counters, NumaSim};
+use nqp_storage::{SimHeap, TupleArray};
+
+/// Parameters of one index-nested-loop-join run.
+#[derive(Debug, Clone)]
+pub struct InlConfig {
+    /// Which index accelerates the lookups.
+    pub index: IndexKind,
+    /// Build-relation size; probe side is `ratio` times larger.
+    pub r_size: usize,
+    /// `|S| / |R|`; the paper uses 16.
+    pub ratio: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+/// Result of one W4 run.
+#[derive(Debug, Clone)]
+pub struct InlOutcome {
+    /// Cycles to build the index over R (Figure 7e's build time).
+    pub build_cycles: u64,
+    /// Cycles of the join itself (Figure 7a–7e's join time).
+    pub join_cycles: u64,
+    /// Matched probe tuples.
+    pub matches: u64,
+    /// XOR mix over joined pairs, comparable with W3's reference.
+    pub checksum: u64,
+    /// Counters over build + join.
+    pub counters: Counters,
+}
+
+/// Run W4 under `env`.
+pub fn run_inl_join(env: &WorkloadEnv, cfg: &InlConfig) -> InlOutcome {
+    let data = JoinDataset::generate_with_ratio(cfg.r_size, cfg.ratio, cfg.seed);
+    run_inl_join_on(env, cfg.index, &data)
+}
+
+/// Like [`run_inl_join`] but over a pre-generated dataset.
+pub fn run_inl_join_on(env: &WorkloadEnv, kind: IndexKind, data: &JoinDataset) -> InlOutcome {
+    let mut sim = NumaSim::new(env.sim.clone());
+    let heap = SimHeap::new(env.allocator, &mut sim);
+    let threads = env.threads;
+
+    // Load the probe relation partition-parallel (build side feeds the
+    // index directly from host memory during the build phase).
+    let mut s_arr: Option<TupleArray> = None;
+    sim.serial(&mut s_arr, |w, s_arr| {
+        *s_arr = Some(TupleArray::new(w, data.s.len()));
+    });
+    let s_arr = s_arr.expect("array mapped");
+    sim.parallel(threads, &mut (), |w, _| {
+        for i in s_arr.partition(w.tid(), threads) {
+            s_arr.write(w, i, data.s[i].key, data.s[i].payload);
+        }
+    });
+    let counters_start = sim.counters();
+    let start = sim.now_cycles();
+
+    // Build the index single-threaded, as a pre-built index would be —
+    // the paper measures build time separately (Figure 7e).
+    let index = build_index(kind);
+    let mut state = (index, heap);
+    sim.serial(&mut state, |w, (index, heap)| {
+        for t in &data.r {
+            index.insert(w, heap, t.key, t.payload);
+        }
+    });
+    let build_cycles = sim.now_cycles() - start;
+
+    // Parallel join: read-only index probes.
+    let mut join = (state.0, 0u64, 0u64);
+    sim.parallel(threads, &mut join, |w, (index, matches, checksum)| {
+        let mut local_matches = 0u64;
+        let mut local_sum = 0u64;
+        for i in s_arr.partition(w.tid(), threads) {
+            let (key, s_payload) = s_arr.read(w, i);
+            if let Some(r_payload) = index.get(w, key) {
+                local_matches += 1;
+                local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+            }
+        }
+        *matches += local_matches;
+        *checksum ^= local_sum;
+    });
+    let join_cycles = sim.now_cycles() - start - build_cycles;
+
+    InlOutcome {
+        build_cycles,
+        join_cycles,
+        matches: join.1,
+        checksum: join.2,
+        counters: sim.counters() - counters_start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_join::reference_join;
+    use nqp_topology::machines;
+
+    fn env() -> WorkloadEnv {
+        WorkloadEnv::tuned(machines::machine_b()).with_threads(4)
+    }
+
+    #[test]
+    fn all_indexes_agree_with_the_hash_join_reference() {
+        let data = JoinDataset::generate(300, 11);
+        let (expect_matches, expect_checksum) = reference_join(&data);
+        for kind in IndexKind::ALL {
+            let out = run_inl_join_on(&env(), kind, &data);
+            assert_eq!(out.matches, expect_matches, "{kind:?}");
+            assert_eq!(out.checksum, expect_checksum, "{kind:?}");
+            assert!(out.build_cycles > 0 && out.join_cycles > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn art_and_btree_probe_faster_than_skiplist() {
+        // Figure 7e: ART and B+tree are the two fastest indexes; the
+        // skip list's long pointer chains make it the slowest prober.
+        let data = JoinDataset::generate(2_000, 13);
+        let run = |k| run_inl_join_on(&env(), k, &data).join_cycles;
+        let (art, btree, skip) = (
+            run(IndexKind::Art),
+            run(IndexKind::BPlusTree),
+            run(IndexKind::SkipList),
+        );
+        assert!(art < skip, "art={art} skip={skip}");
+        assert!(btree < skip, "btree={btree} skip={skip}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = InlConfig { index: IndexKind::BPlusTree, r_size: 150, ratio: 8, seed: 5 };
+        let a = run_inl_join(&env(), &cfg);
+        let b = run_inl_join(&env(), &cfg);
+        assert_eq!(a.join_cycles, b.join_cycles);
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,27 @@
+//! The standalone query workloads of Table I, W1–W4, over the NUMA
+//! simulator:
+//!
+//! * **W1** holistic aggregation (`MEDIAN ... GROUP BY`) — hash table +
+//!   per-group value chains; the allocation-heaviest workload.
+//! * **W2** distributive aggregation (`COUNT ... GROUP BY`) — hash table
+//!   with in-place counters; placement-bound, not allocation-bound.
+//! * **W3** non-partitioning hash join — build on the 1× table, probe
+//!   with the 16× table.
+//! * **W4** index nested-loop join — the same data probed through a
+//!   pre-built in-memory index (ART / Masstree / B+tree / Skip List).
+//!
+//! Each workload is a function of a [`WorkloadEnv`] (machine + OS knobs +
+//! allocator + thread count) and returns cycle counts plus a checksum
+//! that tests verify against a host-side reference.
+
+mod aggregate;
+mod hash_join;
+mod hash_table;
+mod inl_join;
+mod runner;
+
+pub use aggregate::{reference_checksum, run_aggregation, run_aggregation_on, AggConfig, AggKind, AggOutcome};
+pub use hash_join::{reference_join, run_hash_join, run_hash_join_on, JoinConfig, JoinOutcome};
+pub use hash_table::HashTable;
+pub use inl_join::{run_inl_join, run_inl_join_on, InlConfig, InlOutcome};
+pub use runner::{load_tuples, WorkloadEnv};

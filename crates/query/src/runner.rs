@@ -1,0 +1,106 @@
+//! Shared environment plumbing for the W1–W4 workload runners.
+
+use nqp_alloc::AllocatorKind;
+use nqp_datagen::Record;
+use nqp_sim::{NumaSim, SimConfig};
+use nqp_storage::TupleArray;
+
+/// Everything Table IV varies besides the workload itself: the machine
+/// and OS knobs (inside [`SimConfig`]), the allocator, and the thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct WorkloadEnv {
+    /// Machine + thread placement + memory policy + AutoNUMA + THP.
+    pub sim: SimConfig,
+    /// The overriding allocator (`LD_PRELOAD` in the paper's setup).
+    pub allocator: AllocatorKind,
+    /// Worker threads; the paper uses every hardware thread.
+    pub threads: usize,
+}
+
+impl WorkloadEnv {
+    /// The paper's default environment on a machine: OS defaults and
+    /// ptmalloc, all hardware threads.
+    pub fn os_default(machine: nqp_topology::MachineSpec) -> Self {
+        let threads = machine.total_hw_threads();
+        WorkloadEnv {
+            sim: SimConfig::os_default(machine),
+            allocator: AllocatorKind::Ptmalloc,
+            threads,
+        }
+    }
+
+    /// The paper's tuned environment: Sparse + Interleave + AutoNUMA/THP
+    /// off + tbbmalloc.
+    pub fn tuned(machine: nqp_topology::MachineSpec) -> Self {
+        let threads = machine.total_hw_threads();
+        WorkloadEnv {
+            sim: SimConfig::tuned(machine),
+            allocator: AllocatorKind::Tbbmalloc,
+            threads,
+        }
+    }
+
+    /// Builder-style allocator override.
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Load generated records into a [`TupleArray`] with a parallel
+/// partition-per-thread pass, the way a parallel loader would — each
+/// thread first-touches its own partition.
+///
+/// Returns the array; the load happens in its own region so callers can
+/// separate load time from query time.
+pub fn load_tuples(sim: &mut NumaSim, records: &[Record], threads: usize) -> TupleArray {
+    let mut arr: Option<TupleArray> = None;
+    sim.serial(&mut arr, |w, arr| {
+        *arr = Some(TupleArray::new(w, records.len().max(1)));
+    });
+    let arr = arr.expect("array mapped");
+    sim.parallel(threads, &mut (), |w, _| {
+        for i in arr.partition(w.tid(), threads) {
+            arr.write(w, i, records[i].key, records[i].val);
+        }
+    });
+    arr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_datagen::Dataset;
+    use nqp_topology::machines;
+
+    #[test]
+    fn env_presets_differ_in_the_right_knobs() {
+        let d = WorkloadEnv::os_default(machines::machine_a());
+        let t = WorkloadEnv::tuned(machines::machine_a());
+        assert_eq!(d.allocator, AllocatorKind::Ptmalloc);
+        assert_eq!(t.allocator, AllocatorKind::Tbbmalloc);
+        assert!(d.sim.autonuma && !t.sim.autonuma);
+        assert_eq!(d.threads, 16);
+    }
+
+    #[test]
+    fn loaded_tuples_read_back() {
+        let env = WorkloadEnv::tuned(machines::machine_b()).with_threads(4);
+        let mut sim = NumaSim::new(env.sim.clone());
+        let records = nqp_datagen::generate(Dataset::Uniform, 1_000, 64, 3);
+        let arr = load_tuples(&mut sim, &records, env.threads);
+        let mut state = (arr, records);
+        sim.serial(&mut state, |w, (arr, records)| {
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(arr.read(w, i), (r.key, r.val));
+            }
+        });
+    }
+}

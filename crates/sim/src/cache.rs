@@ -1,0 +1,105 @@
+//! A direct-mapped last-level-cache model, one instance per NUMA node.
+//!
+//! Tags are line addresses. A direct-mapped array of the configured
+//! capacity reproduces the effects the paper measures — working-set
+//! capacity misses, and the cold-cache penalty after a thread migrates to
+//! another node (whose LLC does not hold its lines) — at O(1) per touch.
+
+/// Per-node last-level cache.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    tags: Vec<u64>,
+    mask: u64,
+    /// Latency of a hit, in model cycles.
+    pub hit_cycles: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Llc {
+    /// Build an LLC holding `lines` cache lines (rounded up to a power of
+    /// two), with the given hit latency.
+    pub fn new(lines: u64, hit_cycles: u64) -> Self {
+        let size = lines.max(1).next_power_of_two() as usize;
+        Llc { tags: vec![EMPTY; size], mask: size as u64 - 1, hit_cycles }
+    }
+
+    /// Touch a line address; inserts on miss. Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, line_addr: u64) -> bool {
+        let slot = (mix(line_addr) & self.mask) as usize;
+        if self.tags[slot] == line_addr {
+            true
+        } else {
+            self.tags[slot] = line_addr;
+            false
+        }
+    }
+
+    /// Invalidate everything (used by cold-run experiments).
+    pub fn flush(&mut self) {
+        self.tags.fill(EMPTY);
+    }
+
+    /// Number of line slots.
+    pub fn capacity_lines(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x7fb5_d329_728e_a185);
+    x ^= x >> 27;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Llc::new(1024, 40);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Llc::new(64, 40);
+        c.access(7);
+        c.flush();
+        assert!(!c.access(7));
+    }
+
+    #[test]
+    fn small_working_set_mostly_hits() {
+        let mut c = Llc::new(4096, 40);
+        for line in 0..256u64 {
+            c.access(line);
+        }
+        let hits = (0..256u64).filter(|&l| c.access(l)).count();
+        assert!(hits >= 240, "only {hits}/256 hits");
+    }
+
+    #[test]
+    fn oversized_working_set_mostly_misses() {
+        let mut c = Llc::new(64, 40);
+        let mut misses = 0;
+        for _ in 0..2 {
+            for line in 0..8192u64 {
+                if !c.access(line) {
+                    misses += 1;
+                }
+            }
+        }
+        assert!(misses > 15_000, "only {misses} misses");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(Llc::new(1000, 1).capacity_lines(), 1024);
+    }
+}

@@ -1,0 +1,278 @@
+//! Simulation configuration: the tuning knobs of Table IV plus the cost
+//! model parameters.
+
+use nqp_topology::{MachineSpec, NodeId};
+
+/// Thread placement strategy (§III-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThreadPlacement {
+    /// No affinity: the OS scheduler may migrate threads freely. This is
+    /// the system default and the source of the run-to-run jitter in
+    /// Figure 3.
+    #[default]
+    None,
+    /// Spread threads across NUMA nodes round-robin, maximising the number
+    /// of memory controllers in play.
+    Sparse,
+    /// Pack threads into as few nodes as possible, maximising sharing and
+    /// minimising remote distance.
+    Dense,
+}
+
+impl ThreadPlacement {
+    /// All variants, in Table IV order.
+    pub const ALL: [ThreadPlacement; 3] =
+        [ThreadPlacement::None, ThreadPlacement::Sparse, ThreadPlacement::Dense];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadPlacement::None => "none",
+            ThreadPlacement::Sparse => "sparse",
+            ThreadPlacement::Dense => "dense",
+        }
+    }
+}
+
+/// Memory placement policy (§III-C), the `numactl` policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemPolicy {
+    /// Pages land on the node of the thread that first touches them
+    /// (Linux default).
+    #[default]
+    FirstTouch,
+    /// Pages are placed on all nodes round-robin.
+    Interleave,
+    /// Pages are placed on the node of the thread performing the
+    /// *allocation* (mapping), regardless of who touches them first.
+    Localalloc,
+    /// All pages go to one user-selected node, spilling to other nodes
+    /// only when it is full.
+    Preferred(NodeId),
+}
+
+impl MemPolicy {
+    /// The policies evaluated in the paper's figures, with `Preferred`
+    /// pinned to node 0.
+    pub const ALL: [MemPolicy; 4] = [
+        MemPolicy::FirstTouch,
+        MemPolicy::Interleave,
+        MemPolicy::Localalloc,
+        MemPolicy::Preferred(0),
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemPolicy::FirstTouch => "first-touch",
+            MemPolicy::Interleave => "interleave",
+            MemPolicy::Localalloc => "localalloc",
+            MemPolicy::Preferred(_) => "preferred",
+        }
+    }
+}
+
+/// Cost-model parameters, all in model cycles (or cycles per cache line).
+///
+/// Defaults are calibrated to commodity x86 servers of the paper's era;
+/// every parameter is public so ablation benches can vary them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Base pipeline cost charged on every memory touch (covers L1/L2).
+    pub touch_base_cycles: u64,
+    /// Page-walk cost on a 4 KB TLB miss.
+    pub walk_4k_cycles: u64,
+    /// Page-walk cost on a 2 MB TLB miss (shorter walk: one level less).
+    pub walk_2m_cycles: u64,
+    /// Fixed kernel cost of a minor page fault (first touch of a page).
+    pub fault_fixed_cycles: u64,
+    /// Additional fault cost per cache line zero-filled (scales with page
+    /// size, which is what makes 2 MB faults expensive).
+    pub fault_per_line_cycles: u64,
+    /// Fixed cost of the OS migrating a thread to another core.
+    pub thread_migration_cycles: u64,
+    /// Fixed kernel cost of migrating one page between nodes (unmap,
+    /// copy setup, TLB shootdown).
+    pub page_migration_fixed_cycles: u64,
+    /// Per-line copy cost of a page migration.
+    pub page_migration_per_line_cycles: u64,
+    /// AutoNUMA: remote accesses to a page before it is migrated toward
+    /// the accessor.
+    pub autonuma_migrate_threshold: u32,
+    /// AutoNUMA: NUMA-hinting minor fault paid when touching a page the
+    /// scanner recently marked `PROT_NONE` (charged on sampled touches).
+    pub autonuma_hint_fault_cycles: u64,
+    /// AutoNUMA: periodic scan overhead charged to each thread...
+    pub autonuma_scan_cycles: u64,
+    /// ...once per this many cycles of thread execution.
+    pub autonuma_scan_period_cycles: u64,
+    /// OS scheduler (no affinity): mean cycles between load-balancer
+    /// migration events per thread.
+    pub sched_migration_period_cycles: u64,
+    /// Memory-level parallelism of *streaming* accesses: when a thread
+    /// misses on the line right after the one it last touched (a scan,
+    /// which prefetchers pipeline), the charged stall is `latency / mlp`.
+    /// Dependent accesses (pointer chases, hash probes) pay the full
+    /// latency. Line *demand* for the bandwidth rooflines is unaffected,
+    /// which is how scans saturate controllers.
+    pub mlp: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            touch_base_cycles: 4,
+            walk_4k_cycles: 60,
+            walk_2m_cycles: 40,
+            fault_fixed_cycles: 500,
+            fault_per_line_cycles: 1,
+            thread_migration_cycles: 3_000,
+            page_migration_fixed_cycles: 6_000,
+            page_migration_per_line_cycles: 4,
+            autonuma_migrate_threshold: 4,
+            autonuma_hint_fault_cycles: 1_200,
+            autonuma_scan_cycles: 2_000,
+            autonuma_scan_period_cycles: 10_000_000,
+            sched_migration_period_cycles: 250_000,
+            mlp: 4,
+        }
+    }
+}
+
+/// Full simulator configuration: one machine plus the Table IV knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine to simulate (Table II presets or custom).
+    pub machine: MachineSpec,
+    /// Thread placement strategy.
+    pub thread_placement: ThreadPlacement,
+    /// Memory placement policy.
+    pub mem_policy: MemPolicy,
+    /// AutoNUMA kernel load balancing (Linux default: on).
+    pub autonuma: bool,
+    /// Transparent Hugepages (Linux default: on).
+    pub thp: bool,
+    /// Seed for all scheduler randomness; identical configs reproduce
+    /// identical runs.
+    pub seed: u64,
+    /// Settled scheduler: model a long-running server process whose
+    /// unpinned threads the OS has spread over the whole machine (regular
+    /// load-balancer migrations, but no short-run placement pathologies).
+    /// Used by the database sessions of W5; standalone workloads keep the
+    /// per-run scheduler luck of Figure 3.
+    pub sched_settled: bool,
+    /// Cost-model parameters.
+    pub costs: CostParams,
+}
+
+impl SimConfig {
+    /// A configuration with the OS defaults the paper starts from: no
+    /// affinity, First Touch, AutoNUMA on, THP on.
+    pub fn os_default(machine: MachineSpec) -> Self {
+        SimConfig {
+            machine,
+            thread_placement: ThreadPlacement::None,
+            mem_policy: MemPolicy::FirstTouch,
+            autonuma: true,
+            thp: true,
+            seed: 0x6e71_7021,
+            sched_settled: false,
+            costs: CostParams::default(),
+        }
+    }
+
+    /// The tuned configuration the paper converges on for standalone
+    /// workloads: Sparse affinity, Interleave, AutoNUMA off, THP off.
+    pub fn tuned(machine: MachineSpec) -> Self {
+        SimConfig {
+            thread_placement: ThreadPlacement::Sparse,
+            mem_policy: MemPolicy::Interleave,
+            autonuma: false,
+            thp: false,
+            ..Self::os_default(machine)
+        }
+    }
+
+    /// Builder-style setter for the thread placement.
+    pub fn with_threads(mut self, placement: ThreadPlacement) -> Self {
+        self.thread_placement = placement;
+        self
+    }
+
+    /// Builder-style setter for the memory policy.
+    pub fn with_policy(mut self, policy: MemPolicy) -> Self {
+        self.mem_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for AutoNUMA.
+    pub fn with_autonuma(mut self, on: bool) -> Self {
+        self.autonuma = on;
+        self
+    }
+
+    /// Builder-style setter for Transparent Hugepages.
+    pub fn with_thp(mut self, on: bool) -> Self {
+        self.thp = on;
+        self
+    }
+
+    /// Builder-style setter for the scheduler seed (used to vary "runs"
+    /// in Figure 3).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the settled-scheduler mode.
+    pub fn with_settled_scheduler(mut self, settled: bool) -> Self {
+        self.sched_settled = settled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    #[test]
+    fn os_default_matches_paper_defaults() {
+        let c = SimConfig::os_default(machines::machine_a());
+        assert_eq!(c.thread_placement, ThreadPlacement::None);
+        assert_eq!(c.mem_policy, MemPolicy::FirstTouch);
+        assert!(c.autonuma);
+        assert!(c.thp);
+    }
+
+    #[test]
+    fn tuned_matches_paper_recommendation() {
+        let c = SimConfig::tuned(machines::machine_a());
+        assert_eq!(c.thread_placement, ThreadPlacement::Sparse);
+        assert_eq!(c.mem_policy, MemPolicy::Interleave);
+        assert!(!c.autonuma);
+        assert!(!c.thp);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SimConfig::os_default(machines::machine_b())
+            .with_threads(ThreadPlacement::Dense)
+            .with_policy(MemPolicy::Preferred(2))
+            .with_autonuma(false)
+            .with_thp(false)
+            .with_seed(7);
+        assert_eq!(c.thread_placement, ThreadPlacement::Dense);
+        assert_eq!(c.mem_policy, MemPolicy::Preferred(2));
+        assert_eq!(c.seed, 7);
+        assert!(!c.autonuma && !c.thp);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ThreadPlacement::Sparse.label(), "sparse");
+        assert_eq!(MemPolicy::Preferred(3).label(), "preferred");
+        assert_eq!(MemPolicy::ALL.len(), 4);
+        assert_eq!(ThreadPlacement::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! A deterministic NUMA machine simulator.
+//!
+//! This crate is the measurement substrate for the whole workspace: it
+//! models the hardware and OS mechanisms that the paper's tuning knobs
+//! act on —
+//!
+//! * the **page table and placement policies** (First Touch, Interleave,
+//!   Localalloc, Preferred) of `numactl`,
+//! * per-node **last-level caches** and per-thread **TLBs** (4 KB and
+//!   2 MB entries, so Transparent Hugepages has its real effect),
+//! * **memory-controller and interconnect bandwidth** rooflines, which
+//!   punish consolidated placements,
+//! * the **OS thread scheduler** (free migration vs. Sparse/Dense
+//!   affinity) and the **AutoNUMA** balancing daemon,
+//! * an analytic **lock contention** model used by the allocator models.
+//!
+//! Workloads run as logical threads inside [`NumaSim::parallel`]; all
+//! randomness is seeded, so identical configurations produce identical
+//! cycle counts and hardware-counter values.
+//!
+//! ```
+//! use nqp_sim::{NumaSim, SimConfig};
+//! use nqp_topology::machines;
+//!
+//! let mut sim = NumaSim::new(SimConfig::tuned(machines::machine_a()));
+//! let stats = sim.parallel(16, &mut (), |w, _| {
+//!     let buf = w.map_pages(1 << 16);
+//!     for i in 0..1024u64 {
+//!         w.write_u64(buf + i * 8, i);
+//!     }
+//! });
+//! assert!(stats.elapsed_cycles > 0);
+//! assert_eq!(stats.counters.thread_migrations, 0); // affinitized
+//! ```
+
+mod cache;
+mod config;
+mod engine;
+mod lock;
+mod mem;
+mod metrics;
+mod sched;
+mod tlb;
+
+pub use cache::Llc;
+pub use config::{CostParams, MemPolicy, SimConfig, ThreadPlacement};
+pub use engine::{Access, NumaSim, Worker};
+pub use lock::LockId;
+pub use mem::{VAddr, HUGE_PAGE, LINE, PAGES_PER_HUGE, SMALL_PAGE};
+pub use metrics::{Bottleneck, Counters, RegionStats};
+pub use tlb::Tlb;

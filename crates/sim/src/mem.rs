@@ -1,0 +1,611 @@
+//! Simulated physical memory: the page table, placement policies, node
+//! capacities, THP frame grouping, and the byte backing store.
+
+use crate::config::MemPolicy;
+use nqp_topology::{MachineSpec, NodeId};
+
+/// Small (default) page size: 4 KB.
+pub const SMALL_PAGE: u64 = 4096;
+/// Huge page size: 2 MB (512 small pages).
+pub const HUGE_PAGE: u64 = 2 * 1024 * 1024;
+/// Small pages per huge frame.
+pub const PAGES_PER_HUGE: u64 = HUGE_PAGE / SMALL_PAGE;
+/// Cache line size; every machine in Table II uses 64-byte lines.
+pub const LINE: u64 = 64;
+
+/// Virtual address in the simulated process.
+pub type VAddr = u64;
+
+/// Marker for a page with no home node yet (First Touch, pre-fault).
+const NO_NODE: u8 = u8::MAX;
+
+/// Per-4KB-page metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct PageEntry {
+    /// Home node, or `NO_NODE` while unassigned.
+    node: u8,
+    /// Part of a 2 MB huge frame (THP).
+    huge: bool,
+    /// The page has been touched at least once (fault already charged).
+    faulted: bool,
+    /// Currently part of a live mapping.
+    mapped: bool,
+    /// AutoNUMA: consecutive remote touches since the last local touch or
+    /// migration.
+    remote_hits: u8,
+    /// AutoNUMA two-reference rule: the node of the last remote toucher;
+    /// hits only accumulate when the *same* node keeps touching.
+    last_remote: u8,
+    /// Bitmask of nodes observed touching this page (AutoNUMA's shared-
+    /// page detection; up to 8 nodes, enough for every Table II machine).
+    sharers: u8,
+    /// Scan epoch of the last NUMA-hinting fault taken on this page: the
+    /// kernel unmaps a page once per scan period, and only the first
+    /// toucher afterwards pays the fault.
+    hint_epoch: u8,
+}
+
+impl PageEntry {
+    const UNMAPPED: PageEntry =
+        PageEntry {
+        node: NO_NODE,
+        huge: false,
+        faulted: false,
+        mapped: false,
+        remote_hits: 0,
+        last_remote: NO_NODE,
+        sharers: 0,
+        hint_epoch: u8::MAX,
+    };
+}
+
+/// Outcome of resolving one touch against the page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchResolution {
+    /// The node that serves the access.
+    pub node: NodeId,
+    /// A minor fault occurred (first touch): charge fault cost.
+    pub faulted: bool,
+    /// The page is backed by a huge frame: use the 2 MB TLB.
+    pub huge: bool,
+    /// Number of 4 KB pages zero-filled by the fault (512 for a huge
+    /// frame's first touch, 1 for a small page, 0 when no fault).
+    pub fault_pages: u64,
+}
+
+/// The simulated memory subsystem.
+#[derive(Debug)]
+pub struct Memory {
+    pages: Vec<PageEntry>,
+    backing: Vec<u8>,
+    /// Next unmapped virtual address (bump-allocated address space).
+    next: VAddr,
+    node_used_pages: Vec<u64>,
+    node_capacity_pages: u64,
+    /// Round-robin cursor for the Interleave policy.
+    interleave_cursor: usize,
+    num_nodes: usize,
+    /// Nearest-node fallback orders, precomputed per node.
+    fallback: Vec<Vec<NodeId>>,
+}
+
+impl Memory {
+    /// Build the memory subsystem for a machine.
+    pub fn new(machine: &MachineSpec) -> Self {
+        let num_nodes = machine.topology.num_nodes();
+        let fallback = (0..num_nodes)
+            .map(|n| machine.topology.nodes_by_distance(n))
+            .collect();
+        Memory {
+            pages: Vec::new(),
+            backing: Vec::new(),
+            // Leave page 0 unmapped so address 0 acts as null.
+            next: SMALL_PAGE,
+            node_used_pages: vec![0; num_nodes],
+            node_capacity_pages: machine.mem_per_node_bytes / SMALL_PAGE,
+            interleave_cursor: 0,
+            num_nodes,
+            fallback,
+        }
+    }
+
+    /// Map `bytes` of fresh address space (the model of `mmap`).
+    ///
+    /// * Under THP, mappings of at least one huge page are built from 2 MB
+    ///   frames (the address is 2 MB-aligned), trailing remainder from 4 KB
+    ///   pages.
+    /// * Placement: `Interleave`, `Localalloc`, and `Preferred` assign home
+    ///   nodes immediately (at placement granularity = page or frame);
+    ///   `FirstTouch` defers to the first touch.
+    pub fn map(
+        &mut self,
+        bytes: u64,
+        policy: MemPolicy,
+        mapping_node: NodeId,
+        thp: bool,
+    ) -> VAddr {
+        self.map_inner(bytes, policy, mapping_node, thp)
+    }
+
+    /// Map address space that parallel workers will fault in roughly
+    /// uniformly (a shared hash table probed by every thread). The
+    /// simulator runs logical threads sequentially, so genuine First
+    /// Touch would attribute every fault to worker 0; this entry point
+    /// models the uniform spreading of concurrent first-touchers by
+    /// interleaving the assignment under First Touch / Localalloc.
+    /// Explicit policies (Interleave, Preferred) behave as themselves.
+    pub fn map_shared(
+        &mut self,
+        bytes: u64,
+        policy: MemPolicy,
+        mapping_node: NodeId,
+        thp: bool,
+    ) -> VAddr {
+        let effective = match policy {
+            MemPolicy::FirstTouch | MemPolicy::Localalloc => MemPolicy::Interleave,
+            other => other,
+        };
+        self.map_inner(bytes, effective, mapping_node, thp)
+    }
+
+    fn map_inner(
+        &mut self,
+        bytes: u64,
+        policy: MemPolicy,
+        mapping_node: NodeId,
+        thp: bool,
+    ) -> VAddr {
+        assert!(bytes > 0, "cannot map zero bytes");
+        let use_huge = thp && bytes >= HUGE_PAGE;
+        let align = if use_huge { HUGE_PAGE } else { SMALL_PAGE };
+        let addr = round_up(self.next, align);
+        let len = round_up(bytes, SMALL_PAGE);
+        self.next = addr + len;
+
+        let first_page = (addr / SMALL_PAGE) as usize;
+        let n_pages = (len / SMALL_PAGE) as usize;
+        if self.pages.len() < first_page + n_pages {
+            self.pages.resize(first_page + n_pages, PageEntry::UNMAPPED);
+        }
+
+        let mut idx = 0usize;
+        while idx < n_pages {
+            let remaining = n_pages - idx;
+            let huge = use_huge && remaining >= PAGES_PER_HUGE as usize;
+            let unit = if huge { PAGES_PER_HUGE as usize } else { 1 };
+            let node = self.assign_at_map(policy, mapping_node, unit as u64);
+            for p in 0..unit {
+                self.pages[first_page + idx + p] = PageEntry {
+                    node: node.map_or(NO_NODE, |n| n as u8),
+                    huge,
+                    faulted: false,
+                    mapped: true,
+                    remote_hits: 0,
+                    last_remote: NO_NODE,
+                    sharers: 0,
+                    hint_epoch: u8::MAX,
+                };
+            }
+            idx += unit;
+        }
+        addr
+    }
+
+    /// Release a mapping created by [`Memory::map`]. The address space is
+    /// not recycled (addresses stay unique for the life of the sim), but
+    /// node capacity is returned.
+    pub fn unmap(&mut self, addr: VAddr, bytes: u64) {
+        let first_page = (addr / SMALL_PAGE) as usize;
+        let n_pages = (round_up(bytes, SMALL_PAGE) / SMALL_PAGE) as usize;
+        for p in first_page..first_page + n_pages {
+            let e = &mut self.pages[p];
+            if e.mapped && e.node != NO_NODE {
+                self.node_used_pages[e.node as usize] -= 1;
+            }
+            *e = PageEntry::UNMAPPED;
+        }
+    }
+
+    /// Node assignment at map time; `None` means deferred (First Touch).
+    fn assign_at_map(
+        &mut self,
+        policy: MemPolicy,
+        mapping_node: NodeId,
+        unit_pages: u64,
+    ) -> Option<NodeId> {
+        let desired = match policy {
+            MemPolicy::FirstTouch => return None,
+            MemPolicy::Localalloc => mapping_node,
+            MemPolicy::Preferred(p) => p.min(self.num_nodes - 1),
+            MemPolicy::Interleave => {
+                let n = self.interleave_cursor % self.num_nodes;
+                self.interleave_cursor += 1;
+                n
+            }
+        };
+        let node = self.node_with_space(desired, unit_pages);
+        self.node_used_pages[node] += unit_pages;
+        Some(node)
+    }
+
+    /// Nearest node to `desired` with room for `unit_pages` more pages.
+    /// Falls back to `desired` itself if every node is full (the real
+    /// kernel would OOM; the model soft-fails instead).
+    fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> NodeId {
+        for &n in &self.fallback[desired] {
+            if self.node_used_pages[n] + unit_pages <= self.node_capacity_pages {
+                return n;
+            }
+        }
+        desired
+    }
+
+    /// Resolve a touch by `toucher_node` at `addr`: performs First Touch
+    /// assignment and minor-fault bookkeeping, returns where the access is
+    /// served from. Does **not** apply AutoNUMA (the engine layers that on
+    /// top so it can charge migration costs).
+    #[inline]
+    pub fn resolve_touch(&mut self, addr: VAddr, toucher_node: NodeId) -> TouchResolution {
+        let page = (addr / SMALL_PAGE) as usize;
+        let e = self.pages[page];
+        debug_assert!(e.mapped, "touch of unmapped address {addr:#x}");
+        if e.faulted {
+            return TouchResolution {
+                node: e.node as NodeId,
+                faulted: false,
+                huge: e.huge,
+                fault_pages: 0,
+            };
+        }
+        // Fault path: assign a node if First Touch deferred it, then mark
+        // the fault unit (whole huge frame, or one small page) as faulted.
+        let node = if e.node == NO_NODE {
+            let unit = if e.huge { PAGES_PER_HUGE } else { 1 };
+            let n = self.node_with_space(toucher_node, unit);
+            self.node_used_pages[n] += unit;
+            n
+        } else {
+            e.node as NodeId
+        };
+        let (start, count) = if e.huge {
+            let start = page - page % PAGES_PER_HUGE as usize;
+            (start, PAGES_PER_HUGE as usize)
+        } else {
+            (page, 1)
+        };
+        for p in start..start + count {
+            self.pages[p].node = node as u8;
+            self.pages[p].faulted = true;
+        }
+        TouchResolution { node, faulted: true, huge: e.huge, fault_pages: count as u64 }
+    }
+
+    /// AutoNUMA bookkeeping for one touch. Returns the number of 4 KB
+    /// pages migrated to `toucher_node` (0 when no migration fired).
+    ///
+    /// Pages accumulate `remote_hits` on remote touches by a *consistent*
+    /// remote node (the kernel's two-reference rule); reaching
+    /// `threshold` migrates the page (or its whole huge frame) to the
+    /// toucher. A local touch clears the count. Pages shared by many
+    /// nodes keep resetting the rule, but the ones that do trip it
+    /// bounce back and forth — the §III-D2 limitations.
+    #[inline]
+    pub fn autonuma_touch(
+        &mut self,
+        addr: VAddr,
+        toucher_node: NodeId,
+        threshold: u32,
+    ) -> u64 {
+        let page = (addr / SMALL_PAGE) as usize;
+        let e = &mut self.pages[page];
+        e.sharers |= 1u8 << (toucher_node & 7);
+        if e.node as NodeId == toucher_node {
+            e.remote_hits = 0;
+            return 0;
+        }
+        // Shared-page detection: pages observed from three or more nodes
+        // are left in place (migrating them would only ping-pong).
+        if e.sharers.count_ones() >= 3 {
+            return 0;
+        }
+        if e.last_remote as NodeId == toucher_node {
+            e.remote_hits = e.remote_hits.saturating_add(1);
+        } else {
+            e.last_remote = toucher_node as u8;
+            e.remote_hits = 1;
+        }
+        if (e.remote_hits as u32) < threshold {
+            return 0;
+        }
+        // Migrate the placement unit to the toucher.
+        let (start, count) = if e.huge {
+            let start = page - page % PAGES_PER_HUGE as usize;
+            (start, PAGES_PER_HUGE as usize)
+        } else {
+            (page, 1)
+        };
+        let old = self.pages[page].node as usize;
+        self.node_used_pages[old] -= count as u64;
+        self.node_used_pages[toucher_node] += count as u64;
+        for p in start..start + count {
+            self.pages[p].node = toucher_node as u8;
+            self.pages[p].remote_hits = 0;
+        }
+        count as u64
+    }
+
+    /// Record a NUMA-hinting fault opportunity: returns `true` (and
+    /// advances the page's epoch) when the page has not faulted in scan
+    /// epoch `epoch` yet — i.e. the toucher must pay the hint fault.
+    #[inline]
+    pub fn hint_fault_due(&mut self, addr: VAddr, epoch: u8) -> bool {
+        let e = &mut self.pages[(addr / SMALL_PAGE) as usize];
+        if e.hint_epoch == epoch {
+            false
+        } else {
+            e.hint_epoch = epoch;
+            true
+        }
+    }
+
+    /// Home node of the page containing `addr` (None while unassigned).
+    pub fn node_of(&self, addr: VAddr) -> Option<NodeId> {
+        let e = self.pages.get((addr / SMALL_PAGE) as usize)?;
+        (e.mapped && e.node != NO_NODE).then_some(e.node as NodeId)
+    }
+
+    /// Whether `addr` lies in a huge (2 MB) frame.
+    pub fn is_huge(&self, addr: VAddr) -> bool {
+        self.pages
+            .get((addr / SMALL_PAGE) as usize)
+            .is_some_and(|e| e.mapped && e.huge)
+    }
+
+    /// Whether `addr` is inside a live mapping.
+    pub fn is_mapped(&self, addr: VAddr) -> bool {
+        self.pages
+            .get((addr / SMALL_PAGE) as usize)
+            .is_some_and(|e| e.mapped)
+    }
+
+    /// Pages currently assigned to each node.
+    pub fn node_used_pages(&self) -> &[u64] {
+        &self.node_used_pages
+    }
+
+    /// The TLB tag for `addr`: huge frames translate at 2 MB granularity.
+    #[inline]
+    pub fn tlb_tag(&self, addr: VAddr, huge: bool) -> u64 {
+        if huge {
+            addr / HUGE_PAGE
+        } else {
+            addr / SMALL_PAGE
+        }
+    }
+
+    // ---- byte backing store ----------------------------------------
+
+    /// Write raw bytes at `addr` (cost accounting happens in the engine).
+    #[inline]
+    pub fn write_bytes(&mut self, addr: VAddr, data: &[u8]) {
+        let end = addr as usize + data.len();
+        if self.backing.len() < end {
+            self.backing.resize(end, 0);
+        }
+        self.backing[addr as usize..end].copy_from_slice(data);
+    }
+
+    /// Read raw bytes at `addr`. Reads of never-written memory return
+    /// zeroes, like fresh anonymous mappings.
+    #[inline]
+    pub fn read_bytes(&mut self, addr: VAddr, out: &mut [u8]) {
+        let end = addr as usize + out.len();
+        if self.backing.len() < end {
+            self.backing.resize(end, 0);
+        }
+        out.copy_from_slice(&self.backing[addr as usize..end]);
+    }
+
+    /// Total mapped address space handed out so far, in bytes.
+    pub fn mapped_high_water(&self) -> u64 {
+        self.next
+    }
+}
+
+#[inline]
+fn round_up(x: u64, align: u64) -> u64 {
+    (x + align - 1) / align * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    fn mem() -> Memory {
+        Memory::new(&machines::machine_b())
+    }
+
+    #[test]
+    fn map_returns_aligned_nonzero_addresses() {
+        let mut m = mem();
+        let a = m.map(100, MemPolicy::FirstTouch, 0, false);
+        assert!(a >= SMALL_PAGE);
+        assert_eq!(a % SMALL_PAGE, 0);
+        let b = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
+        assert_eq!(b % HUGE_PAGE, 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn first_touch_assigns_to_toucher() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 4, MemPolicy::FirstTouch, 0, false);
+        assert_eq!(m.node_of(a), None);
+        let r = m.resolve_touch(a, 2);
+        assert!(r.faulted);
+        assert_eq!(r.node, 2);
+        assert_eq!(m.node_of(a), Some(2));
+        // Second touch: no fault, same node, even from another node.
+        let r2 = m.resolve_touch(a, 3);
+        assert!(!r2.faulted);
+        assert_eq!(r2.node, 2);
+    }
+
+    #[test]
+    fn localalloc_assigns_to_mapper() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 3, false);
+        assert_eq!(m.node_of(a), Some(3));
+    }
+
+    #[test]
+    fn preferred_assigns_to_chosen_node() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 8, MemPolicy::Preferred(1), 0, false);
+        for p in 0..8 {
+            assert_eq!(m.node_of(a + p * SMALL_PAGE), Some(1));
+        }
+    }
+
+    #[test]
+    fn interleave_round_robins_across_nodes() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 8, MemPolicy::Interleave, 0, false);
+        let nodes: Vec<_> = (0..8)
+            .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn thp_builds_huge_frames_and_interleaves_per_frame() {
+        let mut m = mem();
+        let a = m.map(2 * HUGE_PAGE, MemPolicy::Interleave, 0, true);
+        assert!(m.is_huge(a));
+        // All 512 pages of frame 0 share a node; frame 1 gets the next.
+        let n0 = m.node_of(a).unwrap();
+        assert_eq!(m.node_of(a + HUGE_PAGE - SMALL_PAGE), Some(n0));
+        let n1 = m.node_of(a + HUGE_PAGE).unwrap();
+        assert_eq!(n1, (n0 + 1) % 4);
+    }
+
+    #[test]
+    fn thp_off_never_builds_huge_frames() {
+        let mut m = mem();
+        let a = m.map(4 * HUGE_PAGE, MemPolicy::FirstTouch, 0, false);
+        assert!(!m.is_huge(a));
+    }
+
+    #[test]
+    fn small_mapping_stays_small_even_with_thp() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 16, MemPolicy::FirstTouch, 0, true);
+        assert!(!m.is_huge(a));
+    }
+
+    #[test]
+    fn huge_fault_faults_whole_frame() {
+        let mut m = mem();
+        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
+        let r = m.resolve_touch(a + 5 * SMALL_PAGE, 1);
+        assert!(r.faulted);
+        assert_eq!(r.fault_pages, PAGES_PER_HUGE);
+        // Any other page in the frame is already faulted on node 1.
+        let r2 = m.resolve_touch(a, 2);
+        assert!(!r2.faulted);
+        assert_eq!(r2.node, 1);
+    }
+
+    #[test]
+    fn unmap_releases_capacity() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 4, MemPolicy::Localalloc, 0, false);
+        assert_eq!(m.node_used_pages()[0], 4);
+        m.unmap(a, SMALL_PAGE * 4);
+        assert_eq!(m.node_used_pages()[0], 0);
+        assert!(!m.is_mapped(a));
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_nearest_node() {
+        // A tiny machine: 2 pages per node.
+        let mut machine = machines::machine_b();
+        machine.mem_per_node_bytes = 2 * SMALL_PAGE;
+        let mut m = Memory::new(&machine);
+        let a = m.map(SMALL_PAGE * 3, MemPolicy::Preferred(0), 0, false);
+        let nodes: Vec<_> = (0..3)
+            .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
+            .collect();
+        assert_eq!(&nodes[..2], &[0, 0]);
+        assert_ne!(nodes[2], 0, "third page must spill off the full node");
+    }
+
+    #[test]
+    fn autonuma_migrates_after_threshold_remote_touches() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false);
+        m.resolve_touch(a, 0);
+        assert_eq!(m.autonuma_touch(a, 1, 2), 0); // 1st remote hit
+        assert_eq!(m.autonuma_touch(a, 1, 2), 1); // 2nd: migrate
+        assert_eq!(m.node_of(a), Some(1));
+        assert_eq!(m.node_used_pages()[0], 0);
+        assert_eq!(m.node_used_pages()[1], 1);
+    }
+
+    #[test]
+    fn autonuma_local_touch_resets_counter() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false);
+        m.resolve_touch(a, 0);
+        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
+        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
+        assert_eq!(m.autonuma_touch(a, 0, 3), 0); // local resets
+        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
+        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
+        assert_eq!(m.node_of(a), Some(0), "page must not have migrated yet");
+    }
+
+    #[test]
+    fn backing_store_round_trips_and_zero_fills() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::FirstTouch, 0, false);
+        m.write_bytes(a + 10, &[1, 2, 3]);
+        let mut buf = [0u8; 5];
+        m.read_bytes(a + 9, &mut buf);
+        assert_eq!(buf, [0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn map_shared_spreads_first_touch_policies() {
+        let mut m = mem();
+        let a = m.map_shared(SMALL_PAGE * 8, MemPolicy::FirstTouch, 0, false);
+        let nodes: Vec<_> = (0..8)
+            .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Explicit policies keep their meaning.
+        let b = m.map_shared(SMALL_PAGE * 2, MemPolicy::Preferred(2), 0, false);
+        assert_eq!(m.node_of(b), Some(2));
+    }
+
+    #[test]
+    fn hint_faults_fire_once_per_page_per_epoch() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 2, MemPolicy::Localalloc, 0, false);
+        assert!(m.hint_fault_due(a, 1), "first touch in epoch 1 faults");
+        assert!(!m.hint_fault_due(a, 1), "second touch does not");
+        assert!(m.hint_fault_due(a + SMALL_PAGE, 1), "other page faults");
+        assert!(m.hint_fault_due(a, 2), "new epoch faults again");
+    }
+
+    #[test]
+    fn tlb_tags_differ_by_page_size() {
+        let mut m = mem();
+        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
+        let t1 = m.tlb_tag(a, true);
+        let t2 = m.tlb_tag(a + HUGE_PAGE - 1, true);
+        assert_eq!(t1, t2, "whole huge frame shares one 2MB translation");
+        assert_ne!(m.tlb_tag(a, false), m.tlb_tag(a + SMALL_PAGE, false));
+    }
+}

@@ -1,0 +1,220 @@
+//! Hardware-counter-style metrics: the quantities `perf` reports in
+//! Table III and Figure 5b, counted natively by the simulator.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// Event counters accumulated during simulation.
+///
+/// Counters are additive; per-thread counters are merged into per-region
+/// and whole-simulation totals with `+`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Memory touches that hit the thread's private L1 (valid, not
+    /// invalidated by another thread's write).
+    pub l1_hits: u64,
+    /// Memory touches that hit the last-level cache.
+    pub cache_hits: u64,
+    /// Memory touches that missed the LLC and went to DRAM.
+    pub cache_misses: u64,
+    /// DRAM accesses satisfied by the local node's memory.
+    pub local_accesses: u64,
+    /// DRAM accesses that crossed the interconnect.
+    pub remote_accesses: u64,
+    /// 4 KB-page TLB misses.
+    pub tlb_misses_4k: u64,
+    /// 2 MB-page TLB misses.
+    pub tlb_misses_2m: u64,
+    /// TLB hits (either page size).
+    pub tlb_hits: u64,
+    /// Minor page faults (first touch of a page).
+    pub page_faults: u64,
+    /// Threads moved between cores by the OS scheduler.
+    pub thread_migrations: u64,
+    /// Pages moved between nodes by AutoNUMA.
+    pub page_migrations: u64,
+    /// Cycles spent on pure compute (as charged by `Worker::compute`).
+    pub compute_cycles: u64,
+    /// Cycles spent waiting on DRAM (latency portion, after NUMA factor).
+    pub dram_cycles: u64,
+    /// Cycles spent in kernel overhead: faults, migrations, AutoNUMA scans.
+    pub kernel_cycles: u64,
+    /// Cycles spent waiting on contended locks.
+    pub lock_wait_cycles: u64,
+}
+
+impl Counters {
+    /// Total DRAM accesses (local + remote).
+    pub fn dram_accesses(&self) -> u64 {
+        self.local_accesses + self.remote_accesses
+    }
+
+    /// Local Access Ratio: local / (local + remote) DRAM accesses, the
+    /// metric of Figure 5b. Returns 1.0 when no DRAM access occurred.
+    pub fn local_access_ratio(&self) -> f64 {
+        let total = self.dram_accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+
+    /// LLC hit ratio. Returns 1.0 when no memory touch occurred.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// TLB miss ratio across both page sizes.
+    pub fn tlb_miss_ratio(&self) -> f64 {
+        let misses = self.tlb_misses_4k + self.tlb_misses_2m;
+        let total = misses + self.tlb_hits;
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+    fn add(mut self, rhs: Counters) -> Counters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.l1_hits += rhs.l1_hits;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.local_accesses += rhs.local_accesses;
+        self.remote_accesses += rhs.remote_accesses;
+        self.tlb_misses_4k += rhs.tlb_misses_4k;
+        self.tlb_misses_2m += rhs.tlb_misses_2m;
+        self.tlb_hits += rhs.tlb_hits;
+        self.page_faults += rhs.page_faults;
+        self.thread_migrations += rhs.thread_migrations;
+        self.page_migrations += rhs.page_migrations;
+        self.compute_cycles += rhs.compute_cycles;
+        self.dram_cycles += rhs.dram_cycles;
+        self.kernel_cycles += rhs.kernel_cycles;
+        self.lock_wait_cycles += rhs.lock_wait_cycles;
+    }
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+    /// Counter delta between two snapshots (`later - earlier`).
+    fn sub(self, rhs: Counters) -> Counters {
+        Counters {
+            l1_hits: self.l1_hits - rhs.l1_hits,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            local_accesses: self.local_accesses - rhs.local_accesses,
+            remote_accesses: self.remote_accesses - rhs.remote_accesses,
+            tlb_misses_4k: self.tlb_misses_4k - rhs.tlb_misses_4k,
+            tlb_misses_2m: self.tlb_misses_2m - rhs.tlb_misses_2m,
+            tlb_hits: self.tlb_hits - rhs.tlb_hits,
+            page_faults: self.page_faults - rhs.page_faults,
+            thread_migrations: self.thread_migrations - rhs.thread_migrations,
+            page_migrations: self.page_migrations - rhs.page_migrations,
+            compute_cycles: self.compute_cycles - rhs.compute_cycles,
+            dram_cycles: self.dram_cycles - rhs.dram_cycles,
+            kernel_cycles: self.kernel_cycles - rhs.kernel_cycles,
+            lock_wait_cycles: self.lock_wait_cycles - rhs.lock_wait_cycles,
+        }
+    }
+}
+
+/// Which modelled resource bounded a parallel region's elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// The slowest thread's own latency chain (compute + memory latency).
+    ThreadLatency,
+    /// A core ran more than one thread (oversubscription / bad scheduling).
+    CoreOversubscription,
+    /// A node's memory controller was bandwidth-saturated.
+    MemoryController(usize),
+    /// An interconnect link was bandwidth-saturated.
+    InterconnectLink(usize),
+}
+
+/// Outcome of one parallel region.
+#[derive(Debug, Clone)]
+pub struct RegionStats {
+    /// Simulated elapsed cycles for the region (what "runtime" means in
+    /// every figure).
+    pub elapsed_cycles: u64,
+    /// The slowest single thread's accumulated cycles (latency bound).
+    pub max_thread_cycles: u64,
+    /// Which resource set the elapsed time.
+    pub bottleneck: Bottleneck,
+    /// Peak memory-controller utilisation (demand / capacity over the
+    /// latency-bound window), per node.
+    pub controller_utilisation: Vec<f64>,
+    /// Peak interconnect-link utilisation, indexed like `Topology::links`.
+    pub link_utilisation: Vec<f64>,
+    /// Counters accumulated during this region only.
+    pub counters: Counters,
+    /// Number of threads that ran in the region.
+    pub threads: usize,
+}
+
+impl RegionStats {
+    /// Utilisation of the busiest memory controller.
+    pub fn peak_controller_utilisation(&self) -> f64 {
+        self.controller_utilisation.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Utilisation of the busiest interconnect link.
+    pub fn peak_link_utilisation(&self) -> f64 {
+        self.link_utilisation.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add() {
+        let a = Counters { cache_hits: 1, local_accesses: 2, ..Default::default() };
+        let b = Counters { cache_hits: 3, remote_accesses: 4, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.cache_hits, 4);
+        assert_eq!(c.local_accesses, 2);
+        assert_eq!(c.remote_accesses, 4);
+    }
+
+    #[test]
+    fn lar_of_empty_counters_is_one() {
+        assert_eq!(Counters::default().local_access_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lar_computation() {
+        let c = Counters { local_accesses: 70, remote_accesses: 30, ..Default::default() };
+        assert!((c.local_access_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(c.dram_accesses(), 100);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = Counters::default();
+        assert_eq!(c.cache_hit_ratio(), 1.0);
+        assert_eq!(c.tlb_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn tlb_miss_ratio_counts_both_sizes() {
+        let c = Counters { tlb_hits: 6, tlb_misses_4k: 3, tlb_misses_2m: 1, ..Default::default() };
+        assert!((c.tlb_miss_ratio() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! OS thread scheduler model: affinity plans and, for the unbound default,
+//! the migration behaviour responsible for the run-to-run jitter of
+//! Figure 3.
+
+use crate::config::{SimConfig, ThreadPlacement};
+use nqp_topology::CoreId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Where a thread runs over time within one parallel region.
+#[derive(Debug)]
+pub enum ThreadSchedule {
+    /// Affinitized: the thread never leaves its core.
+    Pinned(CoreId),
+    /// Unbound: the load balancer moves the thread at a fixed cadence
+    /// within an (often reduced) core pool. Threads occupy slots of a
+    /// shuffled pool and every balancing tick rotates all of them by one
+    /// slot — the balancer targets idle cores, so threads never pile up
+    /// on one core unless the pool itself is smaller than the thread
+    /// count (the oversubscribed draws of Figure 3).
+    Roaming {
+        pool: Vec<CoreId>,
+        /// This thread's current slot in the pool.
+        idx: usize,
+        /// Cycles between balancing ticks.
+        period: u64,
+        next_at: u64,
+    },
+}
+
+impl ThreadSchedule {
+    /// The core the thread starts the region on.
+    pub fn initial_core(&self) -> CoreId {
+        match self {
+            ThreadSchedule::Pinned(c) => *c,
+            ThreadSchedule::Roaming { pool, idx, .. } => pool[*idx],
+        }
+    }
+
+    /// Cycle timestamp of the next migration (`u64::MAX` when pinned).
+    pub fn next_event_at(&self) -> u64 {
+        match self {
+            ThreadSchedule::Pinned(_) => u64::MAX,
+            ThreadSchedule::Roaming { next_at, .. } => *next_at,
+        }
+    }
+
+    /// Shift the migration clock down by `elapsed` cycles (called between
+    /// regions: each region's thread clock restarts at zero). The result
+    /// stays on the shared tick grid so all threads keep rotating in
+    /// lockstep.
+    pub fn rebase(&mut self, elapsed: u64) {
+        if let ThreadSchedule::Roaming { next_at, period, .. } = self {
+            while *next_at <= elapsed {
+                *next_at += *period;
+            }
+            *next_at -= elapsed;
+        }
+    }
+
+    /// Apply the pending migration and schedule the next one. Returns the
+    /// new core.
+    pub fn migrate(&mut self) -> CoreId {
+        match self {
+            ThreadSchedule::Pinned(c) => *c,
+            ThreadSchedule::Roaming { pool, idx, period, next_at } => {
+                *idx = (*idx + 1) % pool.len();
+                *next_at += *period;
+                pool[*idx]
+            }
+        }
+    }
+}
+
+/// Build the per-thread schedules for one region.
+///
+/// * `Sparse` spreads threads round-robin across nodes (thread `i` on node
+///   `i mod N`), using one hardware thread per visit.
+/// * `Dense` packs threads into consecutive hardware threads, filling node
+///   0 before node 1.
+/// * `None` samples, per region, the "scheduler luck" of the run: a core
+///   pool (sometimes the whole machine, sometimes a few cores — the
+///   consolidation behaviour real kernels exhibit for power and thermal
+///   balancing) and a migration cadence. This is what makes consecutive
+///   unbound runs differ by large factors (Figure 3).
+pub fn plan_region(cfg: &SimConfig, nthreads: usize, region_idx: u64) -> Vec<ThreadSchedule> {
+    let machine = &cfg.machine;
+    let total = machine.total_hw_threads();
+    let nodes = machine.topology.num_nodes();
+    let tpn = machine.threads_per_node;
+    match cfg.thread_placement {
+        ThreadPlacement::Sparse => (0..nthreads)
+            .map(|i| {
+                let node = i % nodes;
+                let slot = (i / nodes) % tpn;
+                ThreadSchedule::Pinned(node * tpn + slot)
+            })
+            .collect(),
+        ThreadPlacement::Dense => {
+            (0..nthreads).map(|i| ThreadSchedule::Pinned(i % total)).collect()
+        }
+        ThreadPlacement::None => {
+            let mut region_rng = StdRng::seed_from_u64(
+                cfg.seed ^ region_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            // Scheduler luck: how much of the machine does this region get,
+            // and how frantically does the balancer move threads? A
+            // settled server process always gets the whole machine with
+            // calm balancing; short runs roll the dice (Figure 3).
+            let luck: f64 = region_rng.random();
+            // Settled processes keep the whole machine and are migrated
+            // orders of magnitude less often than fresh ones.
+            if cfg.sched_settled {
+                let period = cfg.costs.sched_migration_period_cycles * 32;
+                let mut pool: Vec<CoreId> = (0..total).collect();
+                for i in (1..pool.len()).rev() {
+                    let j = region_rng.random_range(0..=i);
+                    pool.swap(i, j);
+                }
+                return (0..nthreads)
+                    .map(|i| ThreadSchedule::Roaming {
+                        pool: pool.clone(),
+                        idx: i % total,
+                        period,
+                        next_at: period,
+                    })
+                    .collect();
+            }
+            let (pool_size, storm) = if luck < 0.40 {
+                (total, 1)
+            } else if luck < 0.70 {
+                ((total / 2).max(1), 2)
+            } else if luck < 0.90 {
+                ((total / 4).max(1), 8)
+            } else {
+                (1, 32)
+            };
+            let mut pool: Vec<CoreId> = (0..total).collect();
+            // Deterministic shuffle, then truncate to the sampled pool.
+            for i in (1..pool.len()).rev() {
+                let j = region_rng.random_range(0..=i);
+                pool.swap(i, j);
+            }
+            pool.truncate(pool_size);
+            let period = (cfg.costs.sched_migration_period_cycles / storm).max(1);
+            (0..nthreads)
+                .map(|i| ThreadSchedule::Roaming {
+                    pool: pool.clone(),
+                    idx: i % pool.len(),
+                    period,
+                    next_at: period,
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    fn cfg(p: ThreadPlacement) -> SimConfig {
+        SimConfig::os_default(machines::machine_b()).with_threads(p)
+    }
+
+    #[test]
+    fn sparse_spreads_across_nodes() {
+        let plans = plan_region(&cfg(ThreadPlacement::Sparse), 4, 0);
+        let m = machines::machine_b();
+        let nodes: Vec<_> = plans
+            .iter()
+            .map(|p| m.node_of_core(p.initial_core()))
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_reuses_nodes_only_after_all_visited() {
+        let plans = plan_region(&cfg(ThreadPlacement::Sparse), 8, 0);
+        let m = machines::machine_b();
+        let nodes: Vec<_> = plans
+            .iter()
+            .map(|p| m.node_of_core(p.initial_core()))
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Second pass lands on different hardware threads.
+        assert_ne!(plans[0].initial_core(), plans[4].initial_core());
+    }
+
+    #[test]
+    fn dense_packs_node_zero_first() {
+        let plans = plan_region(&cfg(ThreadPlacement::Dense), 8, 0);
+        let m = machines::machine_b();
+        assert!(plans
+            .iter()
+            .all(|p| m.node_of_core(p.initial_core()) == 0));
+    }
+
+    #[test]
+    fn pinned_threads_never_migrate() {
+        let mut plans = plan_region(&cfg(ThreadPlacement::Sparse), 2, 0);
+        assert_eq!(plans[0].next_event_at(), u64::MAX);
+        let before = plans[0].initial_core();
+        assert_eq!(plans[0].migrate(), before);
+    }
+
+    #[test]
+    fn unbound_is_deterministic_per_seed_and_region() {
+        let c = cfg(ThreadPlacement::None);
+        let a = plan_region(&c, 4, 7);
+        let b = plan_region(&c, 4, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.initial_core(), y.initial_core());
+            assert_eq!(x.next_event_at(), y.next_event_at());
+        }
+    }
+
+    #[test]
+    fn unbound_varies_between_regions() {
+        let c = cfg(ThreadPlacement::None);
+        let differs = (0..16).any(|r| {
+            let a = plan_region(&c, 8, r);
+            let b = plan_region(&c, 8, r + 1);
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.initial_core() != y.initial_core())
+        });
+        assert!(differs, "scheduler produced identical plans for 17 regions");
+    }
+
+    #[test]
+    fn unbound_migrations_advance_monotonically() {
+        let c = cfg(ThreadPlacement::None);
+        let mut plans = plan_region(&c, 1, 3);
+        let mut last = 0;
+        for _ in 0..32 {
+            let at = plans[0].next_event_at();
+            assert!(at > last);
+            last = at;
+            plans[0].migrate();
+        }
+    }
+
+    #[test]
+    fn oversubscription_happens_sometimes() {
+        // Over many regions, at least one should get a single-core pool.
+        let c = cfg(ThreadPlacement::None);
+        let m = machines::machine_b();
+        let got_tiny_pool = (0..64).any(|r| {
+            let plans = plan_region(&c, m.total_hw_threads(), r);
+            let mut cores: Vec<_> = plans.iter().map(|p| p.initial_core()).collect();
+            cores.sort_unstable();
+            cores.dedup();
+            cores.len() <= m.total_hw_threads() / 4
+        });
+        assert!(got_tiny_pool, "no consolidated region in 64 samples");
+    }
+}

@@ -1,0 +1,21 @@
+//! Storage primitives over the NUMA simulator.
+//!
+//! Everything the query workloads and indexes keep "in memory" lives in
+//! the simulator's address space, so every structural access flows
+//! through the cache/TLB/placement cost model:
+//!
+//! * [`SimHeap`] — a dynamic heap backed by one of the allocator models;
+//!   swap the allocator and the whole structure's allocation behaviour
+//!   changes, which is precisely the experiment of Figure 6.
+//! * [`TupleArray`] — a dense array of 16-byte `(key, value)` tuples:
+//!   the input relations of W1–W4.
+//! * [`Chain`] — a chunked linked list of `u64` values allocated from a
+//!   [`SimHeap`]: the per-group value lists of holistic aggregation.
+
+mod chain;
+mod heap;
+mod tuple_array;
+
+pub use chain::Chain;
+pub use heap::SimHeap;
+pub use tuple_array::TupleArray;

@@ -1,0 +1,127 @@
+//! Constructors for common NUMA interconnect shapes.
+
+use crate::graph::{NodeId, Topology, TopologyError};
+
+/// Every node linked to every other node — the quad-socket Intel layout of
+/// Machines B and C (Figure 1b / 1c).
+pub fn fully_connected(
+    num_nodes: usize,
+    latency_tiers: Vec<f64>,
+) -> Result<Topology, TopologyError> {
+    let mut links = Vec::new();
+    for a in 0..num_nodes {
+        for b in (a + 1)..num_nodes {
+            links.push((a, b));
+        }
+    }
+    Topology::new(format!("fully-connected-{num_nodes}"), num_nodes, links, latency_tiers)
+}
+
+/// A ring of nodes — each node linked to its two neighbours.
+pub fn ring(num_nodes: usize, latency_tiers: Vec<f64>) -> Result<Topology, TopologyError> {
+    let mut links = Vec::new();
+    for a in 0..num_nodes {
+        links.push((a, (a + 1) % num_nodes));
+    }
+    Topology::new(format!("ring-{num_nodes}"), num_nodes, links, latency_tiers)
+}
+
+/// A `width × height` grid, each node linked to its orthogonal neighbours.
+pub fn mesh(
+    width: usize,
+    height: usize,
+    latency_tiers: Vec<f64>,
+) -> Result<Topology, TopologyError> {
+    let id = |x: usize, y: usize| -> NodeId { y * width + x };
+    let mut links = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                links.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < height {
+                links.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    Topology::new(format!("mesh-{width}x{height}"), width * height, links, latency_tiers)
+}
+
+/// The eight-socket AMD *twisted ladder* of Machine A (Figure 1a).
+///
+/// Each Opteron package has three HyperTransport links. The ladder's two
+/// rails run 0-2-4-6 and 1-3-5-7, rungs join the rails, and the "twist"
+/// (diagonal links in the middle of the ladder) shortens the worst-case
+/// route so the diameter is 3 hops, giving the four latency tiers of
+/// Table II (1.0 / 1.2 / 1.4 / 1.6).
+pub fn twisted_ladder(latency_tiers: Vec<f64>) -> Result<Topology, TopologyError> {
+    // Link list mirrors the figure: rails, end rungs, and crossed middle.
+    let links = vec![
+        // left rail
+        (0, 2),
+        (2, 4),
+        (4, 6),
+        // right rail
+        (1, 3),
+        (3, 5),
+        (5, 7),
+        // end rungs
+        (0, 1),
+        (6, 7),
+        // the twist: diagonals crossing the middle of the ladder
+        (2, 5),
+        (3, 4),
+    ];
+    Topology::new("twisted-ladder-8", 8, links, latency_tiers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_has_diameter_one() {
+        let t = fully_connected(4, vec![1.0, 1.1]).unwrap();
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.links().len(), 6);
+        for n in 0..4 {
+            assert_eq!(t.neighbors(n).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ring_diameter_is_half() {
+        let t = ring(6, vec![1.0, 1.2, 1.4, 1.6]).unwrap();
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.hops(0, 3), 3);
+        assert_eq!(t.hops(0, 5), 1);
+    }
+
+    #[test]
+    fn mesh_distances_are_manhattan() {
+        let t = mesh(3, 2, vec![1.0, 1.1, 1.2, 1.3]).unwrap();
+        assert_eq!(t.num_nodes(), 6);
+        // (0,0) -> (2,1): 3 hops.
+        assert_eq!(t.hops(0, 5), 3);
+    }
+
+    #[test]
+    fn twisted_ladder_matches_machine_a_shape() {
+        let t = twisted_ladder(vec![1.0, 1.2, 1.4, 1.6]).unwrap();
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.diameter(), 3);
+        // Every Opteron has exactly 3 coherent HyperTransport links used
+        // for the fabric... except the figure's layout gives the four
+        // middle sockets 3 links and the corner sockets 2.
+        let degrees: Vec<usize> = (0..8).map(|n| t.neighbors(n).len()).collect();
+        assert!(degrees.iter().all(|&d| d == 2 || d == 3));
+        // Four distinct latency tiers exist (0..=3 hops all occur).
+        let mut seen = [false; 4];
+        for a in 0..8 {
+            for b in 0..8 {
+                seen[t.hops(a, b)] = true;
+            }
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+}

@@ -1,0 +1,339 @@
+//! The NUMA node graph and its derived distance/latency matrices.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a NUMA node (socket + its local memory).
+pub type NodeId = usize;
+
+/// Errors produced while constructing or validating a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The topology has zero nodes.
+    Empty,
+    /// A link references a node outside `0..num_nodes`.
+    LinkOutOfRange { a: NodeId, b: NodeId, num_nodes: usize },
+    /// A link connects a node to itself.
+    SelfLink(NodeId),
+    /// The graph is not connected; the contained node is unreachable from node 0.
+    Disconnected(NodeId),
+    /// `latency_tiers` is missing an entry for the given hop distance.
+    MissingLatencyTier { hops: usize, tiers: usize },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must contain at least one node"),
+            TopologyError::LinkOutOfRange { a, b, num_nodes } => {
+                write!(f, "link ({a}, {b}) references a node >= {num_nodes}")
+            }
+            TopologyError::SelfLink(n) => write!(f, "node {n} is linked to itself"),
+            TopologyError::Disconnected(n) => {
+                write!(f, "node {n} is unreachable from node 0")
+            }
+            TopologyError::MissingLatencyTier { hops, tiers } => write!(
+                f,
+                "no latency tier for {hops}-hop distance (only {tiers} tiers supplied)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected graph of NUMA nodes plus the relative memory latency of
+/// each hop distance.
+///
+/// `latency_tiers[h]` is the latency of an access that crosses `h`
+/// interconnect hops, *relative to a local access* (`latency_tiers[0]`,
+/// conventionally `1.0`). These are the "Relative NUMA Node Memory
+/// Latency" rows of Table II in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    num_nodes: usize,
+    links: Vec<(NodeId, NodeId)>,
+    adjacency: Vec<Vec<NodeId>>,
+    /// `hops[a][b]` = minimum number of interconnect hops between a and b.
+    hops: Vec<Vec<usize>>,
+    latency_tiers: Vec<f64>,
+    name: String,
+}
+
+impl Topology {
+    /// Build a topology from an explicit link list.
+    ///
+    /// `latency_tiers` must contain one entry per possible hop distance,
+    /// starting with the local latency at index 0. The graph must be
+    /// connected and free of self-links.
+    pub fn new(
+        name: impl Into<String>,
+        num_nodes: usize,
+        links: Vec<(NodeId, NodeId)>,
+        latency_tiers: Vec<f64>,
+    ) -> Result<Self, TopologyError> {
+        if num_nodes == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut adjacency = vec![Vec::new(); num_nodes];
+        for &(a, b) in &links {
+            if a >= num_nodes || b >= num_nodes {
+                return Err(TopologyError::LinkOutOfRange { a, b, num_nodes });
+            }
+            if a == b {
+                return Err(TopologyError::SelfLink(a));
+            }
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        let hops = all_pairs_hops(num_nodes, &adjacency)?;
+        let diameter = hops
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0);
+        if latency_tiers.len() <= diameter {
+            return Err(TopologyError::MissingLatencyTier {
+                hops: diameter,
+                tiers: latency_tiers.len(),
+            });
+        }
+        Ok(Topology {
+            num_nodes,
+            links,
+            adjacency,
+            hops,
+            latency_tiers,
+            name: name.into(),
+        })
+    }
+
+    /// Human-readable topology name, e.g. `"twisted-ladder-8"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NUMA nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The undirected link list as supplied at construction.
+    pub fn links(&self) -> &[(NodeId, NodeId)] {
+        &self.links
+    }
+
+    /// Nodes directly connected to `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node]
+    }
+
+    /// Minimum interconnect hops between `a` and `b` (0 when `a == b`).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        self.hops[a][b]
+    }
+
+    /// Largest hop distance between any pair of nodes.
+    pub fn diameter(&self) -> usize {
+        self.hops
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Relative memory latency between `a` and `b` (1.0 = local access).
+    pub fn latency_factor(&self, a: NodeId, b: NodeId) -> f64 {
+        self.latency_tiers[self.hops(a, b)]
+    }
+
+    /// The configured latency tiers, indexed by hop count.
+    pub fn latency_tiers(&self) -> &[f64] {
+        &self.latency_tiers
+    }
+
+    /// Mean latency factor from `from` to all nodes (including itself),
+    /// i.e. the expected cost multiplier of a uniformly interleaved access.
+    pub fn mean_latency_from(&self, from: NodeId) -> f64 {
+        let total: f64 = (0..self.num_nodes)
+            .map(|to| self.latency_factor(from, to))
+            .sum();
+        total / self.num_nodes as f64
+    }
+
+    /// All nodes sorted by distance from `from` (closest first, stable by id).
+    ///
+    /// Useful for fallback allocation: First Touch spills to the nearest
+    /// node with free memory.
+    pub fn nodes_by_distance(&self, from: NodeId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.num_nodes).collect();
+        nodes.sort_by_key(|&n| (self.hops(from, n), n));
+        nodes
+    }
+
+    /// Shortest path from `a` to `b` as a list of nodes, inclusive of both
+    /// endpoints. Used to charge interconnect-link utilisation along the
+    /// route of a remote access.
+    pub fn shortest_path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        if a == b {
+            return vec![a];
+        }
+        // BFS storing predecessors.
+        let mut pred = vec![usize::MAX; self.num_nodes];
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        pred[a] = a;
+        while let Some(n) = queue.pop_front() {
+            if n == b {
+                break;
+            }
+            for &m in &self.adjacency[n] {
+                if pred[m] == usize::MAX {
+                    pred[m] = n;
+                    queue.push_back(m);
+                }
+            }
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = pred[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// BFS from every node; errors if the graph is disconnected.
+fn all_pairs_hops(
+    num_nodes: usize,
+    adjacency: &[Vec<NodeId>],
+) -> Result<Vec<Vec<usize>>, TopologyError> {
+    let mut all = Vec::with_capacity(num_nodes);
+    for start in 0..num_nodes {
+        let mut dist = vec![usize::MAX; num_nodes];
+        dist[start] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            for &m in &adjacency[n] {
+                if dist[m] == usize::MAX {
+                    dist[m] = dist[n] + 1;
+                    queue.push_back(m);
+                }
+            }
+        }
+        if let Some(unreachable) = dist.iter().position(|&d| d == usize::MAX) {
+            return Err(TopologyError::Disconnected(unreachable));
+        }
+        all.push(dist);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Topology {
+        Topology::new("line-3", 3, vec![(0, 1), (1, 2)], vec![1.0, 1.2, 1.5]).unwrap()
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_zero_on_diagonal() {
+        let t = line3();
+        for a in 0..3 {
+            assert_eq!(t.hops(a, a), 0);
+            for b in 0..3 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn line_distances() {
+        let t = line3();
+        assert_eq!(t.hops(0, 2), 2);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.latency_factor(0, 2), 1.5);
+        assert_eq!(t.latency_factor(1, 1), 1.0);
+    }
+
+    #[test]
+    fn duplicate_links_are_deduplicated() {
+        let t = Topology::new("dup", 2, vec![(0, 1), (1, 0), (0, 1)], vec![1.0, 1.1]).unwrap();
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_topology_is_rejected() {
+        assert_eq!(
+            Topology::new("e", 0, vec![], vec![1.0]).unwrap_err(),
+            TopologyError::Empty
+        );
+    }
+
+    #[test]
+    fn self_link_is_rejected() {
+        assert_eq!(
+            Topology::new("s", 2, vec![(1, 1)], vec![1.0]).unwrap_err(),
+            TopologyError::SelfLink(1)
+        );
+    }
+
+    #[test]
+    fn out_of_range_link_is_rejected() {
+        let err = Topology::new("o", 2, vec![(0, 5)], vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::LinkOutOfRange { a: 0, b: 5, num_nodes: 2 }
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let err = Topology::new("d", 3, vec![(0, 1)], vec![1.0, 1.1]).unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected(2));
+    }
+
+    #[test]
+    fn missing_latency_tier_is_rejected() {
+        let err = Topology::new("m", 3, vec![(0, 1), (1, 2)], vec![1.0, 1.2]).unwrap_err();
+        assert_eq!(err, TopologyError::MissingLatencyTier { hops: 2, tiers: 2 });
+    }
+
+    #[test]
+    fn single_node_topology_is_valid() {
+        let t = Topology::new("uma", 1, vec![], vec![1.0]).unwrap();
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.latency_factor(0, 0), 1.0);
+        assert_eq!(t.shortest_path(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let t = line3();
+        let p = t.shortest_path(0, 2);
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&2));
+        assert_eq!(p.len(), t.hops(0, 2) + 1);
+    }
+
+    #[test]
+    fn nodes_by_distance_starts_with_self() {
+        let t = line3();
+        assert_eq!(t.nodes_by_distance(2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn mean_latency_averages_tiers() {
+        let t = line3();
+        // From node 1: local 1.0, plus two 1-hop neighbours at 1.2.
+        let expected = (1.0 + 1.2 + 1.2) / 3.0;
+        assert!((t.mean_latency_from(1) - expected).abs() < 1e-12);
+    }
+}

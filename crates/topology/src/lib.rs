@@ -1,0 +1,38 @@
+//! NUMA topology modelling.
+//!
+//! A NUMA system is a graph of *nodes* (a processor package plus its local
+//! memory) joined by *interconnect links*. Everything the rest of the
+//! workspace needs to reason about — how far apart two nodes are, how much
+//! a remote access costs relative to a local one, how many hardware threads
+//! live on each node — is derived from the [`Topology`] graph and the
+//! [`MachineSpec`] that wraps it.
+//!
+//! The crate ships the three machines evaluated in the paper (Table II /
+//! Figure 1) as presets:
+//!
+//! * [`machines::machine_a`] — 8× AMD Opteron 8220, *twisted ladder*
+//!   topology, four latency tiers (1.0 / 1.2 / 1.4 / 1.6).
+//! * [`machines::machine_b`] — 4× Intel Xeon E7520, fully connected,
+//!   nearly flat latency (1.0 / 1.1).
+//! * [`machines::machine_c`] — 4× Intel Xeon E7-4850 v4, fully connected,
+//!   steep remote penalty (1.0 / 2.1).
+//!
+//! ```
+//! use nqp_topology::machines;
+//!
+//! let a = machines::machine_a();
+//! assert_eq!(a.topology.num_nodes(), 8);
+//! // The twisted ladder needs at most 3 hops between any two nodes.
+//! assert!(a.topology.diameter() <= 3);
+//! ```
+
+mod builders;
+mod graph;
+mod machine;
+pub mod machines;
+mod render;
+
+pub use builders::{fully_connected, mesh, ring, twisted_ladder};
+pub use graph::{NodeId, Topology, TopologyError};
+pub use machine::{CacheSpec, CoreId, MachineSpec, TlbSpec};
+pub use render::render_ascii;

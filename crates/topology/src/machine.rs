@@ -1,0 +1,182 @@
+//! Machine specifications: the hardware parameters of Table II that the
+//! simulator consumes.
+
+use crate::graph::{NodeId, Topology};
+
+/// Identifier of a hardware thread (logical CPU) on a machine.
+///
+/// Hardware threads are numbered `0..total_hw_threads()`, grouped by node:
+/// node `n` owns threads `n * threads_per_node .. (n + 1) * threads_per_node`.
+pub type CoreId = usize;
+
+/// Last-level-cache parameters for one NUMA node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// LLC capacity per node, in bytes.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (64 on every machine in the paper).
+    pub line_bytes: u64,
+    /// Latency of an LLC hit, in model cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheSpec {
+    /// Number of cache lines the LLC can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// TLB capacities for one page size, mirroring the "4KB TLB Capacity" and
+/// "2MB TLB Capacity" rows of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbSpec {
+    /// L1 TLB entries for this page size.
+    pub l1_entries: u64,
+    /// L2 TLB entries for this page size (0 when the machine has none).
+    pub l2_entries: u64,
+}
+
+impl TlbSpec {
+    /// Total translations that can be cached across both levels.
+    pub fn total_entries(&self) -> u64 {
+        self.l1_entries + self.l2_entries
+    }
+
+    /// Bytes of address space covered by the TLB at the given page size.
+    pub fn reach_bytes(&self, page_bytes: u64) -> u64 {
+        self.total_entries() * page_bytes
+    }
+}
+
+/// Full specification of one of the evaluation machines.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Short name: `"A"`, `"B"`, `"C"`, or a custom label.
+    pub name: String,
+    /// Marketing model of the per-socket CPU, for reporting.
+    pub cpu_model: String,
+    /// Core clock in MHz (scales compute cost relative to memory cost).
+    pub cpu_mhz: u64,
+    /// The node/link graph with its latency tiers.
+    pub topology: Topology,
+    /// Hardware threads per NUMA node.
+    pub threads_per_node: usize,
+    /// Physical cores per NUMA node (differs from threads under SMT).
+    pub cores_per_node: usize,
+    /// Per-node last-level cache.
+    pub llc: CacheSpec,
+    /// TLB capacity for 4 KB pages.
+    pub tlb_4k: TlbSpec,
+    /// TLB capacity for 2 MB pages.
+    pub tlb_2m: TlbSpec,
+    /// Memory capacity per node, in bytes.
+    pub mem_per_node_bytes: u64,
+    /// DRAM latency of a local access in model cycles (before NUMA factor).
+    pub dram_latency_cycles: u64,
+    /// Per-node memory-controller bandwidth, in cache lines per cycle.
+    ///
+    /// Contention sets in when concurrent demand exceeds this.
+    pub controller_lines_per_cycle: f64,
+    /// Per-link interconnect bandwidth, in cache lines per cycle.
+    pub link_lines_per_cycle: f64,
+}
+
+impl MachineSpec {
+    /// Total hardware threads across all nodes.
+    pub fn total_hw_threads(&self) -> usize {
+        self.threads_per_node * self.topology.num_nodes()
+    }
+
+    /// Total physical cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_node * self.topology.num_nodes()
+    }
+
+    /// Total memory across all nodes, in bytes.
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.mem_per_node_bytes * self.topology.num_nodes() as u64
+    }
+
+    /// The NUMA node that owns hardware thread `core`.
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        debug_assert!(core < self.total_hw_threads());
+        core / self.threads_per_node
+    }
+
+    /// The hardware threads living on `node`, in id order.
+    pub fn cores_of_node(&self, node: NodeId) -> std::ops::Range<CoreId> {
+        let start = node * self.threads_per_node;
+        start..start + self.threads_per_node
+    }
+
+    /// Latency factor between the nodes of two cores.
+    pub fn core_latency_factor(&self, a: CoreId, b: CoreId) -> f64 {
+        self.topology
+            .latency_factor(self.node_of_core(a), self.node_of_core(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::fully_connected;
+
+    fn spec() -> MachineSpec {
+        MachineSpec {
+            name: "T".into(),
+            cpu_model: "Testor 9000".into(),
+            cpu_mhz: 2000,
+            topology: fully_connected(4, vec![1.0, 1.5]).unwrap(),
+            threads_per_node: 8,
+            cores_per_node: 4,
+            llc: CacheSpec { size_bytes: 1 << 20, line_bytes: 64, hit_cycles: 40 },
+            tlb_4k: TlbSpec { l1_entries: 64, l2_entries: 512 },
+            tlb_2m: TlbSpec { l1_entries: 32, l2_entries: 0 },
+            mem_per_node_bytes: 1 << 30,
+            dram_latency_cycles: 200,
+            controller_lines_per_cycle: 0.5,
+            link_lines_per_cycle: 0.25,
+        }
+    }
+
+    #[test]
+    fn core_to_node_mapping_is_block_wise() {
+        let m = spec();
+        assert_eq!(m.total_hw_threads(), 32);
+        assert_eq!(m.node_of_core(0), 0);
+        assert_eq!(m.node_of_core(7), 0);
+        assert_eq!(m.node_of_core(8), 1);
+        assert_eq!(m.node_of_core(31), 3);
+        assert_eq!(m.cores_of_node(2), 16..24);
+    }
+
+    #[test]
+    fn totals() {
+        let m = spec();
+        assert_eq!(m.total_cores(), 16);
+        assert_eq!(m.total_mem_bytes(), 4 << 30);
+    }
+
+    #[test]
+    fn tlb_reach_scales_with_page_size() {
+        let m = spec();
+        assert_eq!(m.tlb_4k.total_entries(), 576);
+        assert_eq!(m.tlb_4k.reach_bytes(4096), 576 * 4096);
+        // 2 MB pages: fewer entries, far larger reach.
+        assert!(m.tlb_2m.reach_bytes(2 << 20) > m.tlb_4k.reach_bytes(4096));
+    }
+
+    #[test]
+    fn cache_line_count() {
+        let m = spec();
+        assert_eq!(m.llc.num_lines(), (1 << 20) / 64);
+    }
+
+    #[test]
+    fn core_latency_factor_uses_topology() {
+        let m = spec();
+        assert_eq!(m.core_latency_factor(0, 7), 1.0); // same node
+        assert_eq!(m.core_latency_factor(0, 8), 1.5); // one hop
+    }
+}

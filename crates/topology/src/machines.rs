@@ -1,0 +1,192 @@
+//! Presets for the three evaluation machines of the paper (Table II,
+//! Figure 1), plus a tiny UMA machine for tests.
+//!
+//! Cycle-level parameters (`dram_latency_cycles`, bandwidth in lines per
+//! cycle) are model values derived from each machine's memory clock and
+//! interconnect transfer rate; they preserve the *ordering and ratios*
+//! between the machines, which is what the paper's cross-machine
+//! comparisons (Figure 5d, Figure 6) depend on.
+
+use crate::builders::{fully_connected, twisted_ladder};
+use crate::machine::{CacheSpec, MachineSpec, TlbSpec};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+const GB: u64 = 1024 * MB;
+
+/// Machine A: 8× AMD Opteron 8220 (2.8 GHz), twisted-ladder topology,
+/// 16 GB/node, 800 MHz memory, 2 GT/s HyperTransport.
+///
+/// The slowest memory subsystem and deepest topology of the three — NUMA
+/// effects are largest here, which is why the paper runs most single-machine
+/// experiments on it.
+pub fn machine_a() -> MachineSpec {
+    MachineSpec {
+        name: "A".into(),
+        cpu_model: "8x AMD Opteron 8220".into(),
+        cpu_mhz: 2800,
+        topology: twisted_ladder(vec![1.0, 1.2, 1.4, 1.6])
+            .expect("machine A topology is statically valid"),
+        threads_per_node: 2,
+        cores_per_node: 2,
+        llc: CacheSpec { size_bytes: 2 * MB, line_bytes: 64, hit_cycles: 40 },
+        tlb_4k: TlbSpec { l1_entries: 32, l2_entries: 512 },
+        tlb_2m: TlbSpec { l1_entries: 8, l2_entries: 0 },
+        mem_per_node_bytes: 16 * GB,
+        dram_latency_cycles: 320,
+        controller_lines_per_cycle: 0.0035,
+        link_lines_per_cycle: 0.008,
+    }
+}
+
+/// Machine B: 4× Intel Xeon E7520 (2.1 GHz), fully connected, 16 GB/node,
+/// 1600 MHz memory, 4.8 GT/s QPI.
+///
+/// Local and remote latency are nearly equal (1.0 vs 1.1), so placement
+/// matters least here — the paper measures only ~7% improvement from
+/// tuning on this machine.
+pub fn machine_b() -> MachineSpec {
+    MachineSpec {
+        name: "B".into(),
+        cpu_model: "4x Intel Xeon E7520".into(),
+        cpu_mhz: 2100,
+        topology: fully_connected(4, vec![1.0, 1.1])
+            .expect("machine B topology is statically valid"),
+        threads_per_node: 8,
+        cores_per_node: 4,
+        llc: CacheSpec { size_bytes: 18 * MB, line_bytes: 64, hit_cycles: 45 },
+        tlb_4k: TlbSpec { l1_entries: 64, l2_entries: 512 },
+        tlb_2m: TlbSpec { l1_entries: 32, l2_entries: 0 },
+        mem_per_node_bytes: 16 * GB,
+        dram_latency_cycles: 240,
+        controller_lines_per_cycle: 0.020,
+        link_lines_per_cycle: 0.035,
+    }
+}
+
+/// Machine C: 4× Intel Xeon E7-4850 v4 (2.1 GHz), fully connected,
+/// 768 GB/node (3 TB total), 2400 MHz memory, 8 GT/s QPI.
+///
+/// Modern hardware with the steepest remote penalty (2.1×): fast local
+/// memory makes remote accesses *relatively* much more expensive.
+pub fn machine_c() -> MachineSpec {
+    MachineSpec {
+        name: "C".into(),
+        cpu_model: "4x Intel Xeon E7-4850 v4".into(),
+        cpu_mhz: 2100,
+        topology: fully_connected(4, vec![1.0, 2.1])
+            .expect("machine C topology is statically valid"),
+        threads_per_node: 16,
+        cores_per_node: 8,
+        llc: CacheSpec { size_bytes: 40 * MB, line_bytes: 64, hit_cycles: 50 },
+        tlb_4k: TlbSpec { l1_entries: 64, l2_entries: 1536 },
+        tlb_2m: TlbSpec { l1_entries: 32, l2_entries: 1536 },
+        mem_per_node_bytes: 768 * GB,
+        dram_latency_cycles: 180,
+        controller_lines_per_cycle: 0.045,
+        link_lines_per_cycle: 0.080,
+    }
+}
+
+/// A single-node uniform-memory machine; the control case used by tests to
+/// check that NUMA-specific effects vanish when there is only one node.
+pub fn uma_single_node() -> MachineSpec {
+    MachineSpec {
+        name: "UMA".into(),
+        cpu_model: "1x Generic".into(),
+        cpu_mhz: 2000,
+        topology: crate::graph::Topology::new("uma-1", 1, vec![], vec![1.0])
+            .expect("single-node topology is statically valid"),
+        threads_per_node: 8,
+        cores_per_node: 8,
+        llc: CacheSpec { size_bytes: 8 * MB, line_bytes: 64, hit_cycles: 40 },
+        tlb_4k: TlbSpec { l1_entries: 64, l2_entries: 512 },
+        tlb_2m: TlbSpec { l1_entries: 32, l2_entries: 0 },
+        mem_per_node_bytes: 32 * GB,
+        dram_latency_cycles: 200,
+        controller_lines_per_cycle: 0.030,
+        link_lines_per_cycle: 0.030,
+    }
+}
+
+/// All three paper machines, in Table II order.
+pub fn paper_machines() -> Vec<MachineSpec> {
+    vec![machine_a(), machine_b(), machine_c()]
+}
+
+/// Look a machine up by its Table II name (`"A"`, `"B"`, `"C"`,
+/// case-insensitive). Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<MachineSpec> {
+    match name.to_ascii_uppercase().as_str() {
+        "A" => Some(machine_a()),
+        "B" => Some(machine_b()),
+        "C" => Some(machine_c()),
+        "UMA" => Some(uma_single_node()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_a_matches_table2() {
+        let a = machine_a();
+        assert_eq!(a.topology.num_nodes(), 8);
+        assert_eq!(a.total_hw_threads(), 16);
+        assert_eq!(a.total_cores(), 16);
+        assert_eq!(a.topology.latency_tiers(), &[1.0, 1.2, 1.4, 1.6]);
+        assert_eq!(a.total_mem_bytes(), 128 * GB);
+        assert_eq!(a.llc.size_bytes, 2 * MB);
+    }
+
+    #[test]
+    fn machine_b_matches_table2() {
+        let b = machine_b();
+        assert_eq!(b.topology.num_nodes(), 4);
+        assert_eq!(b.total_hw_threads(), 32);
+        assert_eq!(b.total_cores(), 16);
+        assert_eq!(b.topology.latency_tiers(), &[1.0, 1.1]);
+        assert_eq!(b.total_mem_bytes(), 64 * GB);
+    }
+
+    #[test]
+    fn machine_c_matches_table2() {
+        let c = machine_c();
+        assert_eq!(c.topology.num_nodes(), 4);
+        assert_eq!(c.total_hw_threads(), 64);
+        assert_eq!(c.total_cores(), 32);
+        assert_eq!(c.topology.latency_tiers(), &[1.0, 2.1]);
+        assert_eq!(c.total_mem_bytes(), 3 * 1024 * GB);
+        // Machine C is the only one with a second-level 2 MB TLB.
+        assert_eq!(c.tlb_2m.l2_entries, 1536);
+    }
+
+    #[test]
+    fn remote_penalty_ordering_b_flattest_c_steepest() {
+        let (a, b, c) = (machine_a(), machine_b(), machine_c());
+        let worst = |m: &crate::machine::MachineSpec| {
+            *m.topology
+                .latency_tiers()
+                .last()
+                .expect("tiers are non-empty")
+        };
+        assert!(worst(&b) < worst(&a));
+        assert!(worst(&a) < worst(&c));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("a").map(|m| m.name), Some("A".into()));
+        assert_eq!(by_name("C").map(|m| m.name), Some("C".into()));
+        assert!(by_name("Z").is_none());
+    }
+
+    #[test]
+    fn uma_has_no_remote_tier() {
+        let u = uma_single_node();
+        assert_eq!(u.topology.diameter(), 0);
+        assert_eq!(u.topology.mean_latency_from(0), 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! ASCII rendering of a topology, used by the Table II / Figure 1 bench
+//! target to print machine layouts.
+
+use crate::graph::Topology;
+
+/// Render a topology as an adjacency summary plus hop-distance matrix.
+///
+/// ```
+/// use nqp_topology::{fully_connected, render_ascii};
+/// let t = fully_connected(3, vec![1.0, 1.1]).unwrap();
+/// let s = render_ascii(&t);
+/// assert!(s.contains("fully-connected-3"));
+/// assert!(s.contains("node 0: 1 2"));
+/// ```
+pub fn render_ascii(topology: &Topology) -> String {
+    let n = topology.num_nodes();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} ({} nodes, diameter {})\n",
+        topology.name(),
+        n,
+        topology.diameter()
+    ));
+    for node in 0..n {
+        let neighbors: Vec<String> = {
+            let mut ns = topology.neighbors(node).to_vec();
+            ns.sort_unstable();
+            ns.iter().map(|m| m.to_string()).collect()
+        };
+        out.push_str(&format!("node {node}: {}\n", neighbors.join(" ")));
+    }
+    out.push_str("hop matrix:\n     ");
+    for b in 0..n {
+        out.push_str(&format!("{b:>3}"));
+    }
+    out.push('\n');
+    for a in 0..n {
+        out.push_str(&format!("  {a:>3}"));
+        for b in 0..n {
+            out.push_str(&format!("{:>3}", topology.hops(a, b)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("latency tiers: {:?}\n", topology.latency_tiers()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::twisted_ladder;
+
+    #[test]
+    fn renders_every_node_row() {
+        let t = twisted_ladder(vec![1.0, 1.2, 1.4, 1.6]).unwrap();
+        let s = render_ascii(&t);
+        for node in 0..8 {
+            assert!(s.contains(&format!("node {node}:")), "missing node {node} in:\n{s}");
+        }
+        assert!(s.contains("latency tiers"));
+    }
+}

@@ -1,0 +1,312 @@
+//! `nqp-cli` — run the paper's experiments from the command line.
+//!
+//! ```text
+//! nqp-cli machines
+//! nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed]
+//!                [--alloc-light] [--mem-tight]
+//! nqp-cli workload w1|w2|w3|w4 [--machine A|B|C] [--threads N]
+//!                [--alloc NAME] [--policy first-touch|interleave|localalloc|preferred]
+//!                [--placement sparse|dense|none] [--autonuma on|off]
+//!                [--thp on|off] [--n N] [--card N] [--index NAME] [--seed N]
+//! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
+//! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
+//! ```
+
+use nqp::alloc::AllocatorKind;
+use nqp::core::advisor::{advise, WorkloadProfile};
+use nqp::core::TuningConfig;
+use nqp::datagen::tpch::TpchData;
+use nqp::datagen::{generate, JoinDataset};
+use nqp::engines::{query_name, DbSystem, SystemKind};
+use nqp::indexes::IndexKind;
+use nqp::query::{
+    run_aggregation_on, run_hash_join_on, run_inl_join_on, AggConfig, AggKind, WorkloadEnv,
+};
+use nqp::sim::{Counters, MemPolicy, ThreadPlacement};
+use nqp::topology::{machines, MachineSpec};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "machines" => cmd_machines(),
+        "advise" => cmd_advise(&args[1..]),
+        "workload" => cmd_workload(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "tpch" => cmd_tpch(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  nqp-cli machines
+  nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed] [--alloc-light] [--mem-tight]
+  nqp-cli workload <w1|w2|w3|w4> [options]
+  nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
+  nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
+  (see `nqp-cli workload --help` equivalents in the README)";
+
+/// Parse `--key value` / `--flag` argument lists.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = it
+                .peek()
+                .is_some_and(|next| !next.starts_with("--"));
+            if takes_value {
+                flags.insert(name.to_string(), it.next().expect("peeked").clone());
+            } else {
+                flags.insert(name.to_string(), String::new());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn machine_arg(flags: &HashMap<String, String>) -> Result<MachineSpec, String> {
+    let name = flags.get("machine").map(String::as_str).unwrap_or("A");
+    machines::by_name(name).ok_or_else(|| format!("unknown machine `{name}` (A, B, C, UMA)"))
+}
+
+fn cmd_machines() -> Result<(), String> {
+    for m in machines::paper_machines() {
+        println!(
+            "Machine {}: {} — {} nodes ({}), {} cores / {} threads, LLC {} MB/node, {} GB/node, latency tiers {:?}",
+            m.name,
+            m.cpu_model,
+            m.topology.num_nodes(),
+            m.topology.name(),
+            m.total_cores(),
+            m.total_hw_threads(),
+            m.llc.size_bytes >> 20,
+            m.mem_per_node_bytes >> 30,
+            m.topology.latency_tiers(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let profile = WorkloadProfile {
+        threads_managed: flags.contains_key("managed"),
+        memory_bandwidth_bound: !flags.contains_key("cache-bound"),
+        superuser: !flags.contains_key("no-root"),
+        memory_placement_defined: flags.contains_key("placed"),
+        allocation_heavy: !flags.contains_key("alloc-light"),
+        free_memory_constrained: flags.contains_key("mem-tight"),
+    };
+    println!("{}", advise(&profile).describe());
+    Ok(())
+}
+
+/// Build a TuningConfig from CLI flags over the OS default.
+fn config_from_flags(
+    machine: MachineSpec,
+    flags: &HashMap<String, String>,
+) -> Result<TuningConfig, String> {
+    let mut cfg = TuningConfig::os_default(machine);
+    if let Some(p) = flags.get("placement") {
+        cfg = cfg.with_threads(match p.as_str() {
+            "sparse" => ThreadPlacement::Sparse,
+            "dense" => ThreadPlacement::Dense,
+            "none" => ThreadPlacement::None,
+            other => return Err(format!("unknown placement `{other}`")),
+        });
+    }
+    if let Some(p) = flags.get("policy") {
+        cfg = cfg.with_policy(match p.as_str() {
+            "first-touch" => MemPolicy::FirstTouch,
+            "interleave" => MemPolicy::Interleave,
+            "localalloc" => MemPolicy::Localalloc,
+            "preferred" => MemPolicy::Preferred(0),
+            other => return Err(format!("unknown policy `{other}`")),
+        });
+    }
+    for (flag, setter) in [("autonuma", 0usize), ("thp", 1)] {
+        if let Some(v) = flags.get(flag) {
+            let on = match v.as_str() {
+                "on" | "1" | "true" => true,
+                "off" | "0" | "false" => false,
+                other => return Err(format!("--{flag} takes on/off, got `{other}`")),
+            };
+            cfg = if setter == 0 { cfg.with_autonuma(on) } else { cfg.with_thp(on) };
+        }
+    }
+    if let Some(a) = flags.get("alloc") {
+        let kind = AllocatorKind::parse(a).ok_or_else(|| format!("unknown allocator `{a}`"))?;
+        cfg = cfg.with_allocator(kind);
+    }
+    if let Some(s) = flags.get("seed") {
+        let seed: u64 = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+        cfg.sim = cfg.sim.with_seed(seed);
+    }
+    Ok(cfg)
+}
+
+fn counters_summary(c: &Counters) -> String {
+    format!(
+        "migrations={} page-migrations={} cache-misses={} LAR={:.0}% lock-waits={}",
+        c.thread_migrations,
+        c.page_migrations,
+        c.cache_misses,
+        c.local_access_ratio() * 100.0,
+        c.lock_wait_cycles
+    )
+}
+
+fn run_workload(
+    which: &str,
+    cfg: &TuningConfig,
+    threads: usize,
+    flags: &HashMap<String, String>,
+) -> Result<(u64, Counters), String> {
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let env = cfg.env(threads);
+    match which {
+        "w1" | "w2" => {
+            let n: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(300_000);
+            let card: u64 =
+                flags.get("card").and_then(|s| s.parse().ok()).unwrap_or(75_000);
+            let mut acfg = if which == "w1" {
+                AggConfig::w1(n, card, seed)
+            } else {
+                AggConfig::w2(n, card, seed)
+            };
+            if acfg.kind == AggKind::DistributiveCount {
+                acfg.cardinality = card;
+            }
+            let records = generate(acfg.dataset, n, card, seed);
+            let out = run_aggregation_on(&env, &acfg, &records);
+            Ok((out.exec_cycles, out.counters))
+        }
+        "w3" => {
+            let r: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(30_000);
+            let data = JoinDataset::generate(r, seed);
+            let out = run_hash_join_on(&env, &data);
+            Ok((out.build_cycles + out.probe_cycles, out.counters))
+        }
+        "w4" => {
+            let r: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(20_000);
+            let index = match flags.get("index").map(String::as_str).unwrap_or("B+tree") {
+                "art" | "ART" => IndexKind::Art,
+                "masstree" | "Masstree" => IndexKind::Masstree,
+                "btree" | "B+tree" => IndexKind::BPlusTree,
+                "skiplist" | "Skip List" => IndexKind::SkipList,
+                other => return Err(format!("unknown index `{other}`")),
+            };
+            let data = JoinDataset::generate(r, seed);
+            let out = run_inl_join_on(&env, index, &data);
+            Ok((out.build_cycles + out.join_cycles, out.counters))
+        }
+        other => Err(format!("unknown workload `{other}` (w1, w2, w3, w4)")),
+    }
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos.first().ok_or("workload needs w1|w2|w3|w4")?;
+    let machine = machine_arg(&flags)?;
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(machine.total_hw_threads());
+    let cfg = config_from_flags(machine, &flags)?;
+    let (cycles, counters) = run_workload(which, &cfg, threads, &flags)?;
+    println!("{which} on machine {} with {} threads:", cfg.sim.machine.name, threads);
+    println!(
+        "  placement={} policy={} autonuma={} thp={} allocator={}",
+        cfg.sim.thread_placement.label(),
+        cfg.sim.mem_policy.label(),
+        cfg.sim.autonuma,
+        cfg.sim.thp,
+        cfg.allocator.label()
+    );
+    println!("  cycles: {cycles}");
+    println!("  {}", counters_summary(&counters));
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos.first().ok_or("compare needs w1|w2|w3|w4")?;
+    let machine = machine_arg(&flags)?;
+    let threads = machine.total_hw_threads();
+    let default = TuningConfig::os_default(machine.clone());
+    let tuned = TuningConfig::tuned(machine);
+    let (d, _) = run_workload(which, &default, threads, &flags)?;
+    let (t, _) = run_workload(which, &tuned, threads, &flags)?;
+    println!("{which}: os-default {d} cycles, tuned {t} cycles -> {:.2}x", d as f64 / t as f64);
+    Ok(())
+}
+
+fn cmd_tpch(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let qnum: usize = pos
+        .first()
+        .and_then(|s| s.parse().ok())
+        .filter(|q| (1..=22).contains(q))
+        .ok_or("tpch needs a query number 1..22")?;
+    let sf: f64 = flags.get("sf").and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let system = match flags.get("system").map(String::as_str).unwrap_or("monetdb") {
+        "monetdb" => SystemKind::MonetDbLike,
+        "postgresql" | "postgres" => SystemKind::PostgresLike,
+        "mysql" => SystemKind::MySqlLike,
+        "dbmsx" => SystemKind::DbmsX,
+        "quickstep" => SystemKind::QuickstepLike,
+        other => return Err(format!("unknown system `{other}`")),
+    };
+    let machine = machine_arg(&flags)?;
+    let env = if flags.contains_key("tuned") {
+        WorkloadEnv {
+            sim: nqp::sim::SimConfig::os_default(machine)
+                .with_policy(MemPolicy::FirstTouch)
+                .with_autonuma(false)
+                .with_thp(false),
+            allocator: AllocatorKind::Tbbmalloc,
+            threads: 16,
+        }
+    } else {
+        WorkloadEnv::os_default(machine)
+    };
+    let data = TpchData::generate(sf, 42);
+    let mut db = DbSystem::boot(system, &env, &data);
+    let _cold = db.run(qnum);
+    let out = db.run(qnum);
+    println!(
+        "Q{qnum} ({}) on {}: {} cycles, {} rows",
+        query_name(qnum),
+        system.label(),
+        out.latency_cycles,
+        out.rows.len()
+    );
+    for row in out.rows.iter().take(10) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  | {}", cells.join(" | "));
+    }
+    if out.rows.len() > 10 {
+        println!("  | ... {} more rows", out.rows.len() - 10);
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # nqp — efficient in-memory query processing on NUMA systems
+//!
+//! Umbrella crate for the workspace. Each subsystem lives in its own
+//! crate, re-exported here under a short module name:
+//!
+//! * [`topology`] — NUMA node graphs and the paper's machine presets.
+//! * [`sim`] — the deterministic NUMA machine simulator.
+//! * [`alloc`] — behavioural models of seven dynamic memory allocators.
+//! * [`datagen`] — seeded dataset generators (moving cluster, sequential,
+//!   zipfian, join tables, TPC-H).
+//! * [`storage`] — the simulated heap and typed record layouts.
+//! * [`indexes`] — ART, Masstree-style, B+tree, and skip-list indexes.
+//! * [`query`] — aggregation and join workloads (W1–W4).
+//! * [`engines`] — the mini relational engine and TPC-H Q1–Q22 (W5).
+//! * [`core`] — experiment runner and the Figure 10 decision advisor.
+
+pub use nqp_alloc as alloc;
+pub use nqp_core as core;
+pub use nqp_datagen as datagen;
+pub use nqp_engines as engines;
+pub use nqp_indexes as indexes;
+pub use nqp_query as query;
+pub use nqp_sim as sim;
+pub use nqp_storage as storage;
+pub use nqp_topology as topology;
