@@ -57,7 +57,7 @@ pub use supermalloc::SuperMalloc;
 pub use tbbmalloc::TbbMalloc;
 pub use tcmalloc::TcMalloc;
 
-use nqp_sim::{NumaSim, VAddr, Worker};
+use nqp_sim::{NumaSim, SimResult, VAddr, Worker};
 
 /// The allocators evaluated in the paper, in §III-A order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,6 +137,21 @@ pub trait Allocator {
 
     /// Free an allocation of `size` bytes at `addr`.
     fn free(&mut self, w: &mut Worker<'_>, addr: VAddr, size: u64);
+
+    /// Allocate `size` bytes, surfacing a simulation fault (injected
+    /// allocation failure, node capacity exhaustion, budget timeout) as
+    /// an error instead of leaving only the poisoned worker behind.
+    ///
+    /// The returned address is meaningless when `Err` — the worker is
+    /// poisoned and every further operation on it is a no-op, so
+    /// callers should stop the fallible region promptly.
+    fn try_alloc(&mut self, w: &mut Worker<'_>, size: u64) -> SimResult<VAddr> {
+        let addr = self.alloc(w, size);
+        match w.fault() {
+            Some(e) => Err(e.clone()),
+            None => Ok(addr),
+        }
+    }
 
     /// High-water resident set obtained from the OS.
     fn peak_resident(&self) -> u64;
@@ -320,6 +335,39 @@ mod tests {
                 }
             });
             assert!(shared.2, "{kind:?} never reused a freed block");
+        }
+    }
+
+    #[test]
+    fn try_alloc_surfaces_injected_faults_and_recovers_on_retry() {
+        use nqp_sim::{FaultPlan, SimError};
+        for attempt in [0u32, 1] {
+            let mut sim = NumaSim::new(
+                SimConfig::os_default(machines::machine_b())
+                    .with_autonuma(false)
+                    .with_thp(false)
+                    .with_faults(FaultPlan::new(11).with_alloc_fail(0, 0, 1))
+                    .with_fault_attempt(attempt),
+            );
+            let mut alloc = build(AllocatorKind::Jemalloc, &mut sim);
+            let mut outcome = None;
+            let result = sim.try_serial(&mut (&mut alloc, &mut outcome), |w, (alloc, outcome)| {
+                // Big enough that every attempt takes the mmap slow path.
+                **outcome = Some(alloc.try_alloc(w, 8 << 20));
+            });
+            if attempt == 0 {
+                // First attempt: the plan fails allocations in region 0.
+                assert!(matches!(
+                    outcome,
+                    Some(Err(SimError::InjectedAllocFault { region: 0, .. }))
+                ));
+                assert!(result.is_err(), "poisoned region must surface the fault");
+            } else {
+                // Retry attempt is past `fail_attempts`: it succeeds.
+                let addr = outcome.expect("ran").expect("retry should succeed");
+                assert!(addr > 0);
+                result.expect("no fault on retry");
+            }
         }
     }
 

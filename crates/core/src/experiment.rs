@@ -73,6 +73,21 @@ impl TuningConfig {
         self
     }
 
+    /// Builder-style deterministic fault plan (see
+    /// [`nqp_sim::FaultPlan`]); trials under this configuration replay
+    /// the same injected faults on every run.
+    pub fn with_faults(mut self, plan: nqp_sim::FaultPlan) -> Self {
+        self.sim = self.sim.with_faults(plan);
+        self
+    }
+
+    /// Builder-style per-trial cycle budget: a trial whose simulated
+    /// clock exceeds it ends with [`crate::runner::Outcome::Timeout`].
+    pub fn with_trial_budget(mut self, cycles: u64) -> Self {
+        self.sim = self.sim.with_trial_budget(cycles);
+        self
+    }
+
     /// Convert to the workload environment the W1–W4 runners take.
     pub fn env(&self, threads: usize) -> WorkloadEnv {
         WorkloadEnv { sim: self.sim.clone(), allocator: self.allocator, threads }

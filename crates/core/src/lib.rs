@@ -1,3 +1,6 @@
+// Harness-path code must surface faults, never panic on them: unwrap()
+// and expect() are denied outside tests (enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! The paper's contribution as a library: systematic, application-
 //! agnostic NUMA tuning.
 //!
@@ -24,6 +27,8 @@
 
 pub mod advisor;
 pub mod experiment;
+pub mod runner;
 
 pub use advisor::{advise, TuningPlan, WorkloadProfile};
 pub use experiment::{speedup, ExperimentResult, TuningConfig};
+pub use runner::{run_trial, sweep, Outcome, RetryPolicy, SweepReport, TrialRecord};

@@ -1,0 +1,330 @@
+//! The fallible, retrying trial harness.
+//!
+//! Real NUMA experiments fail in mundane ways: `numactl --membind` dies
+//! with ENOMEM when a node fills, a batch scheduler preempts the run, a
+//! machine's interconnect throttles. The harness mirrors how the
+//! paper's measurement scripts cope: each `(configuration, trial)` pair
+//! runs a fallible workload, *transient* faults are retried with
+//! exponential backoff (the backoff cycles are charged to the trial),
+//! and every other fault is recorded as the trial's [`Outcome`] so a
+//! sweep always completes with a full per-trial table instead of dying
+//! on its first unlucky configuration.
+
+use crate::experiment::TuningConfig;
+use nqp_query::WorkloadEnv;
+use nqp_sim::{SimError, SimResult};
+
+/// How one trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The workload completed (possibly after transient-fault retries).
+    Ok,
+    /// The trial exceeded its cycle budget.
+    Timeout,
+    /// A node or machine ran out of memory under a strict policy.
+    Oom,
+    /// Any other simulation fault (injected failure, invalid mapping).
+    Faulted,
+}
+
+impl Outcome {
+    /// Fixed-width label for result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Timeout => "timeout",
+            Outcome::Oom => "oom",
+            Outcome::Faulted => "faulted",
+        }
+    }
+
+    /// Classify a terminal error.
+    pub fn of_error(e: &SimError) -> Outcome {
+        match e {
+            SimError::Timeout { .. } => Outcome::Timeout,
+            SimError::OutOfMemory { .. } => Outcome::Oom,
+            _ => Outcome::Faulted,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff for transient faults.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts).
+    pub max_retries: u32,
+    /// Cycles charged before retry `k` (doubling per retry):
+    /// `backoff_base_cycles << k`.
+    pub backoff_base_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff_base_cycles: 10_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// A harness that never retries (every fault is terminal).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base_cycles: 0 }
+    }
+}
+
+/// The record of one `(configuration, trial)` cell.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// The configuration's display name.
+    pub config: String,
+    /// Trial index within the configuration.
+    pub trial: usize,
+    /// How the trial ended.
+    pub outcome: Outcome,
+    /// Workload cycles plus retry backoff, when the trial succeeded.
+    pub cycles: Option<u64>,
+    /// Attempts consumed (1 when no fault was retried).
+    pub attempts: u32,
+    /// The terminal error of a failed trial.
+    pub error: Option<SimError>,
+}
+
+impl TrialRecord {
+    /// Did the trial end with a result?
+    pub fn succeeded(&self) -> bool {
+        self.outcome == Outcome::Ok
+    }
+}
+
+/// Every trial of every configuration in a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// All trial records, grouped by configuration in sweep order.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl SweepReport {
+    /// Successful trials.
+    pub fn succeeded(&self) -> usize {
+        self.trials.iter().filter(|t| t.succeeded()).count()
+    }
+
+    /// Configuration names for which *every* trial failed — the
+    /// condition under which a sweep as a whole is considered failed
+    /// (matching `nqp-cli`'s exit code).
+    pub fn failed_configs(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for t in &self.trials {
+            if !names.contains(&t.config.as_str()) {
+                names.push(&t.config);
+            }
+        }
+        names
+            .into_iter()
+            .filter(|name| {
+                self.trials
+                    .iter()
+                    .filter(|t| t.config == *name)
+                    .all(|t| !t.succeeded())
+            })
+            .collect()
+    }
+
+    /// Mean successful cycles of a configuration, if any trial made it.
+    pub fn mean_cycles(&self, config: &str) -> Option<u64> {
+        let ok: Vec<u64> = self
+            .trials
+            .iter()
+            .filter(|t| t.config == config)
+            .filter_map(|t| t.cycles)
+            .collect();
+        if ok.is_empty() {
+            None
+        } else {
+            Some(ok.iter().sum::<u64>() / ok.len() as u64)
+        }
+    }
+
+    /// Render the per-trial outcome table (the EXPERIMENTS.md format).
+    pub fn table(&self) -> String {
+        let mut out = String::from("config                      trial outcome  attempts cycles\n");
+        for t in &self.trials {
+            let cycles = match t.cycles {
+                Some(c) => c.to_string(),
+                None => match &t.error {
+                    Some(e) => format!("- ({e})"),
+                    None => "-".into(),
+                },
+            };
+            out.push_str(&format!(
+                "{:<27} {:>5} {:<8} {:>8} {}\n",
+                t.config, t.trial, t.outcome.label(), t.attempts, cycles
+            ));
+        }
+        out
+    }
+}
+
+/// Run one fallible trial under `cfg`, retrying transient faults.
+///
+/// The workload closure receives the environment (with
+/// `SimConfig::fault_attempt` set to the current attempt number, which
+/// is how a deterministic [`nqp_sim::FaultPlan`] distinguishes a retry
+/// from the original run) and the trial index, and returns the
+/// workload's execution cycles. Backoff cycles for retried attempts are
+/// added to the recorded total, the way wall-clock timers in real
+/// harnesses keep counting across `numactl` re-invocations.
+pub fn run_trial<F>(
+    cfg: &TuningConfig,
+    threads: usize,
+    trial: usize,
+    policy: &RetryPolicy,
+    workload: &mut F,
+) -> TrialRecord
+where
+    F: FnMut(&WorkloadEnv, usize) -> SimResult<u64>,
+{
+    let mut attempt = 0u32;
+    let mut backoff = 0u64;
+    loop {
+        let mut env = cfg.env(threads);
+        env.sim = env.sim.with_fault_attempt(attempt);
+        match workload(&env, trial) {
+            Ok(cycles) => {
+                return TrialRecord {
+                    config: cfg.name.clone(),
+                    trial,
+                    outcome: Outcome::Ok,
+                    cycles: Some(cycles + backoff),
+                    attempts: attempt + 1,
+                    error: None,
+                }
+            }
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                backoff += policy.backoff_base_cycles << attempt;
+                attempt += 1;
+            }
+            Err(e) => {
+                return TrialRecord {
+                    config: cfg.name.clone(),
+                    trial,
+                    outcome: Outcome::of_error(&e),
+                    cycles: None,
+                    attempts: attempt + 1,
+                    error: Some(e),
+                }
+            }
+        }
+    }
+}
+
+/// Sweep `trials` trials of each configuration, recording every
+/// outcome. The sweep itself never fails: a configuration whose trials
+/// all fault is reported by [`SweepReport::failed_configs`], and
+/// degradation is graceful — later configurations still run.
+pub fn sweep<F>(
+    configs: &[TuningConfig],
+    threads: usize,
+    trials: usize,
+    policy: &RetryPolicy,
+    mut workload: F,
+) -> SweepReport
+where
+    F: FnMut(&WorkloadEnv, usize) -> SimResult<u64>,
+{
+    let mut report = SweepReport::default();
+    for cfg in configs {
+        for trial in 0..trials {
+            report
+                .trials
+                .push(run_trial(cfg, threads, trial, policy, &mut workload));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqp_topology::machines;
+
+    fn cfg() -> TuningConfig {
+        TuningConfig::tuned(machines::machine_b())
+    }
+
+    #[test]
+    fn transient_faults_retry_and_charge_backoff() {
+        let policy = RetryPolicy { max_retries: 2, backoff_base_cycles: 100 };
+        let mut calls = 0u32;
+        let rec = run_trial(&cfg(), 4, 0, &policy, &mut |env, _| {
+            calls += 1;
+            if env.sim.fault_attempt < 2 {
+                Err(SimError::InjectedAllocFault { region: 1, attempt: env.sim.fault_attempt })
+            } else {
+                Ok(5_000)
+            }
+        });
+        assert_eq!(calls, 3, "two transient faults then success");
+        assert_eq!(rec.outcome, Outcome::Ok);
+        assert_eq!(rec.attempts, 3);
+        // 5_000 + backoff (100 << 0) + (100 << 1).
+        assert_eq!(rec.cycles, Some(5_300));
+    }
+
+    #[test]
+    fn terminal_faults_classify_without_retry() {
+        let policy = RetryPolicy::default();
+        for (err, want) in [
+            (SimError::Timeout { budget_cycles: 10, elapsed_cycles: 20 }, Outcome::Timeout),
+            (SimError::OutOfMemory { node: 1, requested_pages: 4 }, Outcome::Oom),
+            (SimError::InvalidMapping { addr: 0 }, Outcome::Faulted),
+        ] {
+            let mut calls = 0u32;
+            let rec = run_trial(&cfg(), 4, 0, &policy, &mut |_, _| {
+                calls += 1;
+                Err(err.clone())
+            });
+            assert_eq!(calls, 1, "{err:?} must not retry");
+            assert_eq!(rec.outcome, want);
+            assert!(rec.cycles.is_none());
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let policy = RetryPolicy { max_retries: 2, backoff_base_cycles: 1 };
+        let mut calls = 0u32;
+        let rec = run_trial(&cfg(), 4, 0, &policy, &mut |_, _| {
+            calls += 1;
+            Err(SimError::InjectedAllocFault { region: 0, attempt: 0 })
+        });
+        assert_eq!(calls, 3, "initial + 2 retries");
+        assert_eq!(rec.outcome, Outcome::Faulted);
+        assert_eq!(rec.attempts, 3);
+    }
+
+    #[test]
+    fn sweep_degrades_gracefully_and_flags_dead_configs() {
+        let configs = vec![cfg().named("healthy"), cfg().named("doomed")];
+        let report = sweep(&configs, 4, 3, &RetryPolicy::none(), |env, trial| {
+            if env.sim.fault_plan.is_none() && trial == 1 {
+                // One flaky trial in the healthy config.
+                return Err(SimError::Timeout { budget_cycles: 1, elapsed_cycles: 2 });
+            }
+            Ok(1_000)
+        });
+        // "doomed" would need a fault plan to fail here; with this
+        // workload only trial 1 of each config times out.
+        assert_eq!(report.trials.len(), 6);
+        assert_eq!(report.succeeded(), 4);
+        assert!(report.failed_configs().is_empty());
+        assert_eq!(report.mean_cycles("healthy"), Some(1_000));
+
+        let report = sweep(&configs[1..], 4, 2, &RetryPolicy::none(), |_, _| {
+            Err(SimError::OutOfMemory { node: 0, requested_pages: 1 })
+        });
+        assert_eq!(report.failed_configs(), vec!["doomed"]);
+        assert_eq!(report.mean_cycles("doomed"), None);
+        let table = report.table();
+        assert!(table.contains("oom"), "table shows outcomes:\n{table}");
+    }
+}

@@ -1,8 +1,52 @@
 //! Compact date handling for the TPC-H tables: days since 1992-01-01.
 
+use std::fmt;
+
 /// A date, stored as days since 1992-01-01 (the start of the TPC-H
 /// order-date range).
 pub type Date = i32;
+
+/// Why a calendar date or literal failed to construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DateError {
+    /// Month outside 1–12.
+    MonthOutOfRange {
+        /// The offending month.
+        month: u32,
+    },
+    /// Day outside the month's length.
+    DayOutOfRange {
+        /// Year (decides February's length).
+        year: i32,
+        /// Month the day was checked against.
+        month: u32,
+        /// The offending day.
+        day: u32,
+    },
+    /// A literal that is not `YYYY-MM-DD`.
+    Malformed {
+        /// The text that failed to parse.
+        text: String,
+    },
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DateError::MonthOutOfRange { month } => {
+                write!(f, "month {month} out of range 1-12")
+            }
+            DateError::DayOutOfRange { year, month, day } => {
+                write!(f, "day {day} out of range for {year:04}-{month:02}")
+            }
+            DateError::Malformed { text } => {
+                write!(f, "malformed date literal {text:?} (want YYYY-MM-DD)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
 
 /// Days in each month of a non-leap year.
 const MONTH_DAYS: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
@@ -11,19 +55,23 @@ fn is_leap(year: i32) -> bool {
     (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
 }
 
-/// Build a [`Date`] from a calendar date.
-///
-/// # Panics
-/// Panics on out-of-range months/days.
-pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
-    assert!((1..=12).contains(&month), "month {month} out of range");
-    let month = month as usize;
-    let max_day = if month == 2 && is_leap(year) {
+fn month_len(year: i32, month: u32) -> i32 {
+    if month == 2 && is_leap(year) {
         29
     } else {
-        MONTH_DAYS[month - 1]
-    };
-    assert!((1..=max_day as u32).contains(&day), "day {day} out of range");
+        MONTH_DAYS[(month - 1) as usize]
+    }
+}
+
+/// Build a [`Date`] from a calendar date, rejecting out-of-range
+/// months and days.
+pub fn try_from_ymd(year: i32, month: u32, day: u32) -> Result<Date, DateError> {
+    if !(1..=12).contains(&month) {
+        return Err(DateError::MonthOutOfRange { month });
+    }
+    if !(1..=month_len(year, month) as u32).contains(&day) {
+        return Err(DateError::DayOutOfRange { year, month, day });
+    }
     let mut days: i32 = 0;
     if year >= 1992 {
         for y in 1992..year {
@@ -35,28 +83,46 @@ pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
         }
     }
     for m in 1..month {
-        days += MONTH_DAYS[m - 1];
-        if m == 2 && is_leap(year) {
-            days += 1;
-        }
+        days += month_len(year, m);
     }
-    days + day as i32 - 1
+    Ok(days + day as i32 - 1)
 }
 
-/// Parse a `YYYY-MM-DD` literal (the format TPC-H queries use).
+/// Build a [`Date`] from a calendar date.
 ///
 /// # Panics
-/// Panics on malformed input; query plans use literal constants.
-pub fn parse(s: &str) -> Date {
-    let mut parts = s.splitn(3, '-');
-    let y: i32 = parts.next().and_then(|p| p.parse().ok()).expect("year");
-    let m: u32 = parts.next().and_then(|p| p.parse().ok()).expect("month");
-    let d: u32 = parts.next().and_then(|p| p.parse().ok()).expect("day");
-    from_ymd(y, m, d)
+/// Panics on out-of-range months/days; use [`try_from_ymd`] to handle
+/// untrusted input.
+pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
+    match try_from_ymd(year, month, day) {
+        Ok(d) => d,
+        Err(e) => panic!("from_ymd({year}, {month}, {day}): {e}"),
+    }
 }
 
-/// Render a [`Date`] back to `YYYY-MM-DD`.
-pub fn format(date: Date) -> String {
+/// Parse a `YYYY-MM-DD` literal (the format TPC-H queries use),
+/// rejecting malformed text with a typed error.
+pub fn parse(s: &str) -> Result<Date, DateError> {
+    let malformed = || DateError::Malformed { text: s.to_string() };
+    let mut parts = s.splitn(3, '-');
+    let y: i32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(malformed)?;
+    let m: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(malformed)?;
+    let d: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(malformed)?;
+    try_from_ymd(y, m, d)
+}
+
+/// Calendar `(year, month, day)` of a date, by walking whole years then
+/// months — no string round-trip.
+fn to_ymd(date: Date) -> (i32, u32, u32) {
     let mut remaining = date;
     let mut year = 1992;
     loop {
@@ -71,12 +137,9 @@ pub fn format(date: Date) -> String {
             break;
         }
     }
-    let mut month = 1;
+    let mut month = 1u32;
     loop {
-        let mut len = MONTH_DAYS[month - 1];
-        if month == 2 && is_leap(year) {
-            len += 1;
-        }
+        let len = month_len(year, month);
         if remaining >= len {
             remaining -= len;
             month += 1;
@@ -84,33 +147,38 @@ pub fn format(date: Date) -> String {
             break;
         }
     }
-    format!("{year:04}-{:02}-{:02}", month, remaining + 1)
+    (year, month, remaining as u32 + 1)
+}
+
+/// Render a [`Date`] back to `YYYY-MM-DD`.
+pub fn format(date: Date) -> String {
+    let (y, m, d) = to_ymd(date);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// Calendar year of a date (the `EXTRACT(year FROM ...)` of Q7–Q9).
 pub fn year(date: Date) -> i32 {
-    format(date)[0..4].parse().expect("year digits")
+    to_ymd(date).0
 }
 
 /// Calendar month of a date, 1–12.
 pub fn month(date: Date) -> u32 {
-    format(date)[5..7].parse().expect("month digits")
+    to_ymd(date).1
 }
 
 /// Shift a date by whole months (used by `date '1995-01-01' + interval
-/// 'n' month` predicates). Day-of-month clamps to the target month.
+/// 'n' month` predicates). Day-of-month clamps to the target month, so
+/// the shift is total — no error case.
 pub fn add_months(date: Date, months: i32) -> Date {
-    let text = format(date);
-    let y: i32 = text[0..4].parse().expect("year digits");
-    let m: i32 = text[5..7].parse().expect("month digits");
-    let d: u32 = text[8..10].parse().expect("day digits");
-    let total = (y * 12 + (m - 1)) + months;
-    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) + 1);
-    let mut max_day = MONTH_DAYS[(nm - 1) as usize] as u32;
-    if nm == 2 && is_leap(ny) {
-        max_day += 1;
+    let (y, m, d) = to_ymd(date);
+    let total = (y * 12 + (m as i32 - 1)) + months;
+    let (ny, nm) = (total.div_euclid(12), (total.rem_euclid(12) + 1) as u32);
+    let day = d.min(month_len(ny, nm) as u32);
+    // In range by construction: nm is 1-12 and day is clamped.
+    match try_from_ymd(ny, nm, day) {
+        Ok(date) => date,
+        Err(e) => unreachable!("clamped month arithmetic produced {e}"),
     }
-    from_ymd(ny, nm as u32, d.min(max_day))
 }
 
 /// Shift a date by whole years.
@@ -137,22 +205,24 @@ mod tests {
     #[test]
     fn parse_and_format_round_trip() {
         for s in ["1992-01-01", "1995-06-17", "1998-08-02", "1996-02-29", "1998-12-31"] {
-            assert_eq!(format(parse(s)), s);
+            assert_eq!(format(parse(s).expect("valid literal")), s);
         }
     }
 
     #[test]
     fn ordering_matches_calendar() {
-        assert!(parse("1994-01-01") < parse("1995-01-01"));
-        assert!(parse("1995-03-15") < parse("1995-03-16"));
+        let d = |s: &str| parse(s).expect("valid literal");
+        assert!(d("1994-01-01") < d("1995-01-01"));
+        assert!(d("1995-03-15") < d("1995-03-16"));
     }
 
     #[test]
     fn month_arithmetic() {
-        assert_eq!(format(add_months(parse("1995-01-31"), 1)), "1995-02-28");
-        assert_eq!(format(add_months(parse("1995-12-01"), 3)), "1996-03-01");
-        assert_eq!(format(add_years(parse("1994-06-01"), 1)), "1995-06-01");
-        assert_eq!(format(add_months(parse("1995-03-01"), -2)), "1995-01-01");
+        let d = |s: &str| parse(s).expect("valid literal");
+        assert_eq!(format(add_months(d("1995-01-31"), 1)), "1995-02-28");
+        assert_eq!(format(add_months(d("1995-12-01"), 3)), "1996-03-01");
+        assert_eq!(format(add_years(d("1994-06-01"), 1)), "1995-06-01");
+        assert_eq!(format(add_months(d("1995-03-01"), -2)), "1995-01-01");
     }
 
     #[test]
@@ -163,8 +233,29 @@ mod tests {
     }
 
     #[test]
+    fn bad_inputs_are_typed_errors_not_panics() {
+        assert_eq!(
+            try_from_ymd(1995, 13, 1),
+            Err(DateError::MonthOutOfRange { month: 13 })
+        );
+        assert_eq!(
+            try_from_ymd(1995, 2, 29),
+            Err(DateError::DayOutOfRange { year: 1995, month: 2, day: 29 })
+        );
+        // 1996 is a leap year: the same day is fine.
+        assert!(try_from_ymd(1996, 2, 29).is_ok());
+        for bad in ["", "1995", "1995-06", "06-17-1995x", "not-a-date", "1995-6b-17"] {
+            assert!(
+                matches!(parse(bad), Err(DateError::Malformed { .. })),
+                "{bad:?} should be malformed"
+            );
+        }
+        assert_eq!(parse("1995-00-17"), Err(DateError::MonthOutOfRange { month: 0 }));
+    }
+
+    #[test]
     #[should_panic(expected = "month")]
-    fn bad_month_panics() {
+    fn bad_month_panics_in_infallible_constructor() {
         from_ymd(1995, 13, 1);
     }
 }

@@ -138,7 +138,7 @@ const SPECIAL_PPM: u32 = 30_000;
 
 /// dbgen's "current date" used for return flags and line status.
 fn cutoff() -> Date {
-    dates::parse("1995-06-17")
+    dates::parse("1995-06-17").expect("static TPC-H date literal")
 }
 
 impl TpchData {
@@ -205,7 +205,7 @@ impl TpchData {
             // dbgen's retail price formula keeps prices in [900, 2100).
             db.part
                 .p_retailprice
-                .push(90_000 + (k % 1_000) * 100 + rng.random_range(0..2_000));
+                .push(90_000 + (k % 1_000) * 100 + rng.random_range(0..2_000i64));
             db.part.p_comment.push(text::comment(&mut rng, 5, 0));
         }
 
@@ -222,7 +222,7 @@ impl TpchData {
             }
         }
 
-        let order_span = dates::parse("1998-08-02") - 121;
+        let order_span = dates::parse("1998-08-02").expect("static TPC-H date literal") - 121;
         let mut line_number_base: i64 = 0;
         for k in 1..=n_orders as i64 {
             let custkey = rng.random_range(1..=n_customer as i64);
@@ -358,7 +358,7 @@ mod tests {
             assert!(l.l_shipdate[i] < l.l_receiptdate[i], "ship < receipt at {i}");
         }
         // Ship dates stay inside the valid TPC-H window.
-        let max = dates::parse("1998-12-01");
+        let max = dates::parse("1998-12-01").expect("static TPC-H date literal");
         assert!(l.l_shipdate.iter().all(|&d| d >= 0 && d < max));
     }
 

@@ -137,12 +137,12 @@ pub fn phone(rng: &mut StdRng, nation_key: i64) -> String {
 /// `Customer ... Complaints` is embedded (the pattern Q16 excludes).
 pub fn comment(rng: &mut StdRng, words: usize, special_ppm: u32) -> String {
     let mut parts: Vec<&str> = (0..words).map(|_| pick(rng, &LEXICON)).collect();
-    if rng.random_range(0..1_000_000) < special_ppm {
+    if rng.random_range(0..1_000_000u32) < special_ppm {
         let at = rng.random_range(0..parts.len().max(1));
         parts.insert(at, "special");
         parts.insert(at + 1, "requests");
     }
-    if rng.random_range(0..1_000_000) < special_ppm {
+    if rng.random_range(0..1_000_000u32) < special_ppm {
         let at = rng.random_range(0..parts.len().max(1));
         parts.insert(at, "Customer");
         parts.insert(at + 1, "Complaints");

@@ -22,15 +22,17 @@
 //! This layering (exact values, shadowed costs) is documented in
 //! DESIGN.md; workloads W1–W4 are fully simulator-resident instead.
 
+mod error;
 mod exec;
 mod profiles;
 mod queries;
 mod storage;
 mod value;
 
+pub use error::EngineError;
 pub use exec::{QueryCtx, ShadowHash};
 pub use profiles::{EngineProfile, Layout, SystemKind};
-pub use queries::{query_name, run_query, QUERY_COUNT};
+pub use queries::{query_name, run_query, try_run_query, QUERY_COUNT};
 pub use storage::TpchDb;
 pub use value::{Row, Value};
 
@@ -74,18 +76,27 @@ impl DbSystem {
 
     /// Run TPC-H query `qnum` (1–22): one untimed cold run has already
     /// happened implicitly via the load; this measures a warm run.
+    ///
+    /// # Panics
+    /// Panics on any [`EngineError`]; use [`DbSystem::try_run`] to
+    /// handle unknown query numbers or simulation faults.
     pub fn run(&mut self, qnum: usize) -> QueryOutcome {
+        self.try_run(qnum).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DbSystem::run`].
+    pub fn try_run(&mut self, qnum: usize) -> Result<QueryOutcome, EngineError> {
         let before = self.sim.now_cycles();
         let workers = self.profile.worker_threads_for(qnum, self.threads);
-        let rows = run_query(
+        let rows = try_run_query(
             qnum,
             &mut self.sim,
             &mut self.heap,
             &self.db,
             &self.profile,
             workers,
-        );
-        QueryOutcome { latency_cycles: self.sim.now_cycles() - before, rows }
+        )?;
+        Ok(QueryOutcome { latency_cycles: self.sim.now_cycles() - before, rows })
     }
 
     /// Cumulative simulator counters (for diagnostics).

@@ -10,6 +10,7 @@ mod q01_08;
 mod q09_16;
 mod q17_22;
 
+use crate::error::EngineError;
 use crate::exec::QueryCtx;
 use crate::profiles::EngineProfile;
 use crate::storage::TpchDb;
@@ -54,6 +55,10 @@ pub fn query_name(qnum: usize) -> &'static str {
 }
 
 /// Execute query `qnum` (1–22) and return its rows.
+///
+/// # Panics
+/// Panics on an unknown query number or any [`EngineError`]; use
+/// [`try_run_query`] to handle failures.
 pub fn run_query(
     qnum: usize,
     sim: &mut NumaSim,
@@ -62,6 +67,19 @@ pub fn run_query(
     profile: &EngineProfile,
     threads: usize,
 ) -> Vec<Row> {
+    try_run_query(qnum, sim, heap, db, profile, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Execute query `qnum` (1–22), surfacing plan and simulation failures
+/// as a typed [`EngineError`] instead of panicking.
+pub fn try_run_query(
+    qnum: usize,
+    sim: &mut NumaSim,
+    heap: &mut SimHeap,
+    db: &TpchDb,
+    profile: &EngineProfile,
+    threads: usize,
+) -> Result<Vec<Row>, EngineError> {
     let ctx = QueryCtx { profile: profile.clone(), threads };
     match qnum {
         1 => q01_08::q01(sim, heap, db, &ctx),
@@ -86,7 +104,7 @@ pub fn run_query(
         20 => q17_22::q20(sim, heap, db, &ctx),
         21 => q17_22::q21(sim, heap, db, &ctx),
         22 => q17_22::q22(sim, heap, db, &ctx),
-        other => panic!("TPC-H has 22 queries; got Q{other}"),
+        other => Err(EngineError::UnknownQuery { qnum: other }),
     }
 }
 
@@ -126,7 +144,7 @@ mod tests {
     fn q4_counts_are_bounded_by_quarter_orders() {
         let (mut db, data) = boot();
         let rows = db.run(4).rows;
-        let lo = nqp_datagen::tpch::dates::parse("1993-07-01");
+        let lo = nqp_datagen::tpch::dates::parse("1993-07-01").expect("static literal");
         let hi = nqp_datagen::tpch::dates::add_months(lo, 3);
         let in_window = data
             .orders
@@ -233,5 +251,20 @@ mod tests {
         query_name(23);
         // (run_query would panic identically; name lookup panics first
         // via the array index.)
+    }
+
+    #[test]
+    fn try_run_reports_unknown_queries_as_typed_errors() {
+        let (mut db, _) = boot();
+        assert_eq!(
+            db.try_run(23).expect_err("Q23 does not exist"),
+            crate::EngineError::UnknownQuery { qnum: 23 }
+        );
+        assert_eq!(
+            db.try_run(0).expect_err("Q0 does not exist"),
+            crate::EngineError::UnknownQuery { qnum: 0 }
+        );
+        // The system is still usable afterwards.
+        assert!(!db.try_run(1).expect("Q1 runs").rows.is_empty());
     }
 }

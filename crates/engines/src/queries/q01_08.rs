@@ -1,6 +1,7 @@
 //! TPC-H Q1–Q8.
 
 use crate::exec::{charge_sort, maybe_materialize, scan_phase, Map, QueryCtx, Set, ShadowHash, LIKE_CYCLES};
+use crate::error::EngineError;
 use crate::storage::TpchDb;
 use crate::value::{d, i, s, Row};
 use nqp_datagen::tpch::dates;
@@ -20,8 +21,8 @@ pub(super) fn q01(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let cutoff = dates::parse("1998-12-01") - 90;
+) -> Result<Vec<Row>, EngineError> {
+    let cutoff = dates::parse("1998-12-01")? - 90;
     type Acc = Map<(u8, u8), [i64; 6]>;
     let locals: Vec<Acc> = scan_phase(
         sim,
@@ -83,7 +84,7 @@ pub(super) fn q01(
         maybe_materialize(w, heap, &ctx.profile, merged.len(), 80);
         charge_sort(w, merged.len());
     });
-    keys.into_iter()
+    Ok(keys.into_iter()
         .map(|k| {
             let a = merged[&k];
             vec![
@@ -99,7 +100,7 @@ pub(super) fn q01(
                 i(a[5]),
             ]
         })
-        .collect()
+        .collect())
 }
 
 /// Run a final coordinator step (sorting, result materialisation).
@@ -124,7 +125,7 @@ pub(super) fn q02(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     struct Built {
         parts: Map<i64, usize>,      // partkey -> part row
         suppliers: Map<i64, usize>,  // suppkey (in EUROPE) -> supplier row
@@ -235,7 +236,7 @@ pub(super) fn q02(
         maybe_materialize(w, heap, &ctx.profile, cands.len(), 24);
         charge_sort(w, n.max(cands.len()));
     });
-    rows
+    Ok(rows)
 }
 
 /// Q3: shipping-priority — BUILDING customers' unshipped orders, top 10
@@ -245,8 +246,8 @@ pub(super) fn q03(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let date = dates::parse("1995-03-15");
+) -> Result<Vec<Row>, EngineError> {
+    let date = dates::parse("1995-03-15")?;
     // Phase 1: qualifying orders (BUILDING customer, early orderdate).
     type OMap = Map<i64, (i32, i64)>; // orderkey -> (orderdate, shippriority)
     let omap: OMap = scan_phase(
@@ -343,7 +344,7 @@ pub(super) fn q03(
         maybe_materialize(w, heap, &ctx.profile, n, 32);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q4: order-priority checking — orders in 1993-Q3 with at least one
@@ -353,8 +354,8 @@ pub(super) fn q04(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1993-07-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1993-07-01")?;
     let hi = dates::add_months(lo, 3);
     // Phase 1: orderkeys with a commit < receipt lineitem (semi-join side).
     let late: Set<i64> = scan_phase(
@@ -418,7 +419,7 @@ pub(super) fn q04(
         maybe_materialize(w, heap, &ctx.profile, n, 24);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q5: local-supplier volume — revenue in ASIA where supplier and
@@ -428,8 +429,8 @@ pub(super) fn q05(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1994-01-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1994-01-01")?;
     let hi = dates::add_years(lo, 1);
     // Phase 1: 1994 orders -> customer nation (ASIA only).
     type OMap = Map<i64, i64>; // orderkey -> customer nationkey
@@ -545,7 +546,7 @@ pub(super) fn q05(
         maybe_materialize(w, heap, &ctx.profile, n, 24);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q6: forecasting revenue change — a pure lineitem filter-and-sum.
@@ -554,8 +555,8 @@ pub(super) fn q06(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1994-01-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1994-01-01")?;
     let hi = dates::add_years(lo, 1);
     let total: i64 = scan_phase(
         sim,
@@ -585,7 +586,7 @@ pub(super) fn q06(
     finish(sim, heap, ctx, 1, |w, heap| {
         maybe_materialize(w, heap, &ctx.profile, 1, 8);
     });
-    vec![vec![i(total)]]
+    Ok(vec![vec![i(total)]])
 }
 
 /// Q7: volume shipping between FRANCE and GERMANY, by year.
@@ -594,9 +595,9 @@ pub(super) fn q07(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1995-01-01");
-    let hi = dates::parse("1996-12-31");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1995-01-01")?;
+    let hi = dates::parse("1996-12-31")?;
     let nation_key = |name: &str| -> i64 {
         db.data
             .nation
@@ -709,7 +710,7 @@ pub(super) fn q07(
         maybe_materialize(w, heap, &ctx.profile, n, 40);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q8: national market share — BRAZIL's share of AMERICA's ECONOMY
@@ -719,9 +720,9 @@ pub(super) fn q08(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1995-01-01");
-    let hi = dates::parse("1996-12-31");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1995-01-01")?;
+    let hi = dates::parse("1996-12-31")?;
     let brazil: i64 = db
         .data
         .nation
@@ -857,5 +858,5 @@ pub(super) fn q08(
         maybe_materialize(w, heap, &ctx.profile, n, 16);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }

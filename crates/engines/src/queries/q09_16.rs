@@ -1,6 +1,7 @@
 //! TPC-H Q9–Q16.
 
 use crate::exec::{charge_sort, maybe_materialize, scan_phase, Map, QueryCtx, Set, ShadowHash, LIKE_CYCLES};
+use crate::error::EngineError;
 use crate::storage::TpchDb;
 use crate::value::{i, s, Row};
 use nqp_datagen::tpch::dates;
@@ -32,7 +33,7 @@ pub(super) fn q09(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     // Phase 1: every order's year.
     type OMap = Map<i64, i32>;
     let omap: OMap = scan_phase(
@@ -139,7 +140,7 @@ pub(super) fn q09(
         maybe_materialize(w, heap, &ctx.profile, n, 32);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q10: returned-item reporting — top 20 customers by Q4-1993 returned
@@ -149,8 +150,8 @@ pub(super) fn q10(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1993-10-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1993-10-01")?;
     let hi = dates::add_months(lo, 3);
     // Phase 1: Q4-93 orders -> custkey.
     type OMap = Map<i64, i64>;
@@ -254,7 +255,7 @@ pub(super) fn q10(
         maybe_materialize(w, heap, &ctx.profile, n, 96);
         charge_sort(w, n.max(20));
     });
-    rows
+    Ok(rows)
 }
 
 /// Q11: important stock — GERMANY's part-supp value concentration.
@@ -263,7 +264,7 @@ pub(super) fn q11(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     type VMap = Map<i64, i64>; // partkey -> value (cents)
     let (values, total) = scan_phase(
         sim,
@@ -326,7 +327,7 @@ pub(super) fn q11(
         maybe_materialize(w, heap, &ctx.profile, n, 16);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q12: shipping modes and order priority — MAIL/SHIP lineitems received
@@ -336,8 +337,8 @@ pub(super) fn q12(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1994-01-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1994-01-01")?;
     let hi = dates::add_years(lo, 1);
     // Phase 1: order priority classes.
     type OMap = Map<i64, bool>; // orderkey -> high priority?
@@ -423,7 +424,7 @@ pub(super) fn q12(
         maybe_materialize(w, heap, &ctx.profile, n, 32);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q13: customer distribution by order count, excluding
@@ -433,7 +434,7 @@ pub(super) fn q13(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     // Phase 1: orders per customer (filtered).
     type CMap = Map<i64, i64>;
     let per_cust: CMap = scan_phase(
@@ -510,7 +511,7 @@ pub(super) fn q13(
         maybe_materialize(w, heap, &ctx.profile, n, 16);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q14: promotion effect — PROMO revenue share in 1995-09, scaled 1e4.
@@ -519,8 +520,8 @@ pub(super) fn q14(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1995-09-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1995-09-01")?;
     let hi = dates::add_months(lo, 1);
     let (promo, total) = scan_phase(
         sim,
@@ -567,7 +568,7 @@ pub(super) fn q14(
         maybe_materialize(w, heap, &ctx.profile, 1, 8);
     });
     let share = if total == 0 { 0 } else { (promo as i128 * 10_000 / total as i128) as i64 };
-    vec![vec![i(share)]]
+    Ok(vec![vec![i(share)]])
 }
 
 /// Q15: top supplier by 1996-Q1 revenue.
@@ -576,8 +577,8 @@ pub(super) fn q15(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1996-01-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1996-01-01")?;
     let hi = dates::add_months(lo, 3);
     type RMap = Map<i64, i64>;
     let by_supp: RMap = scan_phase(
@@ -650,7 +651,7 @@ pub(super) fn q15(
         maybe_materialize(w, heap, &ctx.profile, by_supp.len(), 16);
         charge_sort(w, by_supp.len());
     });
-    rows
+    Ok(rows)
 }
 
 /// Q16: parts/supplier relationship — supplier counts per
@@ -660,7 +661,7 @@ pub(super) fn q16(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     const SIZES: [i64; 8] = [49, 14, 23, 45, 19, 3, 36, 9];
     type GMap = Map<(String, String, i64), Set<i64>>;
     let groups: GMap = scan_phase(
@@ -741,5 +742,5 @@ pub(super) fn q16(
         maybe_materialize(w, heap, &ctx.profile, n, 48);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }

@@ -1,6 +1,7 @@
 //! TPC-H Q17–Q22.
 
 use crate::exec::{charge_sort, maybe_materialize, scan_phase, Map, QueryCtx, Set, ShadowHash, LIKE_CYCLES};
+use crate::error::EngineError;
 use crate::storage::TpchDb;
 use crate::value::{d, i, s, Row};
 use nqp_datagen::tpch::dates;
@@ -28,7 +29,7 @@ pub(super) fn q17(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     type Stats = Map<i64, (i64, i64, Vec<(i64, i64)>)>; // pk -> (sum qty, count, [(qty, price)])
     let stats: Stats = scan_phase(
         sim,
@@ -91,7 +92,7 @@ pub(super) fn q17(
         maybe_materialize(w, heap, &ctx.profile, stats.len(), 24);
     });
     // avg_yearly = total / 7.0, in cents.
-    vec![vec![i(total / 7)]]
+    Ok(vec![vec![i(total / 7)]])
 }
 
 /// Q18: large-volume customers — orders with total quantity over 300.
@@ -100,7 +101,7 @@ pub(super) fn q18(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     // Phase 1: total quantity per order.
     type QMap = Map<i64, i64>;
     let qty: QMap = scan_phase(
@@ -193,7 +194,7 @@ pub(super) fn q18(
         maybe_materialize(w, heap, &ctx.profile, n, 64);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q19: discounted revenue — three disjunctive brand/container/quantity
@@ -203,7 +204,7 @@ pub(super) fn q19(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     struct PartInfo {
         brand: String,
         container: String,
@@ -277,7 +278,7 @@ pub(super) fn q19(
     finish(sim, heap, |w, heap| {
         maybe_materialize(w, heap, &ctx.profile, 1, 8);
     });
-    vec![vec![i(total)]]
+    Ok(vec![vec![i(total)]])
 }
 
 /// Q20: potential part promotion — CANADA suppliers holding excess stock
@@ -287,8 +288,8 @@ pub(super) fn q20(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
-    let lo = dates::parse("1994-01-01");
+) -> Result<Vec<Row>, EngineError> {
+    let lo = dates::parse("1994-01-01")?;
     let hi = dates::add_years(lo, 1);
     // Phase 1: 1994 shipped quantity per (part, supplier) for forest parts.
     type SMap = Map<(i64, i64), i64>;
@@ -412,7 +413,7 @@ pub(super) fn q20(
         maybe_materialize(w, heap, &ctx.profile, n, 32);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q21: suppliers who kept orders waiting — SAUDI ARABIA suppliers solely
@@ -422,7 +423,7 @@ pub(super) fn q21(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     // Phase 1: per order, the distinct suppliers and the late suppliers.
     #[derive(Default, Clone)]
     struct OrderInfo {
@@ -557,7 +558,7 @@ pub(super) fn q21(
         maybe_materialize(w, heap, &ctx.profile, n, 24);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }
 
 /// Q22: global sales opportunity — well-funded customers from seven
@@ -567,7 +568,7 @@ pub(super) fn q22(
     heap: &mut SimHeap,
     db: &TpchDb,
     ctx: &QueryCtx,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, EngineError> {
     const CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
     // Phase 1: custkeys that have orders (anti-join side).
     let has_orders: Set<i64> = scan_phase(
@@ -649,5 +650,5 @@ pub(super) fn q22(
         maybe_materialize(w, heap, &ctx.profile, n, 24);
         charge_sort(w, n);
     });
-    rows
+    Ok(rows)
 }

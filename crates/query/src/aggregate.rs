@@ -9,9 +9,9 @@
 //! one counter per group in the entry itself — the placement-bound case.
 
 use crate::hash_table::HashTable;
-use crate::runner::{load_tuples, WorkloadEnv};
+use crate::runner::{try_load_tuples, WorkloadEnv};
 use nqp_datagen::{generate, Dataset, Record};
-use nqp_sim::{Counters, NumaSim};
+use nqp_sim::{Counters, NumaSim, SimResult};
 use nqp_storage::{Chain, SimHeap};
 
 /// Which aggregate function W-runs compute.
@@ -105,11 +105,28 @@ pub fn run_aggregation_on(
     cfg: &AggConfig,
     records: &[Record],
 ) -> AggOutcome {
+    try_run_aggregation_on(env, cfg, records)
+        .unwrap_or_else(|e| panic!("aggregation hit a simulation fault: {e}"))
+}
+
+/// Fallible W1/W2: returns the fault (OOM under a strict `Bind`, an
+/// injected allocation failure, a budget timeout) instead of panicking.
+pub fn try_run_aggregation(env: &WorkloadEnv, cfg: &AggConfig) -> SimResult<AggOutcome> {
+    let records = generate(cfg.dataset, cfg.n, cfg.cardinality, cfg.seed);
+    try_run_aggregation_on(env, cfg, &records)
+}
+
+/// Fallible form of [`run_aggregation_on`].
+pub fn try_run_aggregation_on(
+    env: &WorkloadEnv,
+    cfg: &AggConfig,
+    records: &[Record],
+) -> SimResult<AggOutcome> {
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let table = HashTable::new(&mut sim, cfg.cardinality * 2);
 
-    let input = load_tuples(&mut sim, records, env.threads);
+    let input = try_load_tuples(&mut sim, records, env.threads)?;
     let load_cycles = sim.now_cycles();
     let counters_before = sim.counters();
 
@@ -118,18 +135,18 @@ pub fn run_aggregation_on(
     let mut regions = Vec::new();
     let mut state = (table, heap);
     let interleaved = cfg.interleaved_table;
-    regions.push(sim.serial(&mut state, |w, (table, _)| {
+    regions.push(sim.try_serial(&mut state, |w, (table, _)| {
         if interleaved {
             table.init_interleaved(w);
         } else {
             table.init(w);
         }
-    }));
+    })?);
 
     // Parallel build.
     let kind = cfg.kind;
     let threads = env.threads;
-    regions.push(sim.parallel(threads, &mut state, |w, (table, heap)| {
+    regions.push(sim.try_parallel(threads, &mut state, |w, (table, heap)| {
         for i in input.partition(w.tid(), threads) {
             let (key, val) = input.read(w, i);
             match kind {
@@ -149,12 +166,12 @@ pub fn run_aggregation_on(
                 }
             }
         }
-    }));
+    })?);
 
     // Parallel finalize: walk buckets, produce (key, aggregate).
     let mut results: Vec<(u64, u64, u64)> = Vec::new(); // (tid, key, agg)
     let mut fin = (state.0, state.1, Vec::new());
-    regions.push(sim.parallel(threads, &mut fin, |w, (table, _heap, out)| {
+    regions.push(sim.try_parallel(threads, &mut fin, |w, (table, _heap, out)| {
         let range = table.bucket_partition(w.tid(), threads);
         let mut local: Vec<(u64, u64, u64)> = Vec::new();
         let tid = w.tid() as u64;
@@ -174,7 +191,7 @@ pub fn run_aggregation_on(
             local.push((tid, key, agg));
         });
         out.extend(local);
-    }));
+    })?);
     results.append(&mut fin.2);
 
     let exec_cycles = sim.now_cycles() - load_cycles;
@@ -182,7 +199,7 @@ pub fn run_aggregation_on(
     for &(_, key, agg) in &results {
         checksum ^= key.wrapping_mul(0x100_0001b3).wrapping_add(agg);
     }
-    AggOutcome {
+    Ok(AggOutcome {
         exec_cycles,
         load_cycles,
         groups: results.len() as u64,
@@ -190,7 +207,7 @@ pub fn run_aggregation_on(
         // Counters describe the query phases only, not the load.
         counters: sim.counters() - counters_before,
         regions,
-    }
+    })
 }
 
 /// Host-side reference aggregation for verification.

@@ -9,7 +9,7 @@
 use crate::hash_table::HashTable;
 use crate::runner::WorkloadEnv;
 use nqp_datagen::JoinDataset;
-use nqp_sim::{Counters, NumaSim};
+use nqp_sim::{Counters, NumaSim, SimError, SimResult};
 use nqp_storage::{SimHeap, TupleArray};
 
 /// Parameters of one hash-join run.
@@ -55,6 +55,19 @@ pub fn run_hash_join(env: &WorkloadEnv, cfg: &JoinConfig) -> JoinOutcome {
 
 /// Like [`run_hash_join`] but over a pre-generated dataset.
 pub fn run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> JoinOutcome {
+    try_run_hash_join_on(env, data)
+        .unwrap_or_else(|e| panic!("hash join hit a simulation fault: {e}"))
+}
+
+/// Fallible W3: returns the fault (OOM under a strict `Bind`, an
+/// injected allocation failure, a budget timeout) instead of panicking.
+pub fn try_run_hash_join(env: &WorkloadEnv, cfg: &JoinConfig) -> SimResult<JoinOutcome> {
+    let data = JoinDataset::generate_with_ratio(cfg.r_size, cfg.ratio, cfg.seed);
+    try_run_hash_join_on(env, &data)
+}
+
+/// Fallible form of [`run_hash_join_on`].
+pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<JoinOutcome> {
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let table = HashTable::new(&mut sim, (data.r.len() as u64) * 2);
@@ -62,38 +75,39 @@ pub fn run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> JoinOutcome {
 
     // Load both relations partition-parallel.
     let mut arrays: Option<(TupleArray, TupleArray)> = None;
-    sim.serial(&mut arrays, |w, arrays| {
+    sim.try_serial(&mut arrays, |w, arrays| {
         *arrays = Some((
             TupleArray::new(w, data.r.len()),
             TupleArray::new(w, data.s.len()),
         ));
-    });
-    let (r_arr, s_arr) = arrays.expect("arrays mapped");
-    sim.parallel(threads, &mut (), |w, _| {
+    })?;
+    let (r_arr, s_arr) =
+        arrays.ok_or(SimError::Harness { what: "join relations were not mapped" })?;
+    sim.try_parallel(threads, &mut (), |w, _| {
         for i in r_arr.partition(w.tid(), threads) {
             r_arr.write(w, i, data.r[i].key, data.r[i].payload);
         }
         for i in s_arr.partition(w.tid(), threads) {
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);
         }
-    });
+    })?;
     let load_cycles = sim.now_cycles();
     let counters_before = sim.counters();
 
     // Build: coordinator initialises the directory, workers fill it.
     let mut state = (table, heap);
-    sim.serial(&mut state, |w, (table, _)| table.init(w));
-    sim.parallel(threads, &mut state, |w, (table, heap)| {
+    sim.try_serial(&mut state, |w, (table, _)| table.init(w))?;
+    sim.try_parallel(threads, &mut state, |w, (table, heap)| {
         for i in r_arr.partition(w.tid(), threads) {
             let (key, payload) = r_arr.read(w, i);
             table.upsert(w, heap, key, payload, |_, _| {});
         }
-    });
+    })?;
     let build_cycles = sim.now_cycles() - load_cycles;
 
     // Probe: lock-free lookups, accumulate per-thread then combine.
     let mut probe = (state.0, state.1, 0u64, 0u64); // (+matches, +checksum)
-    sim.parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
+    sim.try_parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
         for i in s_arr.partition(w.tid(), threads) {
@@ -105,17 +119,17 @@ pub fn run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> JoinOutcome {
         }
         *matches += local_matches;
         *checksum ^= local_sum;
-    });
+    })?;
     let probe_cycles = sim.now_cycles() - load_cycles - build_cycles;
 
-    JoinOutcome {
+    Ok(JoinOutcome {
         build_cycles,
         probe_cycles,
         load_cycles,
         matches: probe.2,
         checksum: probe.3,
         counters: sim.counters() - counters_before,
-    }
+    })
 }
 
 /// Host-side reference join for verification.

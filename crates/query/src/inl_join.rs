@@ -10,7 +10,7 @@
 use crate::runner::WorkloadEnv;
 use nqp_datagen::JoinDataset;
 use nqp_indexes::{build_index, IndexKind};
-use nqp_sim::{Counters, NumaSim};
+use nqp_sim::{Counters, NumaSim, SimError, SimResult};
 use nqp_storage::{SimHeap, TupleArray};
 
 /// Parameters of one index-nested-loop-join run.
@@ -49,6 +49,23 @@ pub fn run_inl_join(env: &WorkloadEnv, cfg: &InlConfig) -> InlOutcome {
 
 /// Like [`run_inl_join`] but over a pre-generated dataset.
 pub fn run_inl_join_on(env: &WorkloadEnv, kind: IndexKind, data: &JoinDataset) -> InlOutcome {
+    try_run_inl_join_on(env, kind, data)
+        .unwrap_or_else(|e| panic!("index join hit a simulation fault: {e}"))
+}
+
+/// Fallible W4: returns the fault (OOM under a strict `Bind`, an
+/// injected allocation failure, a budget timeout) instead of panicking.
+pub fn try_run_inl_join(env: &WorkloadEnv, cfg: &InlConfig) -> SimResult<InlOutcome> {
+    let data = JoinDataset::generate_with_ratio(cfg.r_size, cfg.ratio, cfg.seed);
+    try_run_inl_join_on(env, cfg.index, &data)
+}
+
+/// Fallible form of [`run_inl_join_on`].
+pub fn try_run_inl_join_on(
+    env: &WorkloadEnv,
+    kind: IndexKind,
+    data: &JoinDataset,
+) -> SimResult<InlOutcome> {
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let threads = env.threads;
@@ -56,15 +73,15 @@ pub fn run_inl_join_on(env: &WorkloadEnv, kind: IndexKind, data: &JoinDataset) -
     // Load the probe relation partition-parallel (build side feeds the
     // index directly from host memory during the build phase).
     let mut s_arr: Option<TupleArray> = None;
-    sim.serial(&mut s_arr, |w, s_arr| {
+    sim.try_serial(&mut s_arr, |w, s_arr| {
         *s_arr = Some(TupleArray::new(w, data.s.len()));
-    });
-    let s_arr = s_arr.expect("array mapped");
-    sim.parallel(threads, &mut (), |w, _| {
+    })?;
+    let s_arr = s_arr.ok_or(SimError::Harness { what: "probe relation was not mapped" })?;
+    sim.try_parallel(threads, &mut (), |w, _| {
         for i in s_arr.partition(w.tid(), threads) {
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);
         }
-    });
+    })?;
     let counters_start = sim.counters();
     let start = sim.now_cycles();
 
@@ -72,16 +89,16 @@ pub fn run_inl_join_on(env: &WorkloadEnv, kind: IndexKind, data: &JoinDataset) -
     // the paper measures build time separately (Figure 7e).
     let index = build_index(kind);
     let mut state = (index, heap);
-    sim.serial(&mut state, |w, (index, heap)| {
+    sim.try_serial(&mut state, |w, (index, heap)| {
         for t in &data.r {
             index.insert(w, heap, t.key, t.payload);
         }
-    });
+    })?;
     let build_cycles = sim.now_cycles() - start;
 
     // Parallel join: read-only index probes.
     let mut join = (state.0, 0u64, 0u64);
-    sim.parallel(threads, &mut join, |w, (index, matches, checksum)| {
+    sim.try_parallel(threads, &mut join, |w, (index, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
         for i in s_arr.partition(w.tid(), threads) {
@@ -93,16 +110,16 @@ pub fn run_inl_join_on(env: &WorkloadEnv, kind: IndexKind, data: &JoinDataset) -
         }
         *matches += local_matches;
         *checksum ^= local_sum;
-    });
+    })?;
     let join_cycles = sim.now_cycles() - start - build_cycles;
 
-    InlOutcome {
+    Ok(InlOutcome {
         build_cycles,
         join_cycles,
         matches: join.1,
         checksum: join.2,
         counters: sim.counters() - counters_start,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -20,8 +20,14 @@ mod hash_table;
 mod inl_join;
 mod runner;
 
-pub use aggregate::{reference_checksum, run_aggregation, run_aggregation_on, AggConfig, AggKind, AggOutcome};
-pub use hash_join::{reference_join, run_hash_join, run_hash_join_on, JoinConfig, JoinOutcome};
+pub use aggregate::{
+    reference_checksum, run_aggregation, run_aggregation_on, try_run_aggregation,
+    try_run_aggregation_on, AggConfig, AggKind, AggOutcome,
+};
+pub use hash_join::{
+    reference_join, run_hash_join, run_hash_join_on, try_run_hash_join, try_run_hash_join_on,
+    JoinConfig, JoinOutcome,
+};
 pub use hash_table::HashTable;
-pub use inl_join::{run_inl_join, run_inl_join_on, InlConfig, InlOutcome};
-pub use runner::{load_tuples, WorkloadEnv};
+pub use inl_join::{run_inl_join, run_inl_join_on, try_run_inl_join, try_run_inl_join_on, InlConfig, InlOutcome};
+pub use runner::{load_tuples, try_load_tuples, WorkloadEnv};

@@ -2,7 +2,7 @@
 
 use nqp_alloc::AllocatorKind;
 use nqp_datagen::Record;
-use nqp_sim::{NumaSim, SimConfig};
+use nqp_sim::{NumaSim, SimConfig, SimError, SimResult};
 use nqp_storage::TupleArray;
 
 /// Everything Table IV varies besides the workload itself: the machine
@@ -61,17 +61,29 @@ impl WorkloadEnv {
 /// Returns the array; the load happens in its own region so callers can
 /// separate load time from query time.
 pub fn load_tuples(sim: &mut NumaSim, records: &[Record], threads: usize) -> TupleArray {
+    try_load_tuples(sim, records, threads)
+        .unwrap_or_else(|e| panic!("tuple load hit a simulation fault: {e}"))
+}
+
+/// Fallible form of [`load_tuples`]: surfaces capacity exhaustion,
+/// injected faults, and budget timeouts instead of panicking, so the
+/// experiment harness can retry or record the trial as failed.
+pub fn try_load_tuples(
+    sim: &mut NumaSim,
+    records: &[Record],
+    threads: usize,
+) -> SimResult<TupleArray> {
     let mut arr: Option<TupleArray> = None;
-    sim.serial(&mut arr, |w, arr| {
+    sim.try_serial(&mut arr, |w, arr| {
         *arr = Some(TupleArray::new(w, records.len().max(1)));
-    });
-    let arr = arr.expect("array mapped");
-    sim.parallel(threads, &mut (), |w, _| {
+    })?;
+    let arr = arr.ok_or(SimError::Harness { what: "tuple array was not mapped" })?;
+    sim.try_parallel(threads, &mut (), |w, _| {
         for i in arr.partition(w.tid(), threads) {
             arr.write(w, i, records[i].key, records[i].val);
         }
-    });
-    arr
+    })?;
+    Ok(arr)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Simulation configuration: the tuning knobs of Table IV plus the cost
 //! model parameters.
 
+use crate::fault::FaultPlan;
 use nqp_topology::{MachineSpec, NodeId};
 
 /// Thread placement strategy (§III-B of the paper).
@@ -49,11 +50,16 @@ pub enum MemPolicy {
     /// All pages go to one user-selected node, spilling to other nodes
     /// only when it is full.
     Preferred(NodeId),
+    /// Strict binding (`numactl --membind`): all pages go to the chosen
+    /// node and allocation *fails* with `SimError::OutOfMemory` when that
+    /// node is full — no fallback, exactly like the real kernel.
+    Bind(NodeId),
 }
 
 impl MemPolicy {
     /// The policies evaluated in the paper's figures, with `Preferred`
-    /// pinned to node 0.
+    /// pinned to node 0. (`Bind` is excluded: under capacity pressure it
+    /// fails rather than degrades, so sweeps opt into it explicitly.)
     pub const ALL: [MemPolicy; 4] = [
         MemPolicy::FirstTouch,
         MemPolicy::Interleave,
@@ -68,6 +74,7 @@ impl MemPolicy {
             MemPolicy::Interleave => "interleave",
             MemPolicy::Localalloc => "localalloc",
             MemPolicy::Preferred(_) => "preferred",
+            MemPolicy::Bind(_) => "bind",
         }
     }
 }
@@ -163,6 +170,15 @@ pub struct SimConfig {
     pub sched_settled: bool,
     /// Cost-model parameters.
     pub costs: CostParams,
+    /// Deterministic fault-injection schedule (None = healthy machine).
+    pub fault_plan: Option<FaultPlan>,
+    /// Which retry attempt of the trial this is (0 = first run). The
+    /// experiment runner bumps this on retry so transient injected faults
+    /// clear deterministically.
+    pub fault_attempt: u32,
+    /// Per-trial cycle budget; a region that would push the simulated
+    /// clock past it fails with `SimError::Timeout`. None = unlimited.
+    pub trial_budget_cycles: Option<u64>,
 }
 
 impl SimConfig {
@@ -178,6 +194,9 @@ impl SimConfig {
             seed: 0x6e71_7021,
             sched_settled: false,
             costs: CostParams::default(),
+            fault_plan: None,
+            fault_attempt: 0,
+            trial_budget_cycles: None,
         }
     }
 
@@ -229,6 +248,25 @@ impl SimConfig {
         self.sched_settled = settled;
         self
     }
+
+    /// Builder-style setter for the fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style setter for the retry attempt (used by the experiment
+    /// runner when re-running a trial after a transient fault).
+    pub fn with_fault_attempt(mut self, attempt: u32) -> Self {
+        self.fault_attempt = attempt;
+        self
+    }
+
+    /// Builder-style setter for the per-trial cycle budget.
+    pub fn with_trial_budget(mut self, cycles: u64) -> Self {
+        self.trial_budget_cycles = Some(cycles);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +310,24 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(ThreadPlacement::Sparse.label(), "sparse");
         assert_eq!(MemPolicy::Preferred(3).label(), "preferred");
+        assert_eq!(MemPolicy::Bind(1).label(), "bind");
         assert_eq!(MemPolicy::ALL.len(), 4);
         assert_eq!(ThreadPlacement::ALL.len(), 3);
+    }
+
+    #[test]
+    fn fault_and_budget_builders() {
+        let plan = FaultPlan::new(5).with_alloc_fail(0, 0, 1);
+        let c = SimConfig::tuned(machines::machine_a())
+            .with_faults(plan.clone())
+            .with_fault_attempt(2)
+            .with_trial_budget(1_000_000);
+        assert_eq!(c.fault_plan, Some(plan));
+        assert_eq!(c.fault_attempt, 2);
+        assert_eq!(c.trial_budget_cycles, Some(1_000_000));
+        let d = SimConfig::os_default(machines::machine_a());
+        assert!(d.fault_plan.is_none());
+        assert_eq!(d.fault_attempt, 0);
+        assert!(d.trial_budget_cycles.is_none());
     }
 }

@@ -25,6 +25,8 @@
 
 use crate::cache::Llc;
 use crate::config::SimConfig;
+use crate::error::{SimError, SimResult};
+use crate::fault::{ActiveFaults, FaultPlan};
 use crate::lock::{resolve_waits, LockId, LockTable, ThreadLockUse};
 use crate::mem::{Memory, VAddr, LINE, SMALL_PAGE};
 use crate::metrics::{Bottleneck, Counters, RegionStats};
@@ -95,7 +97,8 @@ impl NumaSim {
             links
                 .iter()
                 .position(|&(x, y)| (x.min(y), x.max(y)) == key)
-                .expect("adjacent nodes share a link") as u16
+                .unwrap_or_else(|| panic!("adjacent nodes {key:?} share no link"))
+                as u16
         };
         let link_paths = (0..nodes)
             .map(|a| {
@@ -195,13 +198,50 @@ impl NumaSim {
     /// `shared` is handed to every thread in turn — the model of shared
     /// mutable state (a global hash table, an allocator) that real threads
     /// would synchronise on.
-    pub fn parallel<S, F>(&mut self, threads: usize, shared: &mut S, mut f: F) -> RegionStats
+    ///
+    /// Infallible wrapper for workloads that run on a healthy machine:
+    /// panics if the region faults (OOM under `Bind`, an injected fault,
+    /// a blown cycle budget, or an invalid mapping). Fault-aware callers
+    /// use [`NumaSim::try_parallel`].
+    pub fn parallel<S, F>(&mut self, threads: usize, shared: &mut S, f: F) -> RegionStats
+    where
+        F: FnMut(&mut Worker<'_>, &mut S),
+    {
+        self.try_parallel(threads, shared, f)
+            .unwrap_or_else(|e| panic!("simulation fault in infallible region: {e}"))
+    }
+
+    /// Fallible variant of [`NumaSim::parallel`].
+    ///
+    /// Workers do not unwind on failure: the first fault *poisons* the
+    /// worker — every subsequent operation on it becomes a cheap no-op, so
+    /// the workload closure runs to completion structurally (fast-forward)
+    /// — and the region reports the lowest-tid fault here instead of
+    /// resolving stats. A failed region charges no elapsed time and no
+    /// counters; the experiment runner decides whether to retry.
+    pub fn try_parallel<S, F>(
+        &mut self,
+        threads: usize,
+        shared: &mut S,
+        mut f: F,
+    ) -> SimResult<RegionStats>
     where
         F: FnMut(&mut Worker<'_>, &mut S),
     {
         assert!(threads > 0, "a region needs at least one thread");
         let region = self.region_idx;
         self.region_idx += 1;
+        let quiet_plan = FaultPlan::default();
+        let active = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .unwrap_or(&quiet_plan)
+            .active(region, self.cfg.fault_attempt, self.num_links);
+        let budget_limit = self
+            .cfg
+            .trial_budget_cycles
+            .map(|b| b.saturating_sub(self.now_cycles));
         let unpinned = matches!(self.cfg.thread_placement, crate::config::ThreadPlacement::None);
         let schedules = if unpinned {
             // Reuse persistent schedules so threads stay where they were.
@@ -264,6 +304,14 @@ impl NumaSim {
                 link_lines: vec![0; self.num_links],
                 autonuma_countdown: AUTONUMA_SAMPLE_EVERY,
                 last_line: u64::MAX - 1,
+                faults: &active,
+                faults_quiet: active.is_quiet(),
+                region,
+                alloc_seq: 0,
+                next_preempt_at: active.preempt_period.unwrap_or(u64::MAX),
+                budget_limit,
+                sim_now: self.now_cycles,
+                fault: None,
             };
             w.next_sched_at = w.sched.next_event_at();
             w.next_scan_at = if self.cfg.autonuma {
@@ -283,10 +331,14 @@ impl NumaSim {
             finished.push(outcome.stats);
         }
 
-        self.resolve(region, finished, total_cores)
+        if let Some(e) = finished.iter().find_map(|t| t.fault.clone()) {
+            return Err(e);
+        }
+        Ok(self.resolve(region, finished, total_cores, &active))
     }
 
     /// Run a single logical thread (setup phases, coordinators).
+    /// Infallible wrapper over [`NumaSim::try_serial`]; panics on fault.
     pub fn serial<S, F>(&mut self, shared: &mut S, f: F) -> RegionStats
     where
         F: FnMut(&mut Worker<'_>, &mut S),
@@ -294,11 +346,20 @@ impl NumaSim {
         self.parallel(1, shared, f)
     }
 
+    /// Fallible variant of [`NumaSim::serial`].
+    pub fn try_serial<S, F>(&mut self, shared: &mut S, f: F) -> SimResult<RegionStats>
+    where
+        F: FnMut(&mut Worker<'_>, &mut S),
+    {
+        self.try_parallel(1, shared, f)
+    }
+
     fn resolve(
         &mut self,
         _region: u64,
         mut threads: Vec<ThreadOutcome2>,
         total_cores: usize,
+        faults: &ActiveFaults,
     ) -> RegionStats {
         let t0 = threads.iter().map(|t| t.clock).max().unwrap_or(0);
 
@@ -339,9 +400,12 @@ impl NumaSim {
             .iter()
             .map(|&l| l as f64 / machine.controller_lines_per_cycle)
             .collect();
+        // A degraded link's effective bandwidth is divided by the fault
+        // plan's divisor, inflating its busy time.
         let link_busy: Vec<f64> = link_lines
             .iter()
-            .map(|&l| l as f64 / machine.link_lines_per_cycle)
+            .enumerate()
+            .map(|(i, &l)| l as f64 * faults.link_bw_div[i] / machine.link_lines_per_cycle)
             .collect();
 
         // Queueing: a resource whose busy time exceeds the latency-bound
@@ -425,6 +489,8 @@ struct ThreadOutcome2 {
     locks: ThreadLockUse,
     dram_lines_by_node: Vec<u64>,
     link_lines: Vec<u64>,
+    /// The fault that poisoned this thread, if any.
+    fault: Option<SimError>,
 }
 
 struct ThreadOutcome {
@@ -461,6 +527,24 @@ pub struct Worker<'a> {
     autonuma_countdown: u64,
     /// Last line index touched, for the streaming detector.
     last_line: u64,
+    /// Faults active this region (quiet view when no plan is configured).
+    faults: &'a ActiveFaults,
+    /// Fast-path guard: nothing is degraded this region.
+    faults_quiet: bool,
+    /// The region index, for fault attribution.
+    region: u64,
+    /// Allocations performed so far this region (fault-decision key).
+    alloc_seq: u64,
+    /// Next forced preemption (preemption storm), or `u64::MAX`.
+    next_preempt_at: u64,
+    /// Thread-clock ceiling derived from the trial cycle budget.
+    budget_limit: Option<u64>,
+    /// Simulator cycles elapsed before this region (for timeout reports).
+    sim_now: u64,
+    /// Poison: the first fault this thread hit. All subsequent operations
+    /// fast-forward (cheap no-ops) so the workload closure completes
+    /// structurally without unwinding.
+    fault: Option<SimError>,
 }
 
 impl<'a> Worker<'a> {
@@ -494,45 +578,124 @@ impl<'a> Worker<'a> {
         self.cfg
     }
 
+    /// The fault that poisoned this worker, if any. Once set, every
+    /// operation on the worker is a cheap no-op; [`NumaSim::try_parallel`]
+    /// surfaces the fault when the region ends.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
+    }
+
+    /// Poison this worker with `fault` (used by allocator models and
+    /// harness code that detect failure conditions of their own).
+    pub fn fail(&mut self, fault: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
     /// Charge pure compute work.
     #[inline]
     pub fn compute(&mut self, cycles: u64) {
+        if self.fault.is_some() {
+            return;
+        }
         self.clock += cycles;
         self.counters.compute_cycles += cycles;
         self.check_events();
     }
 
     /// Map fresh address space under the configured placement policy.
+    ///
+    /// On failure (strict `Bind` OOM, machine-wide exhaustion, or an
+    /// injected transient fault) the worker is poisoned and the null
+    /// address 0 is returned; subsequent accesses through it are no-ops.
     pub fn map_pages(&mut self, bytes: u64) -> VAddr {
+        if self.fault.is_some() {
+            return 0;
+        }
         self.clock += MMAP_SYSCALL_CYCLES;
         self.counters.kernel_cycles += MMAP_SYSCALL_CYCLES;
-        self.memory
+        if self.alloc_fault_injected() {
+            return 0;
+        }
+        match self
+            .memory
             .map(bytes, self.cfg.mem_policy, self.node, self.cfg.thp)
+        {
+            Ok(addr) => addr,
+            Err(e) => {
+                self.fail(e);
+                0
+            }
+        }
     }
 
     /// Map fresh address space that concurrent workers will fault in
     /// uniformly (see `Memory::map_shared` for the modelling rationale).
+    /// Fails like [`Worker::map_pages`].
     pub fn map_pages_shared(&mut self, bytes: u64) -> VAddr {
+        if self.fault.is_some() {
+            return 0;
+        }
         self.clock += MMAP_SYSCALL_CYCLES;
         self.counters.kernel_cycles += MMAP_SYSCALL_CYCLES;
-        self.memory
+        if self.alloc_fault_injected() {
+            return 0;
+        }
+        match self
+            .memory
             .map_shared(bytes, self.cfg.mem_policy, self.node, self.cfg.thp)
+        {
+            Ok(addr) => addr,
+            Err(e) => {
+                self.fail(e);
+                0
+            }
+        }
     }
 
-    /// Release a mapping.
+    /// Decide (deterministically) whether the fault plan fails this
+    /// allocation; poisons the worker and counts the injection if so.
+    #[inline]
+    fn alloc_fault_injected(&mut self) -> bool {
+        let seq = self.alloc_seq;
+        self.alloc_seq += 1;
+        if self.faults_quiet || !self.faults.alloc_should_fail(self.tid, seq) {
+            return false;
+        }
+        self.counters.alloc_fault_injections += 1;
+        self.fail(SimError::InjectedAllocFault {
+            region: self.region,
+            attempt: self.faults.attempt(),
+        });
+        true
+    }
+
+    /// Release a mapping. An invalid range poisons the worker.
     pub fn unmap_pages(&mut self, addr: VAddr, bytes: u64) {
+        if self.fault.is_some() {
+            return;
+        }
         self.clock += MMAP_SYSCALL_CYCLES;
         self.counters.kernel_cycles += MMAP_SYSCALL_CYCLES;
-        self.memory.unmap(addr, bytes);
+        if let Err(e) = self.memory.unmap(addr, bytes) {
+            self.fail(e);
+        }
     }
 
     /// Charge the cost of touching `[addr, addr+len)` without moving data.
     pub fn touch(&mut self, addr: VAddr, len: u64, access: Access) {
+        if self.fault.is_some() {
+            return;
+        }
         debug_assert!(len > 0);
         let first = addr / LINE;
         let last = (addr + len - 1) / LINE;
         for line in first..=last {
             self.touch_line(line * LINE, access);
+            if self.fault.is_some() {
+                return;
+            }
         }
     }
 
@@ -558,7 +721,13 @@ impl<'a> Worker<'a> {
             return;
         }
 
-        let res = self.memory.resolve_touch(line_addr, self.node);
+        let res = match self.memory.resolve_touch(line_addr, self.node) {
+            Ok(r) => r,
+            Err(e) => {
+                self.fail(e);
+                return;
+            }
+        };
         if res.faulted {
             let lines_per_page = SMALL_PAGE / LINE;
             let cost = costs.fault_fixed_cycles
@@ -603,11 +772,20 @@ impl<'a> Worker<'a> {
             self.autonuma_countdown -= 1;
             if self.autonuma_countdown == 0 {
                 self.autonuma_countdown = AUTONUMA_SAMPLE_EVERY;
-                let migrated = self.memory.autonuma_touch(
+                let (migrated, blocked) = self.memory.autonuma_touch(
                     line_addr,
                     self.node,
                     costs.autonuma_migrate_threshold,
+                    !self.faults.block_migrations,
                 );
+                if blocked {
+                    // The kernel tried and failed (injected migration
+                    // fault): isolate/copy setup was paid, the page stayed.
+                    let cost = costs.page_migration_fixed_cycles / 2;
+                    self.clock += cost;
+                    self.counters.kernel_cycles += cost;
+                    self.counters.page_migration_failures += 1;
+                }
                 if migrated > 0 {
                     // One migration event: the kernel rate-limits the
                     // copy work, so a huge frame costs a bounded burst,
@@ -629,7 +807,13 @@ impl<'a> Worker<'a> {
             self.counters.cache_hits += 1;
         } else {
             self.counters.cache_misses += 1;
-            let factor = self.cfg.machine.topology.latency_factor(self.node, home);
+            let mut factor = self.cfg.machine.topology.latency_factor(self.node, home);
+            if !self.faults_quiet && home != self.node {
+                // Degraded links slow every access routed across them.
+                factor *= self
+                    .faults
+                    .path_latency_mult(&self.link_paths[self.node][home]);
+            }
             let mut dram = (self.cfg.machine.dram_latency_cycles as f64 * factor) as u64;
             if line_addr / LINE == self.last_line + 1 {
                 // Sequential miss: prefetched/pipelined.
@@ -657,9 +841,23 @@ impl<'a> Worker<'a> {
     /// pipelined DRAM latency per line plus full controller/link demand,
     /// bypassing the caches.
     pub fn dma_lines(&mut self, addr: VAddr, lines: u64) {
-        let res = self.memory.resolve_touch(addr, self.node);
+        if self.fault.is_some() {
+            return;
+        }
+        let res = match self.memory.resolve_touch(addr, self.node) {
+            Ok(r) => r,
+            Err(e) => {
+                self.fail(e);
+                return;
+            }
+        };
         let home = res.node;
-        let factor = self.cfg.machine.topology.latency_factor(self.node, home);
+        let mut factor = self.cfg.machine.topology.latency_factor(self.node, home);
+        if !self.faults_quiet && home != self.node {
+            factor *= self
+                .faults
+                .path_latency_mult(&self.link_paths[self.node][home]);
+        }
         let per_line = ((self.cfg.machine.dram_latency_cycles as f64 * factor) as u64
             / self.cfg.costs.mlp.max(1))
         .max(1);
@@ -676,16 +874,23 @@ impl<'a> Worker<'a> {
         self.check_events();
     }
 
-    /// Write raw bytes, charging access costs.
+    /// Write raw bytes, charging access costs. No-op on a poisoned worker.
     pub fn write_bytes(&mut self, addr: VAddr, data: &[u8]) {
         self.touch(addr, data.len() as u64, Access::Write);
-        self.memory.write_bytes(addr, data);
+        if self.fault.is_none() {
+            self.memory.write_bytes(addr, data);
+        }
     }
 
-    /// Read raw bytes, charging access costs.
+    /// Read raw bytes, charging access costs. A poisoned worker reads
+    /// zeroes (the data is discarded with the failed trial anyway).
     pub fn read_bytes(&mut self, addr: VAddr, out: &mut [u8]) {
         self.touch(addr, out.len() as u64, Access::Read);
-        self.memory.read_bytes(addr, out);
+        if self.fault.is_none() {
+            self.memory.read_bytes(addr, out);
+        } else {
+            out.fill(0);
+        }
     }
 
     /// Read a little-endian `u64`, charging access costs.
@@ -739,6 +944,9 @@ impl<'a> Worker<'a> {
     /// region resolution every thread is charged an expected wait based
     /// on how heavily other threads held the same lock.
     pub fn lock(&mut self, lock: LockId, hold_cycles: u64) {
+        if self.fault.is_some() {
+            return;
+        }
         const LOCK_ACQUIRE_CYCLES: u64 = 20;
         self.clock += LOCK_ACQUIRE_CYCLES;
         self.locks.record(lock, hold_cycles);
@@ -766,11 +974,33 @@ impl<'a> Worker<'a> {
             self.tlb2.flush();
             self.l1.flush();
         }
+        while self.clock >= self.next_preempt_at {
+            // Preemption storm: an antagonist process steals the core for
+            // a scheduling slice. The thread resumes on the same core but
+            // pays the context switch and comes back to cold L1/TLBs.
+            self.next_preempt_at = self
+                .next_preempt_at
+                .saturating_add(self.faults.preempt_period.unwrap_or(u64::MAX));
+            self.clock += self.cfg.costs.thread_migration_cycles;
+            self.counters.kernel_cycles += self.cfg.costs.thread_migration_cycles;
+            self.counters.preemptions += 1;
+            self.tlb4.flush();
+            self.tlb2.flush();
+            self.l1.flush();
+        }
         if self.clock >= self.next_scan_at {
             self.clock += self.cfg.costs.autonuma_scan_cycles;
             self.counters.kernel_cycles += self.cfg.costs.autonuma_scan_cycles;
             self.next_scan_at =
                 self.clock + self.cfg.costs.autonuma_scan_period_cycles;
+        }
+        if let Some(limit) = self.budget_limit {
+            if self.clock >= limit && self.fault.is_none() {
+                self.fault = Some(SimError::Timeout {
+                    budget_cycles: self.cfg.trial_budget_cycles.unwrap_or(limit),
+                    elapsed_cycles: self.sim_now + self.clock,
+                });
+            }
         }
     }
 
@@ -784,6 +1014,7 @@ impl<'a> Worker<'a> {
                 locks: self.locks,
                 dram_lines_by_node: self.dram_lines_by_node,
                 link_lines: self.link_lines,
+                fault: self.fault,
             },
             tlb4: self.tlb4,
             tlb2: self.tlb2,
@@ -1125,5 +1356,163 @@ mod tests {
         assert_eq!(stats.threads, 3);
         assert_eq!(stats.bottleneck, Bottleneck::ThreadLatency);
         assert_eq!(stats.elapsed_cycles, 10);
+    }
+
+    #[test]
+    fn bind_policy_fails_strictly_when_node_is_full() {
+        let mut machine = machines::machine_b();
+        machine.mem_per_node_bytes = 4 * SMALL_PAGE;
+        let cfg = quiet_cfg(machine).with_policy(MemPolicy::Bind(1));
+        let mut sim = NumaSim::new(cfg);
+        let err = sim
+            .try_serial(&mut (), |w, _| {
+                let a = w.map_pages(SMALL_PAGE * 8);
+                w.write_u64(a, 1);
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { node: 1, .. }), "{err}");
+        // Nothing leaked from the failed strict allocation.
+        assert!(sim.node_used_pages().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn injected_alloc_fault_poisons_and_clears_on_retry_attempt() {
+        let run = |attempt: u32| {
+            let plan = FaultPlan::new(3).with_alloc_fail(0, 0, 1);
+            let cfg = quiet_cfg(machines::machine_b())
+                .with_faults(plan)
+                .with_fault_attempt(attempt);
+            let mut sim = NumaSim::new(cfg);
+            let mut writes = 0u64;
+            let r = sim.try_serial(&mut writes, |w, writes| {
+                let a = w.map_pages(SMALL_PAGE);
+                w.write_u64(a, 7);
+                if w.fault().is_none() {
+                    *writes += 1;
+                }
+            });
+            (r, writes)
+        };
+        let (r0, writes0) = run(0);
+        let err = r0.unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(writes0, 0, "poisoned worker must not report progress");
+        let (r1, writes1) = run(1);
+        assert!(r1.is_ok(), "fault must clear on the retry attempt");
+        assert_eq!(writes1, 1);
+    }
+
+    #[test]
+    fn trial_budget_times_out_long_regions() {
+        let cfg = quiet_cfg(machines::machine_b()).with_trial_budget(50_000);
+        let mut sim = NumaSim::new(cfg);
+        let err = sim
+            .try_serial(&mut (), |w, _| {
+                for _ in 0..100 {
+                    w.compute(10_000);
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { budget_cycles: 50_000, .. }), "{err}");
+        // An under-budget region still succeeds.
+        let cfg = quiet_cfg(machines::machine_b()).with_trial_budget(50_000);
+        let mut sim = NumaSim::new(cfg);
+        assert!(sim.try_serial(&mut (), |w, _| w.compute(10_000)).is_ok());
+    }
+
+    #[test]
+    fn preemption_storm_flushes_and_counts() {
+        let plan = FaultPlan::new(0).with_event(
+            0,
+            0,
+            crate::fault::FaultKind::PreemptionStorm { period_cycles: 5_000 },
+        );
+        let cfg = quiet_cfg(machines::machine_b()).with_faults(plan);
+        let mut sim = NumaSim::new(cfg);
+        let stats = sim
+            .try_serial(&mut (), |w, _| w.compute(50_000))
+            .unwrap();
+        assert!(stats.counters.preemptions >= 5, "{:?}", stats.counters);
+        assert_eq!(stats.counters.thread_migrations, 0, "storms are not migrations");
+    }
+
+    #[test]
+    fn migration_failure_blocks_autonuma_and_counts() {
+        let run = |migfail: bool| {
+            let mut plan = FaultPlan::new(0);
+            if migfail {
+                plan = plan.with_event(0, u64::MAX, crate::fault::FaultKind::MigrationFail);
+            }
+            let cfg = quiet_cfg(machines::machine_b())
+                .with_autonuma(true)
+                .with_faults(plan);
+            let mut sim = NumaSim::new(cfg);
+            let mut addr = 0;
+            sim.try_serial(&mut addr, |w, addr| {
+                *addr = w.map_pages(SMALL_PAGE * 16);
+                for p in 0..16 {
+                    w.write_u64(*addr + p * SMALL_PAGE, p);
+                }
+            })
+            .unwrap();
+            sim.try_parallel(4, &mut addr, |w, addr| {
+                if w.tid() == 1 {
+                    for rep in 0..200u64 {
+                        for p in 0..16 {
+                            w.read_u64(*addr + p * SMALL_PAGE + (rep % 8) * 64);
+                        }
+                    }
+                }
+            })
+            .unwrap();
+            sim.counters()
+        };
+        let healthy = run(false);
+        let degraded = run(true);
+        assert!(healthy.page_migrations > 0);
+        assert_eq!(healthy.page_migration_failures, 0);
+        assert_eq!(degraded.page_migrations, 0, "blocked migrations must not move pages");
+        assert!(degraded.page_migration_failures > 0);
+    }
+
+    #[test]
+    fn link_degradation_slows_remote_traffic() {
+        let run = |lat: f64| {
+            let mut cfg = quiet_cfg(machines::machine_b())
+                .with_policy(MemPolicy::Preferred(1));
+            if lat > 1.0 {
+                let num_links = cfg.machine.topology.links().len();
+                let mut plan = FaultPlan::new(0);
+                for l in 0..num_links {
+                    plan = plan.with_event(
+                        0,
+                        u64::MAX,
+                        crate::fault::FaultKind::LinkDegrade {
+                            link: l,
+                            latency_x: lat,
+                            bandwidth_div: 1.0,
+                        },
+                    );
+                }
+                cfg = cfg.with_faults(plan);
+            }
+            let mut sim = NumaSim::new(cfg);
+            sim.try_serial(&mut (), |w, _| {
+                let a = w.map_pages(1 << 20);
+                for i in 0..(1 << 12) {
+                    // Strided reads defeat the streaming detector: full
+                    // remote latency on every miss.
+                    w.read_u64(a + (i * 8192) % (1 << 20));
+                }
+            })
+            .unwrap()
+            .elapsed_cycles
+        };
+        let healthy = run(1.0);
+        let degraded = run(4.0);
+        assert!(
+            degraded > healthy + healthy / 4,
+            "degraded links must slow remote-heavy runs: {healthy} vs {degraded}"
+        );
     }
 }

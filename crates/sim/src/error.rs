@@ -1,0 +1,126 @@
+//! Typed errors for the fallible simulation path.
+//!
+//! Real machines fail: `numactl --membind` allocations die when the bound
+//! node is full, transient allocation failures happen under memory
+//! pressure, and long-running trials must be cut off. [`SimError`] is the
+//! single error currency threaded from [`crate::NumaSim`] page placement
+//! up through the workload runners to the experiment harness, replacing
+//! the panics that used to abort a whole sweep on one bad trial.
+
+use std::fmt;
+
+/// Convenience alias used throughout the fallible simulation path.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// An error raised by the simulated machine or injected by a
+/// [`crate::FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No node could hold the requested pages. Raised strictly (no
+    /// fallback) under [`crate::MemPolicy::Bind`], and by any policy once
+    /// every node's capacity is exhausted — the model of a real `membind`
+    /// failure / kernel OOM.
+    OutOfMemory {
+        /// The node the placement wanted.
+        node: usize,
+        /// Pages the failing placement unit needed.
+        requested_pages: u64,
+    },
+    /// A zero-byte mapping, a touch of an unmapped address, or an unmap
+    /// outside any live mapping. (These used to be `assert!`s and
+    /// `debug_assert!`s that diverged between debug and release builds.)
+    InvalidMapping {
+        /// The offending virtual address (or requested base for maps).
+        addr: u64,
+    },
+    /// A transient allocation failure injected by a fault plan. Retryable:
+    /// the experiment runner re-runs the trial with a bumped
+    /// `fault_attempt` and the fault clears once the configured number of
+    /// failing attempts is exhausted.
+    InjectedAllocFault {
+        /// Parallel region in which the fault fired.
+        region: u64,
+        /// Retry attempt the fault fired on (0 = first run).
+        attempt: u32,
+    },
+    /// The trial exceeded its cycle budget.
+    Timeout {
+        /// The configured budget, in model cycles.
+        budget_cycles: u64,
+        /// Simulated cycles consumed when the budget tripped.
+        elapsed_cycles: u64,
+    },
+    /// A harness-level invariant failed (the fallible replacement for
+    /// internal `expect`s on the experiment path).
+    Harness {
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl SimError {
+    /// Whether retrying the trial (with a bumped fault attempt) can
+    /// plausibly succeed. Only injected transient faults qualify;
+    /// capacity exhaustion and timeouts are deterministic.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::InjectedAllocFault { .. })
+    }
+
+    /// Short stable tag for tables and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimError::OutOfMemory { .. } => "oom",
+            SimError::InvalidMapping { .. } => "invalid-mapping",
+            SimError::InjectedAllocFault { .. } => "alloc-fault",
+            SimError::Timeout { .. } => "timeout",
+            SimError::Harness { .. } => "harness",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { node, requested_pages } => write!(
+                f,
+                "out of memory: no node could hold {requested_pages} pages (wanted node {node})"
+            ),
+            SimError::InvalidMapping { addr } => {
+                write!(f, "invalid mapping at address {addr:#x}")
+            }
+            SimError::InjectedAllocFault { region, attempt } => write!(
+                f,
+                "injected transient allocation fault (region {region}, attempt {attempt})"
+            ),
+            SimError::Timeout { budget_cycles, elapsed_cycles } => write!(
+                f,
+                "trial exceeded its cycle budget ({elapsed_cycles} of {budget_cycles} budgeted cycles)"
+            ),
+            SimError::Harness { what } => write!(f, "harness invariant failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        assert!(SimError::InjectedAllocFault { region: 1, attempt: 0 }.is_transient());
+        assert!(!SimError::OutOfMemory { node: 0, requested_pages: 1 }.is_transient());
+        assert!(!SimError::Timeout { budget_cycles: 1, elapsed_cycles: 2 }.is_transient());
+        assert!(!SimError::InvalidMapping { addr: 0 }.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory { node: 2, requested_pages: 512 };
+        let s = e.to_string();
+        assert!(s.contains("512") && s.contains("node 2"), "{s}");
+        assert_eq!(e.tag(), "oom");
+        assert_eq!(SimError::Timeout { budget_cycles: 5, elapsed_cycles: 9 }.tag(), "timeout");
+    }
+}

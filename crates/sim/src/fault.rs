@@ -1,0 +1,399 @@
+//! Deterministic fault injection: seeded plans that degrade the simulated
+//! machine at chosen parallel-region indices.
+//!
+//! A [`FaultPlan`] is part of the [`crate::SimConfig`], so two runs with
+//! the same seed and the same plan produce bit-identical counters and the
+//! same failures — chaos experiments stay reproducible. Four fault
+//! families are modelled:
+//!
+//! * **Transient allocation failures** — `mmap` returns failure, the model
+//!   of allocation under memory pressure. Keyed on the retry attempt so a
+//!   bounded-retry harness observes the fault *clearing*.
+//! * **Interconnect link degradation** — a latency multiplier and a
+//!   bandwidth divisor applied to one link (a flaky or thermally throttled
+//!   QPI/IF hop).
+//! * **Page-migration failures** — AutoNUMA migrations fail (target busy
+//!   or isolated), burning kernel cycles without moving the page.
+//! * **Preemption storms** — an antagonist process forces periodic
+//!   context switches that flush the thread's L1 and TLBs.
+//!
+//! Fault windows are expressed in *region indices*: the n-th
+//! parallel/serial region the simulator runs. Region indices are
+//! deterministic for a given workload, which is what lets a plan say
+//! "fail the allocation in the build phase".
+
+use crate::error::{SimError, SimResult};
+
+/// Denominator of [`FaultKind::AllocFail`] rates: 1_000_000 = always.
+pub const PPM: u32 = 1_000_000;
+
+/// One fault, active over an inclusive window of region indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// First region index (inclusive) the fault is active in.
+    pub from_region: u64,
+    /// Last region index (inclusive) the fault is active in.
+    pub to_region: u64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+/// The fault families a plan can inject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Fail mappings in the window with probability `rate_ppm`/1e6
+    /// (decided by a seeded hash — deterministic per allocation), but only
+    /// while the trial's retry attempt is below `fail_attempts`: the
+    /// transient clears after that many failing attempts.
+    AllocFail {
+        /// Failure probability in parts per million ([`PPM`] = certain).
+        rate_ppm: u32,
+        /// Attempts (0-based) on which the fault is live; attempt
+        /// `fail_attempts` and later run clean.
+        fail_attempts: u32,
+    },
+    /// Degrade one interconnect link: accesses whose route crosses it pay
+    /// `latency_x` times the latency, and its bandwidth is divided by
+    /// `bandwidth_div` in the region roofline.
+    LinkDegrade {
+        /// Link index, as in `Topology::links`.
+        link: usize,
+        /// Latency multiplier (≥ 1.0).
+        latency_x: f64,
+        /// Bandwidth divisor (≥ 1.0).
+        bandwidth_div: f64,
+    },
+    /// AutoNUMA page migrations fail during the window.
+    MigrationFail,
+    /// Preempt every thread each `period_cycles` of its execution,
+    /// charging a context switch and flushing its L1/TLBs.
+    PreemptionStorm {
+        /// Cycles between forced preemptions per thread.
+        period_cycles: u64,
+    },
+}
+
+/// A seeded, deterministic schedule of injected faults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed mixed into per-allocation failure decisions.
+    pub seed: u64,
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, events: Vec::new() }
+    }
+
+    /// Builder-style: add a fault over `[from, to]` region indices.
+    pub fn with_event(mut self, from_region: u64, to_region: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { from_region, to_region, kind });
+        self
+    }
+
+    /// Builder-style: certain transient allocation failure in the window,
+    /// clearing after `fail_attempts` retries.
+    pub fn with_alloc_fail(self, from: u64, to: u64, fail_attempts: u32) -> Self {
+        self.with_event(from, to, FaultKind::AllocFail { rate_ppm: PPM, fail_attempts })
+    }
+
+    /// Whether the plan has no events (always quiet).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Resolve the faults active in `region` on retry `attempt` into a
+    /// flat per-region view the engine consults on hot paths.
+    pub fn active(&self, region: u64, attempt: u32, num_links: usize) -> ActiveFaults {
+        let mut a = ActiveFaults {
+            seed: self.seed,
+            region,
+            attempt,
+            alloc_fail_ppm: 0,
+            link_latency: vec![1.0; num_links],
+            link_bw_div: vec![1.0; num_links],
+            block_migrations: false,
+            preempt_period: None,
+        };
+        for ev in &self.events {
+            if region < ev.from_region || region > ev.to_region {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::AllocFail { rate_ppm, fail_attempts } => {
+                    if attempt < fail_attempts {
+                        a.alloc_fail_ppm = a.alloc_fail_ppm.max(rate_ppm.min(PPM));
+                    }
+                }
+                FaultKind::LinkDegrade { link, latency_x, bandwidth_div } => {
+                    if link < num_links {
+                        a.link_latency[link] *= latency_x.max(1.0);
+                        a.link_bw_div[link] *= bandwidth_div.max(1.0);
+                    }
+                }
+                FaultKind::MigrationFail => a.block_migrations = true,
+                FaultKind::PreemptionStorm { period_cycles } => {
+                    let p = period_cycles.max(1);
+                    a.preempt_period =
+                        Some(a.preempt_period.map_or(p, |prev: u64| prev.min(p)));
+                }
+            }
+        }
+        a
+    }
+
+    /// Parse a plan from a compact spec string (the `--faults` flag):
+    ///
+    /// ```text
+    /// event(;event)*
+    /// event   := kind '@' window (':' key '=' value (',' key '=' value)*)?
+    /// window  := REGION | REGION '..' REGION        (inclusive)
+    /// kind    := 'alloc'   [rate=0.0..1.0] [attempts=N]
+    ///          | 'link'    [link=N] [lat=F] [bw=F]
+    ///          | 'migfail'
+    ///          | 'preempt' [period=N]
+    /// ```
+    ///
+    /// Example: `alloc@2:attempts=1;link@0..9:link=0,lat=2.5,bw=4`.
+    pub fn parse(spec: &str, seed: u64) -> SimResult<FaultPlan> {
+        fn bad(_why: &'static str) -> SimError {
+            SimError::Harness { what: "malformed --faults spec" }
+        }
+        let mut plan = FaultPlan::new(seed);
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (head, params) = match part.split_once(':') {
+                Some((h, p)) => (h, Some(p)),
+                None => (part, None),
+            };
+            let (kind_name, window) =
+                head.split_once('@').ok_or_else(|| bad("missing @window"))?;
+            let (from, to) = match window.split_once("..") {
+                Some((a, b)) => (
+                    a.parse().map_err(|_| bad("bad window start"))?,
+                    b.parse().map_err(|_| bad("bad window end"))?,
+                ),
+                None => {
+                    let r = window.parse().map_err(|_| bad("bad window"))?;
+                    (r, r)
+                }
+            };
+            let mut kv = std::collections::HashMap::new();
+            if let Some(params) = params {
+                for pair in params.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| bad("bad key=value"))?;
+                    kv.insert(k.trim().to_string(), v.trim().to_string());
+                }
+            }
+            let getf = |k: &str, default: f64| -> SimResult<f64> {
+                match kv.get(k) {
+                    Some(v) => v.parse().map_err(|_| bad("bad float param")),
+                    None => Ok(default),
+                }
+            };
+            let getu = |k: &str, default: u64| -> SimResult<u64> {
+                match kv.get(k) {
+                    Some(v) => v.parse().map_err(|_| bad("bad integer param")),
+                    None => Ok(default),
+                }
+            };
+            let kind = match kind_name.trim() {
+                "alloc" => FaultKind::AllocFail {
+                    rate_ppm: (getf("rate", 1.0)?.clamp(0.0, 1.0) * PPM as f64) as u32,
+                    fail_attempts: getu("attempts", 1)? as u32,
+                },
+                "link" => FaultKind::LinkDegrade {
+                    link: getu("link", 0)? as usize,
+                    latency_x: getf("lat", 2.0)?,
+                    bandwidth_div: getf("bw", 2.0)?,
+                },
+                "migfail" => FaultKind::MigrationFail,
+                "preempt" => FaultKind::PreemptionStorm {
+                    period_cycles: getu("period", 100_000)?.max(1),
+                },
+                _ => return Err(bad("unknown fault kind")),
+            };
+            plan.events.push(FaultEvent { from_region: from, to_region: to, kind });
+        }
+        Ok(plan)
+    }
+}
+
+/// The faults in force for one region, resolved to flat lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveFaults {
+    seed: u64,
+    region: u64,
+    attempt: u32,
+    alloc_fail_ppm: u32,
+    /// Per-link latency multipliers (1.0 = healthy).
+    pub link_latency: Vec<f64>,
+    /// Per-link bandwidth divisors (1.0 = healthy).
+    pub link_bw_div: Vec<f64>,
+    /// AutoNUMA migrations fail this region.
+    pub block_migrations: bool,
+    /// Forced preemption period, when a storm is active.
+    pub preempt_period: Option<u64>,
+}
+
+impl ActiveFaults {
+    /// Whether the `n`-th allocation by thread `tid` this region fails.
+    /// Pure function of (seed, region, tid, n) — deterministic across
+    /// runs and across retries (the *attempt* gate lives in
+    /// [`FaultPlan::active`]).
+    #[inline]
+    pub fn alloc_should_fail(&self, tid: usize, alloc_seq: u64) -> bool {
+        if self.alloc_fail_ppm == 0 {
+            return false;
+        }
+        if self.alloc_fail_ppm >= PPM {
+            return true;
+        }
+        let h = mix(
+            self.seed
+                ^ self.region.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (tid as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+                ^ alloc_seq.wrapping_mul(0xc4ce_b9fe_1a85_ec53),
+        );
+        (h % PPM as u64) < self.alloc_fail_ppm as u64
+    }
+
+    /// The retry attempt this view was resolved for.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Combined latency multiplier of a route (product over its links).
+    #[inline]
+    pub fn path_latency_mult(&self, path: &[u16]) -> f64 {
+        let mut m = 1.0;
+        for &l in path {
+            m *= self.link_latency[l as usize];
+        }
+        m
+    }
+
+    /// True when nothing is degraded this region (fast-path guard).
+    pub fn is_quiet(&self) -> bool {
+        self.alloc_fail_ppm == 0
+            && !self.block_migrations
+            && self.preempt_period.is_none()
+            && self.link_latency.iter().all(|&x| x == 1.0)
+            && self.link_bw_div.iter().all(|&x| x == 1.0)
+    }
+}
+
+/// 64-bit finalizer (splitmix-style) for fault decisions.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_quiet_everywhere() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        let a = p.active(3, 0, 4);
+        assert!(a.is_quiet());
+        assert!(!a.alloc_should_fail(0, 0));
+    }
+
+    #[test]
+    fn alloc_fail_clears_after_configured_attempts() {
+        let p = FaultPlan::new(1).with_alloc_fail(2, 2, 1);
+        assert!(p.active(2, 0, 0).alloc_should_fail(0, 0));
+        assert!(!p.active(2, 1, 0).alloc_should_fail(0, 0), "attempt 1 must run clean");
+        assert!(!p.active(1, 0, 0).alloc_should_fail(0, 0), "outside the window");
+        assert!(!p.active(3, 0, 0).alloc_should_fail(0, 0));
+    }
+
+    #[test]
+    fn partial_rates_are_deterministic_and_partial() {
+        let p = FaultPlan::new(42).with_event(
+            0,
+            100,
+            FaultKind::AllocFail { rate_ppm: PPM / 2, fail_attempts: 1 },
+        );
+        let a = p.active(5, 0, 0);
+        let fails: Vec<bool> = (0..64).map(|i| a.alloc_should_fail(1, i)).collect();
+        let again: Vec<bool> = (0..64).map(|i| a.alloc_should_fail(1, i)).collect();
+        assert_eq!(fails, again, "decisions must be reproducible");
+        let n = fails.iter().filter(|&&f| f).count();
+        assert!(n > 8 && n < 56, "~50% rate wildly off: {n}/64");
+    }
+
+    #[test]
+    fn link_degradation_scales_path_latency_and_bandwidth() {
+        let p = FaultPlan::new(0).with_event(
+            1,
+            4,
+            FaultKind::LinkDegrade { link: 2, latency_x: 3.0, bandwidth_div: 4.0 },
+        );
+        let a = p.active(2, 0, 4);
+        assert_eq!(a.link_latency[2], 3.0);
+        assert_eq!(a.link_bw_div[2], 4.0);
+        assert_eq!(a.link_latency[0], 1.0);
+        assert_eq!(a.path_latency_mult(&[0, 2]), 3.0);
+        assert_eq!(a.path_latency_mult(&[0, 1]), 1.0);
+        assert!(p.active(0, 0, 4).is_quiet());
+    }
+
+    #[test]
+    fn storm_and_migfail_windows() {
+        let p = FaultPlan::new(0)
+            .with_event(0, 1, FaultKind::MigrationFail)
+            .with_event(1, 2, FaultKind::PreemptionStorm { period_cycles: 500 });
+        assert!(p.active(0, 0, 0).block_migrations);
+        let a1 = p.active(1, 0, 0);
+        assert!(a1.block_migrations);
+        assert_eq!(a1.preempt_period, Some(500));
+        let a2 = p.active(2, 0, 0);
+        assert!(!a2.block_migrations);
+        assert_eq!(a2.preempt_period, Some(500));
+    }
+
+    #[test]
+    fn spec_round_trips_through_parse() {
+        let p = FaultPlan::parse(
+            "alloc@2:attempts=2,rate=1.0;link@0..9:link=1,lat=2.5,bw=4;migfail@3;preempt@4..5:period=9000",
+            99,
+        )
+        .unwrap();
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(
+            p.events[0],
+            FaultEvent {
+                from_region: 2,
+                to_region: 2,
+                kind: FaultKind::AllocFail { rate_ppm: PPM, fail_attempts: 2 }
+            }
+        );
+        assert_eq!(
+            p.events[1].kind,
+            FaultKind::LinkDegrade { link: 1, latency_x: 2.5, bandwidth_div: 4.0 }
+        );
+        assert_eq!(p.events[2].kind, FaultKind::MigrationFail);
+        assert_eq!(p.events[3].kind, FaultKind::PreemptionStorm { period_cycles: 9000 });
+    }
+
+    #[test]
+    fn malformed_specs_error_without_panicking() {
+        for bad in ["alloc", "alloc@x", "wat@1", "link@1:lat", "alloc@1..z"] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "{bad} should not parse");
+        }
+        assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+}

@@ -1,3 +1,6 @@
+// Harness-path code must surface faults, never panic on them: unwrap()
+// and expect() are denied outside tests (enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! A deterministic NUMA machine simulator.
 //!
 //! This crate is the measurement substrate for the whole workspace: it
@@ -36,6 +39,8 @@
 mod cache;
 mod config;
 mod engine;
+mod error;
+mod fault;
 mod lock;
 mod mem;
 mod metrics;
@@ -45,6 +50,8 @@ mod tlb;
 pub use cache::Llc;
 pub use config::{CostParams, MemPolicy, SimConfig, ThreadPlacement};
 pub use engine::{Access, NumaSim, Worker};
+pub use error::{SimError, SimResult};
+pub use fault::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
 pub use lock::LockId;
 pub use mem::{VAddr, HUGE_PAGE, LINE, PAGES_PER_HUGE, SMALL_PAGE};
 pub use metrics::{Bottleneck, Counters, RegionStats};

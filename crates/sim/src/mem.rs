@@ -2,6 +2,7 @@
 //! capacities, THP frame grouping, and the byte backing store.
 
 use crate::config::MemPolicy;
+use crate::error::{SimError, SimResult};
 use nqp_topology::{MachineSpec, NodeId};
 
 /// Small (default) page size: 4 KB.
@@ -114,16 +115,21 @@ impl Memory {
     /// * Under THP, mappings of at least one huge page are built from 2 MB
     ///   frames (the address is 2 MB-aligned), trailing remainder from 4 KB
     ///   pages.
-    /// * Placement: `Interleave`, `Localalloc`, and `Preferred` assign home
-    ///   nodes immediately (at placement granularity = page or frame);
-    ///   `FirstTouch` defers to the first touch.
+    /// * Placement: `Interleave`, `Localalloc`, `Preferred`, and `Bind`
+    ///   assign home nodes immediately (at placement granularity = page or
+    ///   frame); `FirstTouch` defers to the first touch.
+    ///
+    /// Fails with [`SimError::InvalidMapping`] for zero-byte requests and
+    /// [`SimError::OutOfMemory`] when no node can hold the pages (strictly
+    /// the bound node under `Bind`). On failure nothing is mapped and no
+    /// capacity is consumed.
     pub fn map(
         &mut self,
         bytes: u64,
         policy: MemPolicy,
         mapping_node: NodeId,
         thp: bool,
-    ) -> VAddr {
+    ) -> SimResult<VAddr> {
         self.map_inner(bytes, policy, mapping_node, thp)
     }
 
@@ -140,7 +146,7 @@ impl Memory {
         policy: MemPolicy,
         mapping_node: NodeId,
         thp: bool,
-    ) -> VAddr {
+    ) -> SimResult<VAddr> {
         let effective = match policy {
             MemPolicy::FirstTouch | MemPolicy::Localalloc => MemPolicy::Interleave,
             other => other,
@@ -154,8 +160,12 @@ impl Memory {
         policy: MemPolicy,
         mapping_node: NodeId,
         thp: bool,
-    ) -> VAddr {
-        assert!(bytes > 0, "cannot map zero bytes");
+    ) -> SimResult<VAddr> {
+        if bytes == 0 {
+            return Err(SimError::InvalidMapping { addr: self.next });
+        }
+        let saved_next = self.next;
+        let saved_cursor = self.interleave_cursor;
         let use_huge = thp && bytes >= HUGE_PAGE;
         let align = if use_huge { HUGE_PAGE } else { SMALL_PAGE };
         let addr = round_up(self.next, align);
@@ -173,7 +183,23 @@ impl Memory {
             let remaining = n_pages - idx;
             let huge = use_huge && remaining >= PAGES_PER_HUGE as usize;
             let unit = if huge { PAGES_PER_HUGE as usize } else { 1 };
-            let node = self.assign_at_map(policy, mapping_node, unit as u64);
+            let node = match self.assign_at_map(policy, mapping_node, unit as u64) {
+                Ok(n) => n,
+                Err(e) => {
+                    // Roll the partial mapping back: no capacity may leak
+                    // from a failed map.
+                    for p in first_page..first_page + idx {
+                        let entry = &mut self.pages[p];
+                        if entry.node != NO_NODE {
+                            self.node_used_pages[entry.node as usize] -= 1;
+                        }
+                        *entry = PageEntry::UNMAPPED;
+                    }
+                    self.next = saved_next;
+                    self.interleave_cursor = saved_cursor;
+                    return Err(e);
+                }
+            };
             for p in 0..unit {
                 self.pages[first_page + idx + p] = PageEntry {
                     node: node.map_or(NO_NODE, |n| n as u8),
@@ -188,15 +214,19 @@ impl Memory {
             }
             idx += unit;
         }
-        addr
+        Ok(addr)
     }
 
     /// Release a mapping created by [`Memory::map`]. The address space is
     /// not recycled (addresses stay unique for the life of the sim), but
-    /// node capacity is returned.
-    pub fn unmap(&mut self, addr: VAddr, bytes: u64) {
+    /// node capacity is returned. Fails with [`SimError::InvalidMapping`]
+    /// when the range was never part of a mapping.
+    pub fn unmap(&mut self, addr: VAddr, bytes: u64) -> SimResult<()> {
         let first_page = (addr / SMALL_PAGE) as usize;
         let n_pages = (round_up(bytes, SMALL_PAGE) / SMALL_PAGE) as usize;
+        if n_pages == 0 || first_page + n_pages > self.pages.len() {
+            return Err(SimError::InvalidMapping { addr });
+        }
         for p in first_page..first_page + n_pages {
             let e = &mut self.pages[p];
             if e.mapped && e.node != NO_NODE {
@@ -204,64 +234,92 @@ impl Memory {
             }
             *e = PageEntry::UNMAPPED;
         }
+        Ok(())
     }
 
-    /// Node assignment at map time; `None` means deferred (First Touch).
+    /// Node assignment at map time; `Ok(None)` means deferred (First
+    /// Touch). Fails when no permitted node has space.
     fn assign_at_map(
         &mut self,
         policy: MemPolicy,
         mapping_node: NodeId,
         unit_pages: u64,
-    ) -> Option<NodeId> {
+    ) -> SimResult<Option<NodeId>> {
         let desired = match policy {
-            MemPolicy::FirstTouch => return None,
+            MemPolicy::FirstTouch => return Ok(None),
             MemPolicy::Localalloc => mapping_node,
             MemPolicy::Preferred(p) => p.min(self.num_nodes - 1),
+            MemPolicy::Bind(b) => {
+                // Strict membind: the bound node or failure, no fallback.
+                let node = b.min(self.num_nodes - 1);
+                if self.node_used_pages[node] + unit_pages > self.node_capacity_pages {
+                    return Err(SimError::OutOfMemory {
+                        node,
+                        requested_pages: unit_pages,
+                    });
+                }
+                self.node_used_pages[node] += unit_pages;
+                return Ok(Some(node));
+            }
             MemPolicy::Interleave => {
                 let n = self.interleave_cursor % self.num_nodes;
                 self.interleave_cursor += 1;
                 n
             }
         };
-        let node = self.node_with_space(desired, unit_pages);
+        let node = self.node_with_space(desired, unit_pages).ok_or(
+            SimError::OutOfMemory { node: desired, requested_pages: unit_pages },
+        )?;
         self.node_used_pages[node] += unit_pages;
-        Some(node)
+        Ok(Some(node))
     }
 
-    /// Nearest node to `desired` with room for `unit_pages` more pages.
-    /// Falls back to `desired` itself if every node is full (the real
-    /// kernel would OOM; the model soft-fails instead).
-    fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> NodeId {
-        for &n in &self.fallback[desired] {
-            if self.node_used_pages[n] + unit_pages <= self.node_capacity_pages {
-                return n;
-            }
-        }
-        desired
+    /// Nearest node to `desired` (zone order) with room for `unit_pages`
+    /// more pages; `None` when every node is full — the model of a real
+    /// kernel OOM.
+    fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> Option<NodeId> {
+        self.fallback[desired]
+            .iter()
+            .copied()
+            .find(|&n| self.node_used_pages[n] + unit_pages <= self.node_capacity_pages)
     }
 
     /// Resolve a touch by `toucher_node` at `addr`: performs First Touch
     /// assignment and minor-fault bookkeeping, returns where the access is
     /// served from. Does **not** apply AutoNUMA (the engine layers that on
     /// top so it can charge migration costs).
+    ///
+    /// Fails with [`SimError::InvalidMapping`] on touches outside any live
+    /// mapping (previously a `debug_assert!` that silently mis-resolved in
+    /// release builds) and [`SimError::OutOfMemory`] when a deferred
+    /// First-Touch assignment finds every node full.
     #[inline]
-    pub fn resolve_touch(&mut self, addr: VAddr, toucher_node: NodeId) -> TouchResolution {
+    pub fn resolve_touch(
+        &mut self,
+        addr: VAddr,
+        toucher_node: NodeId,
+    ) -> SimResult<TouchResolution> {
         let page = (addr / SMALL_PAGE) as usize;
-        let e = self.pages[page];
-        debug_assert!(e.mapped, "touch of unmapped address {addr:#x}");
+        let e = *self
+            .pages
+            .get(page)
+            .filter(|e| e.mapped)
+            .ok_or(SimError::InvalidMapping { addr })?;
         if e.faulted {
-            return TouchResolution {
+            return Ok(TouchResolution {
                 node: e.node as NodeId,
                 faulted: false,
                 huge: e.huge,
                 fault_pages: 0,
-            };
+            });
         }
         // Fault path: assign a node if First Touch deferred it, then mark
         // the fault unit (whole huge frame, or one small page) as faulted.
         let node = if e.node == NO_NODE {
             let unit = if e.huge { PAGES_PER_HUGE } else { 1 };
-            let n = self.node_with_space(toucher_node, unit);
+            let n = self.node_with_space(toucher_node, unit).ok_or(
+                SimError::OutOfMemory { node: toucher_node, requested_pages: unit },
+            )?;
             self.node_used_pages[n] += unit;
             n
         } else {
@@ -277,11 +335,15 @@ impl Memory {
             self.pages[p].node = node as u8;
             self.pages[p].faulted = true;
         }
-        TouchResolution { node, faulted: true, huge: e.huge, fault_pages: count as u64 }
+        Ok(TouchResolution { node, faulted: true, huge: e.huge, fault_pages: count as u64 })
     }
 
-    /// AutoNUMA bookkeeping for one touch. Returns the number of 4 KB
-    /// pages migrated to `toucher_node` (0 when no migration fired).
+    /// AutoNUMA bookkeeping for one touch. Returns `(migrated_pages,
+    /// blocked)`: the number of 4 KB pages migrated to `toucher_node`
+    /// (0 when no migration fired), and whether a migration *wanted* to
+    /// fire but was blocked by `allow_migrate = false` (an injected
+    /// migration failure — the engine charges partial kernel cost and
+    /// counts it).
     ///
     /// Pages accumulate `remote_hits` on remote touches by a *consistent*
     /// remote node (the kernel's two-reference rule); reaching
@@ -295,18 +357,19 @@ impl Memory {
         addr: VAddr,
         toucher_node: NodeId,
         threshold: u32,
-    ) -> u64 {
+        allow_migrate: bool,
+    ) -> (u64, bool) {
         let page = (addr / SMALL_PAGE) as usize;
         let e = &mut self.pages[page];
         e.sharers |= 1u8 << (toucher_node & 7);
         if e.node as NodeId == toucher_node {
             e.remote_hits = 0;
-            return 0;
+            return (0, false);
         }
         // Shared-page detection: pages observed from three or more nodes
         // are left in place (migrating them would only ping-pong).
         if e.sharers.count_ones() >= 3 {
-            return 0;
+            return (0, false);
         }
         if e.last_remote as NodeId == toucher_node {
             e.remote_hits = e.remote_hits.saturating_add(1);
@@ -315,7 +378,14 @@ impl Memory {
             e.remote_hits = 1;
         }
         if (e.remote_hits as u32) < threshold {
-            return 0;
+            return (0, false);
+        }
+        if !allow_migrate {
+            // The migration attempt fails (injected fault): reset the hit
+            // count as the kernel would after an isolate_lru failure, but
+            // leave the page where it is.
+            e.remote_hits = 0;
+            return (0, true);
         }
         // Migrate the placement unit to the toucher.
         let (start, count) = if e.huge {
@@ -331,7 +401,7 @@ impl Memory {
             self.pages[p].node = toucher_node as u8;
             self.pages[p].remote_hits = 0;
         }
-        count as u64
+        (count as u64, false)
     }
 
     /// Record a NUMA-hinting fault opportunity: returns `true` (and
@@ -429,10 +499,10 @@ mod tests {
     #[test]
     fn map_returns_aligned_nonzero_addresses() {
         let mut m = mem();
-        let a = m.map(100, MemPolicy::FirstTouch, 0, false);
+        let a = m.map(100, MemPolicy::FirstTouch, 0, false).unwrap();
         assert!(a >= SMALL_PAGE);
         assert_eq!(a % SMALL_PAGE, 0);
-        let b = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
+        let b = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true).unwrap();
         assert_eq!(b % HUGE_PAGE, 0);
         assert!(b > a);
     }
@@ -440,14 +510,14 @@ mod tests {
     #[test]
     fn first_touch_assigns_to_toucher() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 4, MemPolicy::FirstTouch, 0, false);
+        let a = m.map(SMALL_PAGE * 4, MemPolicy::FirstTouch, 0, false).unwrap();
         assert_eq!(m.node_of(a), None);
-        let r = m.resolve_touch(a, 2);
+        let r = m.resolve_touch(a, 2).unwrap();
         assert!(r.faulted);
         assert_eq!(r.node, 2);
         assert_eq!(m.node_of(a), Some(2));
         // Second touch: no fault, same node, even from another node.
-        let r2 = m.resolve_touch(a, 3);
+        let r2 = m.resolve_touch(a, 3).unwrap();
         assert!(!r2.faulted);
         assert_eq!(r2.node, 2);
     }
@@ -455,14 +525,14 @@ mod tests {
     #[test]
     fn localalloc_assigns_to_mapper() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 3, false);
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 3, false).unwrap();
         assert_eq!(m.node_of(a), Some(3));
     }
 
     #[test]
     fn preferred_assigns_to_chosen_node() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 8, MemPolicy::Preferred(1), 0, false);
+        let a = m.map(SMALL_PAGE * 8, MemPolicy::Preferred(1), 0, false).unwrap();
         for p in 0..8 {
             assert_eq!(m.node_of(a + p * SMALL_PAGE), Some(1));
         }
@@ -471,7 +541,7 @@ mod tests {
     #[test]
     fn interleave_round_robins_across_nodes() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 8, MemPolicy::Interleave, 0, false);
+        let a = m.map(SMALL_PAGE * 8, MemPolicy::Interleave, 0, false).unwrap();
         let nodes: Vec<_> = (0..8)
             .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
             .collect();
@@ -481,7 +551,7 @@ mod tests {
     #[test]
     fn thp_builds_huge_frames_and_interleaves_per_frame() {
         let mut m = mem();
-        let a = m.map(2 * HUGE_PAGE, MemPolicy::Interleave, 0, true);
+        let a = m.map(2 * HUGE_PAGE, MemPolicy::Interleave, 0, true).unwrap();
         assert!(m.is_huge(a));
         // All 512 pages of frame 0 share a node; frame 1 gets the next.
         let n0 = m.node_of(a).unwrap();
@@ -493,26 +563,26 @@ mod tests {
     #[test]
     fn thp_off_never_builds_huge_frames() {
         let mut m = mem();
-        let a = m.map(4 * HUGE_PAGE, MemPolicy::FirstTouch, 0, false);
+        let a = m.map(4 * HUGE_PAGE, MemPolicy::FirstTouch, 0, false).unwrap();
         assert!(!m.is_huge(a));
     }
 
     #[test]
     fn small_mapping_stays_small_even_with_thp() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 16, MemPolicy::FirstTouch, 0, true);
+        let a = m.map(SMALL_PAGE * 16, MemPolicy::FirstTouch, 0, true).unwrap();
         assert!(!m.is_huge(a));
     }
 
     #[test]
     fn huge_fault_faults_whole_frame() {
         let mut m = mem();
-        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
-        let r = m.resolve_touch(a + 5 * SMALL_PAGE, 1);
+        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true).unwrap();
+        let r = m.resolve_touch(a + 5 * SMALL_PAGE, 1).unwrap();
         assert!(r.faulted);
         assert_eq!(r.fault_pages, PAGES_PER_HUGE);
         // Any other page in the frame is already faulted on node 1.
-        let r2 = m.resolve_touch(a, 2);
+        let r2 = m.resolve_touch(a, 2).unwrap();
         assert!(!r2.faulted);
         assert_eq!(r2.node, 1);
     }
@@ -520,9 +590,9 @@ mod tests {
     #[test]
     fn unmap_releases_capacity() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 4, MemPolicy::Localalloc, 0, false);
+        let a = m.map(SMALL_PAGE * 4, MemPolicy::Localalloc, 0, false).unwrap();
         assert_eq!(m.node_used_pages()[0], 4);
-        m.unmap(a, SMALL_PAGE * 4);
+        m.unmap(a, SMALL_PAGE * 4).unwrap();
         assert_eq!(m.node_used_pages()[0], 0);
         assert!(!m.is_mapped(a));
     }
@@ -533,7 +603,7 @@ mod tests {
         let mut machine = machines::machine_b();
         machine.mem_per_node_bytes = 2 * SMALL_PAGE;
         let mut m = Memory::new(&machine);
-        let a = m.map(SMALL_PAGE * 3, MemPolicy::Preferred(0), 0, false);
+        let a = m.map(SMALL_PAGE * 3, MemPolicy::Preferred(0), 0, false).unwrap();
         let nodes: Vec<_> = (0..3)
             .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
             .collect();
@@ -544,10 +614,10 @@ mod tests {
     #[test]
     fn autonuma_migrates_after_threshold_remote_touches() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false);
-        m.resolve_touch(a, 0);
-        assert_eq!(m.autonuma_touch(a, 1, 2), 0); // 1st remote hit
-        assert_eq!(m.autonuma_touch(a, 1, 2), 1); // 2nd: migrate
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false).unwrap();
+        m.resolve_touch(a, 0).unwrap();
+        assert_eq!(m.autonuma_touch(a, 1, 2, true), (0, false)); // 1st remote hit
+        assert_eq!(m.autonuma_touch(a, 1, 2, true), (1, false)); // 2nd: migrate
         assert_eq!(m.node_of(a), Some(1));
         assert_eq!(m.node_used_pages()[0], 0);
         assert_eq!(m.node_used_pages()[1], 1);
@@ -556,20 +626,20 @@ mod tests {
     #[test]
     fn autonuma_local_touch_resets_counter() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false);
-        m.resolve_touch(a, 0);
-        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
-        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
-        assert_eq!(m.autonuma_touch(a, 0, 3), 0); // local resets
-        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
-        assert_eq!(m.autonuma_touch(a, 1, 3), 0);
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false).unwrap();
+        m.resolve_touch(a, 0).unwrap();
+        assert_eq!(m.autonuma_touch(a, 1, 3, true), (0, false));
+        assert_eq!(m.autonuma_touch(a, 1, 3, true), (0, false));
+        assert_eq!(m.autonuma_touch(a, 0, 3, true), (0, false)); // local resets
+        assert_eq!(m.autonuma_touch(a, 1, 3, true), (0, false));
+        assert_eq!(m.autonuma_touch(a, 1, 3, true), (0, false));
         assert_eq!(m.node_of(a), Some(0), "page must not have migrated yet");
     }
 
     #[test]
     fn backing_store_round_trips_and_zero_fills() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE, MemPolicy::FirstTouch, 0, false);
+        let a = m.map(SMALL_PAGE, MemPolicy::FirstTouch, 0, false).unwrap();
         m.write_bytes(a + 10, &[1, 2, 3]);
         let mut buf = [0u8; 5];
         m.read_bytes(a + 9, &mut buf);
@@ -579,20 +649,20 @@ mod tests {
     #[test]
     fn map_shared_spreads_first_touch_policies() {
         let mut m = mem();
-        let a = m.map_shared(SMALL_PAGE * 8, MemPolicy::FirstTouch, 0, false);
+        let a = m.map_shared(SMALL_PAGE * 8, MemPolicy::FirstTouch, 0, false).unwrap();
         let nodes: Vec<_> = (0..8)
             .map(|p| m.node_of(a + p * SMALL_PAGE).unwrap())
             .collect();
         assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
         // Explicit policies keep their meaning.
-        let b = m.map_shared(SMALL_PAGE * 2, MemPolicy::Preferred(2), 0, false);
+        let b = m.map_shared(SMALL_PAGE * 2, MemPolicy::Preferred(2), 0, false).unwrap();
         assert_eq!(m.node_of(b), Some(2));
     }
 
     #[test]
     fn hint_faults_fire_once_per_page_per_epoch() {
         let mut m = mem();
-        let a = m.map(SMALL_PAGE * 2, MemPolicy::Localalloc, 0, false);
+        let a = m.map(SMALL_PAGE * 2, MemPolicy::Localalloc, 0, false).unwrap();
         assert!(m.hint_fault_due(a, 1), "first touch in epoch 1 faults");
         assert!(!m.hint_fault_due(a, 1), "second touch does not");
         assert!(m.hint_fault_due(a + SMALL_PAGE, 1), "other page faults");
@@ -600,9 +670,85 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_map_is_an_error_not_an_abort() {
+        let mut m = mem();
+        assert!(matches!(
+            m.map(0, MemPolicy::FirstTouch, 0, false),
+            Err(SimError::InvalidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn unmapped_touch_is_an_error_not_an_abort() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false).unwrap();
+        // Far beyond anything mapped.
+        let err = m.resolve_touch(a + 100 * SMALL_PAGE, 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidMapping { .. }));
+        // Unmapping a never-mapped range errors too.
+        assert!(m.unmap(a + 100 * SMALL_PAGE, SMALL_PAGE).is_err());
+    }
+
+    #[test]
+    fn bind_fails_strictly_and_rolls_back() {
+        let mut machine = machines::machine_b();
+        machine.mem_per_node_bytes = 2 * SMALL_PAGE;
+        let mut m = Memory::new(&machine);
+        // Fits: 2 pages on node 3.
+        let a = m.map(SMALL_PAGE * 2, MemPolicy::Bind(3), 0, false).unwrap();
+        assert_eq!(m.node_of(a), Some(3));
+        // Does not fit: node 3 is full, and Bind must not spill.
+        let err = m.map(SMALL_PAGE, MemPolicy::Bind(3), 0, false).unwrap_err();
+        assert_eq!(err, SimError::OutOfMemory { node: 3, requested_pages: 1 });
+        // Other nodes still untouched; failed map consumed nothing.
+        assert_eq!(m.node_used_pages(), &[0, 0, 0, 2]);
+        // A partial multi-page Bind map rolls back what it placed.
+        let used_before = m.node_used_pages().to_vec();
+        let high_before = m.mapped_high_water();
+        assert!(m.map(SMALL_PAGE * 4, MemPolicy::Bind(0), 0, false).is_err());
+        assert_eq!(m.node_used_pages(), &used_before[..]);
+        assert_eq!(m.mapped_high_water(), high_before, "failed map leaked address space");
+    }
+
+    #[test]
+    fn machine_wide_exhaustion_fails_every_policy() {
+        let mut machine = machines::machine_b();
+        machine.mem_per_node_bytes = SMALL_PAGE;
+        let mut m = Memory::new(&machine);
+        // 4 nodes x 1 page each.
+        m.map(SMALL_PAGE * 4, MemPolicy::Interleave, 0, false).unwrap();
+        for policy in [
+            MemPolicy::Interleave,
+            MemPolicy::Localalloc,
+            MemPolicy::Preferred(0),
+        ] {
+            let err = m.map(SMALL_PAGE, policy, 0, false).unwrap_err();
+            assert!(matches!(err, SimError::OutOfMemory { .. }), "{policy:?}");
+        }
+        // First Touch defers: the map succeeds, the *touch* OOMs.
+        let a = m.map(SMALL_PAGE, MemPolicy::FirstTouch, 0, false).unwrap();
+        let err = m.resolve_touch(a, 2).unwrap_err();
+        assert_eq!(err, SimError::OutOfMemory { node: 2, requested_pages: 1 });
+    }
+
+    #[test]
+    fn blocked_migration_leaves_page_and_reports() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE, MemPolicy::Localalloc, 0, false).unwrap();
+        m.resolve_touch(a, 0).unwrap();
+        assert_eq!(m.autonuma_touch(a, 1, 2, false), (0, false)); // below threshold
+        assert_eq!(m.autonuma_touch(a, 1, 2, false), (0, true)); // blocked
+        assert_eq!(m.node_of(a), Some(0), "blocked migration must not move the page");
+        // After the failed attempt the hit count was reset.
+        assert_eq!(m.autonuma_touch(a, 1, 2, true), (0, false));
+        assert_eq!(m.autonuma_touch(a, 1, 2, true), (1, false));
+        assert_eq!(m.node_of(a), Some(1));
+    }
+
+    #[test]
     fn tlb_tags_differ_by_page_size() {
         let mut m = mem();
-        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true);
+        let a = m.map(HUGE_PAGE, MemPolicy::FirstTouch, 0, true).unwrap();
         let t1 = m.tlb_tag(a, true);
         let t2 = m.tlb_tag(a + HUGE_PAGE - 1, true);
         assert_eq!(t1, t2, "whole huge frame shares one 2MB translation");

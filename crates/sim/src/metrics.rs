@@ -40,6 +40,13 @@ pub struct Counters {
     pub kernel_cycles: u64,
     /// Cycles spent waiting on contended locks.
     pub lock_wait_cycles: u64,
+    /// Transient allocation failures injected by the fault plan.
+    pub alloc_fault_injections: u64,
+    /// AutoNUMA page migrations that failed under an injected
+    /// migration-failure fault (cycles burned, page left in place).
+    pub page_migration_failures: u64,
+    /// Forced context switches injected by a preemption storm.
+    pub preemptions: u64,
 }
 
 impl Counters {
@@ -106,6 +113,9 @@ impl AddAssign for Counters {
         self.dram_cycles += rhs.dram_cycles;
         self.kernel_cycles += rhs.kernel_cycles;
         self.lock_wait_cycles += rhs.lock_wait_cycles;
+        self.alloc_fault_injections += rhs.alloc_fault_injections;
+        self.page_migration_failures += rhs.page_migration_failures;
+        self.preemptions += rhs.preemptions;
     }
 }
 
@@ -129,6 +139,11 @@ impl Sub for Counters {
             dram_cycles: self.dram_cycles - rhs.dram_cycles,
             kernel_cycles: self.kernel_cycles - rhs.kernel_cycles,
             lock_wait_cycles: self.lock_wait_cycles - rhs.lock_wait_cycles,
+            alloc_fault_injections: self.alloc_fault_injections
+                - rhs.alloc_fault_injections,
+            page_migration_failures: self.page_migration_failures
+                - rhs.page_migration_failures,
+            preemptions: self.preemptions - rhs.preemptions,
         }
     }
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md) plus the harness-path lint gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+
+# The simulator and the experiment runner are the fallible substrate
+# everything else leans on: no unwrap()/expect() may land in their
+# library code. Both crate roots carry
+#   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+# (tests are exempt); this clippy pass makes the deny effective.
+cargo clippy -p nqp-sim -p nqp-core --lib --offline

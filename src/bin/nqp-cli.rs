@@ -5,24 +5,34 @@
 //! nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed]
 //!                [--alloc-light] [--mem-tight]
 //! nqp-cli workload w1|w2|w3|w4 [--machine A|B|C] [--threads N]
-//!                [--alloc NAME] [--policy first-touch|interleave|localalloc|preferred]
+//!                [--alloc NAME] [--policy first-touch|interleave|localalloc|preferred|bind]
 //!                [--placement sparse|dense|none] [--autonuma on|off]
 //!                [--thp on|off] [--n N] [--card N] [--index NAME] [--seed N]
+//!                [--faults SPEC] [--trial-budget CYCLES]
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
+//! nqp-cli sweep w1|w2|w3|w4 [--trials N] [--retries N] [--faults SPEC]
+//!                [--trial-budget CYCLES] [--machine A|B|C]
 //! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
 //! ```
+//!
+//! `--faults` takes the deterministic fault-plan grammar of
+//! `FaultPlan::parse`, e.g. `alloc@2:attempts=1;link@0..9:link=1,lat=2.5`.
+//! `sweep` runs every trial of every configuration to completion and
+//! exits nonzero only if *every* trial of some configuration failed.
 
 use nqp::alloc::AllocatorKind;
 use nqp::core::advisor::{advise, WorkloadProfile};
+use nqp::core::runner::{sweep, RetryPolicy};
 use nqp::core::TuningConfig;
 use nqp::datagen::tpch::TpchData;
 use nqp::datagen::{generate, JoinDataset};
 use nqp::engines::{query_name, DbSystem, SystemKind};
 use nqp::indexes::IndexKind;
 use nqp::query::{
-    run_aggregation_on, run_hash_join_on, run_inl_join_on, AggConfig, AggKind, WorkloadEnv,
+    try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on, AggConfig, AggKind,
+    WorkloadEnv,
 };
-use nqp::sim::{Counters, MemPolicy, ThreadPlacement};
+use nqp::sim::{Counters, FaultPlan, MemPolicy, SimResult, ThreadPlacement};
 use nqp::topology::{machines, MachineSpec};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -38,6 +48,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args[1..]),
         "workload" => cmd_workload(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
         "tpch" => cmd_tpch(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -57,8 +68,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   nqp-cli machines
   nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed] [--alloc-light] [--mem-tight]
-  nqp-cli workload <w1|w2|w3|w4> [options]
+  nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
+  nqp-cli sweep <w1|w2|w3|w4> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
 
@@ -141,6 +153,9 @@ fn config_from_flags(
             "interleave" => MemPolicy::Interleave,
             "localalloc" => MemPolicy::Localalloc,
             "preferred" => MemPolicy::Preferred(0),
+            // Strict membind: allocations on a full node 0 fail with
+            // OOM instead of spilling, like `numactl --membind=0`.
+            "bind" => MemPolicy::Bind(0),
             other => return Err(format!("unknown policy `{other}`")),
         });
     }
@@ -162,6 +177,14 @@ fn config_from_flags(
         let seed: u64 = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
         cfg.sim = cfg.sim.with_seed(seed);
     }
+    if let Some(spec) = flags.get("faults") {
+        let plan = FaultPlan::parse(spec, cfg.sim.seed).map_err(|e| e.to_string())?;
+        cfg = cfg.with_faults(plan);
+    }
+    if let Some(b) = flags.get("trial-budget") {
+        let cycles: u64 = b.parse().map_err(|_| format!("bad --trial-budget `{b}`"))?;
+        cfg = cfg.with_trial_budget(cycles);
+    }
     Ok(cfg)
 }
 
@@ -176,52 +199,86 @@ fn counters_summary(c: &Counters) -> String {
     )
 }
 
+/// A workload with its input data pre-generated, so sweeps can replay
+/// the exact same work under many environments (and fault attempts)
+/// without paying datagen per trial.
+enum WorkloadPlan {
+    Agg { acfg: AggConfig, records: Vec<nqp::datagen::Record> },
+    Hash { data: JoinDataset },
+    Inl { index: IndexKind, data: JoinDataset },
+}
+
+impl WorkloadPlan {
+    fn parse(which: &str, flags: &HashMap<String, String>) -> Result<Self, String> {
+        let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+        match which {
+            "w1" | "w2" => {
+                let n: usize =
+                    flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(300_000);
+                let card: u64 =
+                    flags.get("card").and_then(|s| s.parse().ok()).unwrap_or(75_000);
+                let mut acfg = if which == "w1" {
+                    AggConfig::w1(n, card, seed)
+                } else {
+                    AggConfig::w2(n, card, seed)
+                };
+                if acfg.kind == AggKind::DistributiveCount {
+                    acfg.cardinality = card;
+                }
+                let records = generate(acfg.dataset, n, card, seed);
+                Ok(WorkloadPlan::Agg { acfg, records })
+            }
+            "w3" => {
+                let r: usize =
+                    flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(30_000);
+                Ok(WorkloadPlan::Hash { data: JoinDataset::generate(r, seed) })
+            }
+            "w4" => {
+                let r: usize =
+                    flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(20_000);
+                let index = match flags.get("index").map(String::as_str).unwrap_or("B+tree")
+                {
+                    "art" | "ART" => IndexKind::Art,
+                    "masstree" | "Masstree" => IndexKind::Masstree,
+                    "btree" | "B+tree" => IndexKind::BPlusTree,
+                    "skiplist" | "Skip List" => IndexKind::SkipList,
+                    other => return Err(format!("unknown index `{other}`")),
+                };
+                Ok(WorkloadPlan::Inl { index, data: JoinDataset::generate(r, seed) })
+            }
+            other => Err(format!("unknown workload `{other}` (w1, w2, w3, w4)")),
+        }
+    }
+
+    /// Run once under `env`, surfacing simulation faults (OOM under a
+    /// strict bind, injected failures, budget timeouts) as errors.
+    fn try_run(&self, env: &WorkloadEnv) -> SimResult<(u64, Counters)> {
+        match self {
+            WorkloadPlan::Agg { acfg, records } => {
+                let out = try_run_aggregation_on(env, acfg, records)?;
+                Ok((out.exec_cycles, out.counters))
+            }
+            WorkloadPlan::Hash { data } => {
+                let out = try_run_hash_join_on(env, data)?;
+                Ok((out.build_cycles + out.probe_cycles, out.counters))
+            }
+            WorkloadPlan::Inl { index, data } => {
+                let out = try_run_inl_join_on(env, *index, data)?;
+                Ok((out.build_cycles + out.join_cycles, out.counters))
+            }
+        }
+    }
+}
+
 fn run_workload(
     which: &str,
     cfg: &TuningConfig,
     threads: usize,
     flags: &HashMap<String, String>,
 ) -> Result<(u64, Counters), String> {
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let env = cfg.env(threads);
-    match which {
-        "w1" | "w2" => {
-            let n: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(300_000);
-            let card: u64 =
-                flags.get("card").and_then(|s| s.parse().ok()).unwrap_or(75_000);
-            let mut acfg = if which == "w1" {
-                AggConfig::w1(n, card, seed)
-            } else {
-                AggConfig::w2(n, card, seed)
-            };
-            if acfg.kind == AggKind::DistributiveCount {
-                acfg.cardinality = card;
-            }
-            let records = generate(acfg.dataset, n, card, seed);
-            let out = run_aggregation_on(&env, &acfg, &records);
-            Ok((out.exec_cycles, out.counters))
-        }
-        "w3" => {
-            let r: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(30_000);
-            let data = JoinDataset::generate(r, seed);
-            let out = run_hash_join_on(&env, &data);
-            Ok((out.build_cycles + out.probe_cycles, out.counters))
-        }
-        "w4" => {
-            let r: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(20_000);
-            let index = match flags.get("index").map(String::as_str).unwrap_or("B+tree") {
-                "art" | "ART" => IndexKind::Art,
-                "masstree" | "Masstree" => IndexKind::Masstree,
-                "btree" | "B+tree" => IndexKind::BPlusTree,
-                "skiplist" | "Skip List" => IndexKind::SkipList,
-                other => return Err(format!("unknown index `{other}`")),
-            };
-            let data = JoinDataset::generate(r, seed);
-            let out = run_inl_join_on(&env, index, &data);
-            Ok((out.build_cycles + out.join_cycles, out.counters))
-        }
-        other => Err(format!("unknown workload `{other}` (w1, w2, w3, w4)")),
-    }
+    let plan = WorkloadPlan::parse(which, flags)?;
+    plan.try_run(&cfg.env(threads))
+        .map_err(|e| format!("simulation fault: {e}"))
 }
 
 fn cmd_workload(args: &[String]) -> Result<(), String> {
@@ -259,6 +316,66 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let (t, _) = run_workload(which, &tuned, threads, &flags)?;
     println!("{which}: os-default {d} cycles, tuned {t} cycles -> {:.2}x", d as f64 / t as f64);
     Ok(())
+}
+
+/// `sweep`: os-default and tuned configurations × N trials, through the
+/// fallible retrying harness. Transient injected faults are retried
+/// with backoff; every other fault is recorded as that trial's outcome.
+/// The sweep always runs to completion and the command fails (nonzero
+/// exit) only when every trial of some configuration failed.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos.first().ok_or("sweep needs w1|w2|w3|w4")?;
+    let machine = machine_arg(&flags)?;
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(machine.total_hw_threads());
+    let trials: usize = flags.get("trials").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let retries: u32 = flags.get("retries").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let policy = RetryPolicy { max_retries: retries, ..RetryPolicy::default() };
+
+    // Both presets get the same fault plan / budget / policy overrides,
+    // so an injected fault stresses the whole sweep, not one column.
+    let configs = vec![
+        config_from_flags(machine.clone(), &flags)?
+            .named("os-default (+flags)"),
+        {
+            let tuned = TuningConfig::tuned(machine.clone());
+            let mut cfg = config_from_flags(machine, &flags)?.named("tuned (+flags)");
+            cfg.sim = cfg
+                .sim
+                .with_threads(tuned.sim.thread_placement)
+                .with_policy(tuned.sim.mem_policy)
+                .with_autonuma(tuned.sim.autonuma)
+                .with_thp(tuned.sim.thp);
+            cfg.allocator = tuned.allocator;
+            cfg
+        },
+    ];
+
+    let plan = WorkloadPlan::parse(which, &flags)?;
+    let report = sweep(&configs, threads, trials, &policy, |env, _trial| {
+        plan.try_run(env).map(|(cycles, _)| cycles)
+    });
+
+    println!(
+        "{which} sweep on machine {} — {threads} threads, {trials} trials/config:",
+        configs[0].sim.machine.name
+    );
+    print!("{}", report.table());
+    for cfg in &configs {
+        match report.mean_cycles(&cfg.name) {
+            Some(mean) => println!("{}: mean {mean} cycles over successful trials", cfg.name),
+            None => println!("{}: no successful trials", cfg.name),
+        }
+    }
+    let dead = report.failed_configs();
+    if dead.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("every trial failed for: {}", dead.join(", ")))
+    }
 }
 
 fn cmd_tpch(args: &[String]) -> Result<(), String> {

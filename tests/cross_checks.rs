@@ -23,7 +23,7 @@ fn tpch() -> TpchData {
 #[test]
 fn q6_matches_an_independent_oracle() {
     let data = tpch();
-    let (lo, hi) = (dates::parse("1994-01-01"), dates::parse("1995-01-01"));
+    let (lo, hi) = (dates::parse("1994-01-01").expect("static literal"), dates::parse("1995-01-01").expect("static literal"));
     let expect: i64 = (0..data.lineitem.l_orderkey.len())
         .filter(|&i| {
             let l = &data.lineitem;
@@ -44,7 +44,7 @@ fn q6_matches_an_independent_oracle() {
 #[test]
 fn q1_groups_cover_the_qualifying_lineitems() {
     let data = tpch();
-    let cutoff = dates::parse("1998-12-01") - 90;
+    let cutoff = dates::parse("1998-12-01").expect("static literal") - 90;
     let qualifying = data
         .lineitem
         .l_shipdate
@@ -73,7 +73,7 @@ fn q1_groups_cover_the_qualifying_lineitems() {
 #[test]
 fn q14_matches_an_independent_oracle() {
     let data = tpch();
-    let (lo, hi) = (dates::parse("1995-09-01"), dates::parse("1995-10-01"));
+    let (lo, hi) = (dates::parse("1995-09-01").expect("static literal"), dates::parse("1995-10-01").expect("static literal"));
     let mut promo = 0i64;
     let mut total = 0i64;
     for i in 0..data.lineitem.l_orderkey.len() {

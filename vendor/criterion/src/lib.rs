@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion's API the workspace's
+//! microbenchmarks use: `Criterion::benchmark_group`, the chained
+//! `measurement_time`/`sample_size` knobs, `bench_function` with
+//! `Bencher::iter` / `Bencher::iter_batched`, and the `criterion_group!`
+//! / `criterion_main!` macros. Instead of criterion's statistical
+//! sampling it runs each routine `sample_size` times after a short
+//! warm-up and prints the mean wall time — enough to compare kernels by
+//! eye, with none of the dependencies.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is amortized; accepted for API
+/// compatibility, the stub treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { samples: 10 }
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the stub's cost model is per-sample,
+    /// not per-wall-clock-window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Number of timed runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time one routine and print its mean wall time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.samples, total: Duration::ZERO, runs: 0 };
+        f(&mut b);
+        let mean = b.total.checked_div(b.runs.max(1) as u32).unwrap_or_default();
+        println!("  {id}: {mean:?} mean over {} runs", b.runs);
+        self
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the routine it is given.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    runs: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples, after one
+    /// untimed warm-up run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+
+    /// Like [`iter`](Self::iter), but re-runs `setup` untimed before
+    /// each timed call so the routine can consume its input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Bundle benchmark functions under one name, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the listed groups (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_runs_sample_size_times() {
+        let mut c = Criterion::default();
+        let mut count = 0usize;
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5).bench_function("count", |b| b.iter(|| count += 1));
+        // 5 timed + 1 warm-up.
+        assert_eq!(count, 6);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup() {
+        let mut c = Criterion::default();
+        let mut setups = 0usize;
+        c.benchmark_group("t").sample_size(3).bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 16]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}
