@@ -27,8 +27,15 @@
 
 pub mod advisor;
 pub mod experiment;
+pub mod journal;
 pub mod runner;
 
 pub use advisor::{advise, TuningPlan, WorkloadProfile};
 pub use experiment::{speedup, ExperimentResult, TuningConfig};
-pub use runner::{run_trial, sweep, Outcome, RetryPolicy, SweepReport, TrialRecord};
+pub use journal::{
+    grid_fingerprint, read_journal, JournalContents, JournalWriter, JOURNAL_VERSION,
+};
+pub use runner::{
+    run_trial, run_trial_measured, sweep, sweep_supervised, Outcome, RetryPolicy,
+    SupervisorPolicy, SweepReport, TrialMeasurement, TrialRecord,
+};

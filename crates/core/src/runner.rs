@@ -1,14 +1,22 @@
-//! The fallible, retrying trial harness.
+//! The fallible, retrying trial harness and the sweep supervisor.
 //!
 //! Real NUMA experiments fail in mundane ways: `numactl --membind` dies
 //! with ENOMEM when a node fills, a batch scheduler preempts the run, a
-//! machine's interconnect throttles. The harness mirrors how the
-//! paper's measurement scripts cope: each `(configuration, trial)` pair
-//! runs a fallible workload, *transient* faults are retried with
-//! exponential backoff (the backoff cycles are charged to the trial),
-//! and every other fault is recorded as the trial's [`Outcome`] so a
-//! sweep always completes with a full per-trial table instead of dying
-//! on its first unlucky configuration.
+//! machine's interconnect throttles — or a whole node drops out. The
+//! harness mirrors how the paper's measurement scripts cope: each
+//! `(configuration, trial)` pair runs a fallible workload, *transient*
+//! faults are retried with exponential backoff (the backoff cycles are
+//! charged to the trial), and every other fault is recorded as the
+//! trial's [`Outcome`] so a sweep always completes with a full per-trial
+//! table instead of dying on its first unlucky configuration.
+//!
+//! On top of the per-trial harness sits a **supervisor**
+//! ([`sweep_supervised`]): a watchdog budget for configurations that
+//! forgot to set one, a global retry budget, a circuit breaker that
+//! stops retrying a configuration after K consecutive faulted trials,
+//! resume from a set of already-completed cells (the trial journal, see
+//! [`crate::journal`]), and an interruption bound (`max_cells`) whose
+//! partial report still renders — partial-result salvage.
 
 use crate::experiment::TuningConfig;
 use nqp_query::WorkloadEnv;
@@ -19,32 +27,81 @@ use nqp_sim::{SimError, SimResult};
 pub enum Outcome {
     /// The workload completed (possibly after transient-fault retries).
     Ok,
+    /// The workload completed, but on a degraded machine: a node went
+    /// offline mid-trial and its pages were evacuated. The cycles are
+    /// real but not comparable to healthy trials.
+    Degraded,
     /// The trial exceeded its cycle budget.
     Timeout,
     /// A node or machine ran out of memory under a strict policy.
     Oom,
-    /// Any other simulation fault (injected failure, invalid mapping).
+    /// Any other simulation fault (injected failure, invalid mapping,
+    /// a strict `Bind` to an offline node).
     Faulted,
 }
 
 impl Outcome {
     /// Fixed-width label for result tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Outcome::Ok => "ok",
+            Outcome::Degraded => "degraded",
             Outcome::Timeout => "timeout",
             Outcome::Oom => "oom",
             Outcome::Faulted => "faulted",
         }
     }
 
+    /// Inverse of [`Outcome::label`] (journal decoding).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Outcome> {
+        match label {
+            "ok" => Some(Outcome::Ok),
+            "degraded" => Some(Outcome::Degraded),
+            "timeout" => Some(Outcome::Timeout),
+            "oom" => Some(Outcome::Oom),
+            "faulted" => Some(Outcome::Faulted),
+            _ => None,
+        }
+    }
+
     /// Classify a terminal error.
+    #[must_use]
     pub fn of_error(e: &SimError) -> Outcome {
         match e {
             SimError::Timeout { .. } => Outcome::Timeout,
             SimError::OutOfMemory { .. } => Outcome::Oom,
             _ => Outcome::Faulted,
         }
+    }
+
+    /// The trial produced cycles (healthy or degraded).
+    #[must_use]
+    pub fn completed(self) -> bool {
+        matches!(self, Outcome::Ok | Outcome::Degraded)
+    }
+}
+
+/// What a fallible workload closure hands back for one attempt.
+///
+/// Plain-`u64` closures convert via `From`, so most workloads just
+/// return cycles; fault-aware ones also report degradation (node-offline
+/// survival) and the evacuation traffic it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrialMeasurement {
+    /// Workload execution cycles.
+    pub cycles: u64,
+    /// The trial survived a node outage (results are from a smaller
+    /// machine than configured).
+    pub degraded: bool,
+    /// 4 KB pages evacuated off dying nodes during the trial.
+    pub evacuated_pages: u64,
+}
+
+impl From<u64> for TrialMeasurement {
+    fn from(cycles: u64) -> Self {
+        TrialMeasurement { cycles, degraded: false, evacuated_pages: 0 }
     }
 }
 
@@ -66,13 +123,38 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// A harness that never retries (every fault is terminal).
+    #[must_use]
     pub fn none() -> Self {
         RetryPolicy { max_retries: 0, backoff_base_cycles: 0 }
     }
 }
 
+/// Sweep-level robustness knobs layered over the per-trial
+/// [`RetryPolicy`] by [`sweep_supervised`].
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorPolicy {
+    /// Per-trial transient-fault retry policy.
+    pub retry: RetryPolicy,
+    /// Watchdog: a cycle budget applied to configurations that do not
+    /// set `trial_budget_cycles` themselves, so no cell can hang the
+    /// sweep. Deterministic (simulated cycles, not wall clock).
+    pub watchdog_budget_cycles: Option<u64>,
+    /// Total retries the whole sweep may consume; once spent, every
+    /// remaining fault is terminal on its first attempt.
+    pub global_retry_budget: Option<u32>,
+    /// Circuit breaker: after this many *consecutive* `Faulted` trials
+    /// of one configuration, its remaining trials run without retries
+    /// (the configuration is systematically broken — stop paying for
+    /// backoff).
+    pub breaker_threshold: Option<u32>,
+    /// Stop after running this many new cells (resumed cells are free).
+    /// The report is marked interrupted; completed cells still render —
+    /// this is also how tests and the smoke script simulate a crash.
+    pub max_cells: Option<usize>,
+}
+
 /// The record of one `(configuration, trial)` cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// The configuration's display name.
     pub config: String,
@@ -80,18 +162,27 @@ pub struct TrialRecord {
     pub trial: usize,
     /// How the trial ended.
     pub outcome: Outcome,
-    /// Workload cycles plus retry backoff, when the trial succeeded.
+    /// Workload cycles plus retry backoff, when the trial completed.
     pub cycles: Option<u64>,
     /// Attempts consumed (1 when no fault was retried).
     pub attempts: u32,
+    /// 4 KB pages evacuated off dying nodes (degraded trials).
+    pub evacuated_pages: u64,
     /// The terminal error of a failed trial.
     pub error: Option<SimError>,
 }
 
 impl TrialRecord {
-    /// Did the trial end with a result?
+    /// Did the trial end cleanly (no fault, no degradation)?
+    #[must_use]
     pub fn succeeded(&self) -> bool {
         self.outcome == Outcome::Ok
+    }
+
+    /// Did the trial produce cycles (clean or degraded)?
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.outcome.completed()
     }
 }
 
@@ -100,17 +191,23 @@ impl TrialRecord {
 pub struct SweepReport {
     /// All trial records, grouped by configuration in sweep order.
     pub trials: Vec<TrialRecord>,
+    /// The sweep stopped early (`max_cells`); the table covers only the
+    /// cells that ran — salvage, not a full result.
+    pub interrupted: bool,
 }
 
 impl SweepReport {
-    /// Successful trials.
+    /// Successful (clean) trials.
+    #[must_use]
     pub fn succeeded(&self) -> usize {
         self.trials.iter().filter(|t| t.succeeded()).count()
     }
 
-    /// Configuration names for which *every* trial failed — the
-    /// condition under which a sweep as a whole is considered failed
-    /// (matching `nqp-cli`'s exit code).
+    /// Configuration names for which *every* trial failed to complete —
+    /// the condition under which a sweep as a whole is considered failed
+    /// (matching `nqp-cli`'s exit code). Degraded trials count as
+    /// completed: a config that survives a node outage is not dead.
+    #[must_use]
     pub fn failed_configs(&self) -> Vec<&str> {
         let mut names: Vec<&str> = Vec::new();
         for t in &self.trials {
@@ -124,12 +221,13 @@ impl SweepReport {
                 self.trials
                     .iter()
                     .filter(|t| t.config == *name)
-                    .all(|t| !t.succeeded())
+                    .all(|t| !t.completed())
             })
             .collect()
     }
 
-    /// Mean successful cycles of a configuration, if any trial made it.
+    /// Mean completed cycles of a configuration, if any trial made it.
+    #[must_use]
     pub fn mean_cycles(&self, config: &str) -> Option<u64> {
         let ok: Vec<u64> = self
             .trials
@@ -145,6 +243,7 @@ impl SweepReport {
     }
 
     /// Render the per-trial outcome table (the EXPERIMENTS.md format).
+    #[must_use]
     pub fn table(&self) -> String {
         let mut out = String::from("config                      trial outcome  attempts cycles\n");
         for t in &self.trials {
@@ -160,6 +259,53 @@ impl SweepReport {
                 t.config, t.trial, t.outcome.label(), t.attempts, cycles
             ));
         }
+        out
+    }
+
+    /// Render the sweep as CSV (header + one row per trial). Fields that
+    /// may contain commas or quotes are quoted with doubled quotes.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out =
+            String::from("config,trial,outcome,attempts,cycles,evacuated_pages,error\n");
+        for t in &self.trials {
+            let cycles = t.cycles.map(|c| c.to_string()).unwrap_or_default();
+            let error = t.error.as_ref().map(|e| e.to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                field(&t.config),
+                t.trial,
+                t.outcome.label(),
+                t.attempts,
+                cycles,
+                t.evacuated_pages,
+                field(&error)
+            ));
+        }
+        out
+    }
+
+    /// Render the sweep as a JSON array of trial objects (the same
+    /// object shape the trial journal records, minus its envelope).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, t) in self.trials.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            out.push_str(&crate::journal::record_fields_json(t));
+            out.push('}');
+        }
+        out.push_str("\n]\n");
         out
     }
 }
@@ -183,19 +329,44 @@ pub fn run_trial<F>(
 where
     F: FnMut(&WorkloadEnv, usize) -> SimResult<u64>,
 {
+    run_trial_measured(cfg, threads, trial, policy, None, &mut |env, t| {
+        workload(env, t).map(TrialMeasurement::from)
+    })
+}
+
+/// [`run_trial`] for workloads that report a full [`TrialMeasurement`]
+/// (degradation flags and evacuation metrics), with an optional watchdog
+/// budget applied when the configuration has none of its own.
+pub fn run_trial_measured<F>(
+    cfg: &TuningConfig,
+    threads: usize,
+    trial: usize,
+    policy: &RetryPolicy,
+    watchdog_budget_cycles: Option<u64>,
+    workload: &mut F,
+) -> TrialRecord
+where
+    F: FnMut(&WorkloadEnv, usize) -> SimResult<TrialMeasurement>,
+{
     let mut attempt = 0u32;
     let mut backoff = 0u64;
     loop {
         let mut env = cfg.env(threads);
         env.sim = env.sim.with_fault_attempt(attempt);
+        if env.sim.trial_budget_cycles.is_none() {
+            if let Some(budget) = watchdog_budget_cycles {
+                env.sim = env.sim.with_trial_budget(budget);
+            }
+        }
         match workload(&env, trial) {
-            Ok(cycles) => {
+            Ok(m) => {
                 return TrialRecord {
                     config: cfg.name.clone(),
                     trial,
-                    outcome: Outcome::Ok,
-                    cycles: Some(cycles + backoff),
+                    outcome: if m.degraded { Outcome::Degraded } else { Outcome::Ok },
+                    cycles: Some(m.cycles + backoff),
                     attempts: attempt + 1,
+                    evacuated_pages: m.evacuated_pages,
                     error: None,
                 }
             }
@@ -210,6 +381,7 @@ where
                     outcome: Outcome::of_error(&e),
                     cycles: None,
                     attempts: attempt + 1,
+                    evacuated_pages: 0,
                     error: Some(e),
                 }
             }
@@ -231,12 +403,91 @@ pub fn sweep<F>(
 where
     F: FnMut(&WorkloadEnv, usize) -> SimResult<u64>,
 {
+    let supervisor = SupervisorPolicy { retry: policy.clone(), ..Default::default() };
+    sweep_supervised(configs, threads, trials, &supervisor, &[], &mut |_| {}, |env, t| {
+        workload(env, t).map(TrialMeasurement::from)
+    })
+}
+
+/// The supervised sweep: grid order is `configs × trials`, and for each
+/// cell, in order —
+///
+/// 1. a matching record in `resume` (same config name and trial index)
+///    is adopted verbatim without re-running the workload; its retries
+///    still count against the global budget and its outcome still feeds
+///    the circuit breaker, so a resumed sweep and an uninterrupted one
+///    make identical supervision decisions;
+/// 2. otherwise the cell runs under the watchdog/retry policy and the
+///    fresh record is handed to `sink` (the journal append hook) before
+///    the sweep moves on;
+/// 3. once `max_cells` *new* cells have run, the sweep stops and the
+///    report is marked [`SweepReport::interrupted`].
+///
+/// Because trials are deterministic functions of `(config, trial,
+/// attempt)`, the final table of killed-then-resumed and uninterrupted
+/// sweeps is bit-identical — the property `tests/resume.rs` pins.
+pub fn sweep_supervised<F>(
+    configs: &[TuningConfig],
+    threads: usize,
+    trials: usize,
+    policy: &SupervisorPolicy,
+    resume: &[TrialRecord],
+    sink: &mut dyn FnMut(&TrialRecord),
+    mut workload: F,
+) -> SweepReport
+where
+    F: FnMut(&WorkloadEnv, usize) -> SimResult<TrialMeasurement>,
+{
     let mut report = SweepReport::default();
-    for cfg in configs {
+    let mut retries_left = policy.global_retry_budget;
+    let mut cells_run = 0usize;
+    'grid: for cfg in configs {
+        let mut consecutive_faulted = 0u32;
         for trial in 0..trials {
-            report
-                .trials
-                .push(run_trial(cfg, threads, trial, policy, &mut workload));
+            let resumed = resume
+                .iter()
+                .find(|r| r.config == cfg.name && r.trial == trial)
+                .cloned();
+            let record = match resumed {
+                Some(r) => r,
+                None => {
+                    if policy.max_cells.is_some_and(|m| cells_run >= m) {
+                        report.interrupted = true;
+                        break 'grid;
+                    }
+                    cells_run += 1;
+                    let breaker_open = policy
+                        .breaker_threshold
+                        .is_some_and(|k| consecutive_faulted >= k);
+                    let mut retry = if breaker_open {
+                        RetryPolicy::none()
+                    } else {
+                        policy.retry.clone()
+                    };
+                    if let Some(left) = retries_left {
+                        retry.max_retries = retry.max_retries.min(left);
+                    }
+                    let r = run_trial_measured(
+                        cfg,
+                        threads,
+                        trial,
+                        &retry,
+                        policy.watchdog_budget_cycles,
+                        &mut workload,
+                    );
+                    sink(&r);
+                    r
+                }
+            };
+            if let Some(left) = retries_left.as_mut() {
+                *left = left.saturating_sub(record.attempts.saturating_sub(1));
+            }
+            if record.outcome == Outcome::Faulted {
+                consecutive_faulted += 1;
+            } else {
+                consecutive_faulted = 0;
+            }
+            report.trials.push(record);
         }
     }
     report
@@ -277,6 +528,7 @@ mod tests {
             (SimError::Timeout { budget_cycles: 10, elapsed_cycles: 20 }, Outcome::Timeout),
             (SimError::OutOfMemory { node: 1, requested_pages: 4 }, Outcome::Oom),
             (SimError::InvalidMapping { addr: 0 }, Outcome::Faulted),
+            (SimError::NodeOffline { node: 2 }, Outcome::Faulted),
         ] {
             let mut calls = 0u32;
             let rec = run_trial(&cfg(), 4, 0, &policy, &mut |_, _| {
@@ -316,6 +568,7 @@ mod tests {
         // workload only trial 1 of each config times out.
         assert_eq!(report.trials.len(), 6);
         assert_eq!(report.succeeded(), 4);
+        assert!(!report.interrupted);
         assert!(report.failed_configs().is_empty());
         assert_eq!(report.mean_cycles("healthy"), Some(1_000));
 
@@ -326,5 +579,119 @@ mod tests {
         assert_eq!(report.mean_cycles("doomed"), None);
         let table = report.table();
         assert!(table.contains("oom"), "table shows outcomes:\n{table}");
+    }
+
+    #[test]
+    fn degraded_trials_complete_but_are_distinguishable() {
+        let configs = vec![cfg().named("wounded")];
+        let supervisor = SupervisorPolicy::default();
+        let report =
+            sweep_supervised(&configs, 4, 2, &supervisor, &[], &mut |_| {}, |_, trial| {
+                Ok(TrialMeasurement {
+                    cycles: 9_000,
+                    degraded: trial == 1,
+                    evacuated_pages: if trial == 1 { 128 } else { 0 },
+                })
+            });
+        assert_eq!(report.trials[0].outcome, Outcome::Ok);
+        assert_eq!(report.trials[1].outcome, Outcome::Degraded);
+        assert!(report.trials[1].completed() && !report.trials[1].succeeded());
+        assert_eq!(report.trials[1].evacuated_pages, 128);
+        assert!(report.failed_configs().is_empty(), "degraded != dead");
+        let table = report.table();
+        assert!(table.contains("degraded"), "{table}");
+        let csv = report.to_csv();
+        assert!(csv.contains("wounded,1,degraded,1,9000,128,"), "{csv}");
+        let json = report.to_json();
+        assert!(json.contains("\"outcome\":\"degraded\""), "{json}");
+        assert!(json.contains("\"evacuated_pages\":128"), "{json}");
+    }
+
+    #[test]
+    fn watchdog_budget_applies_only_without_config_budget() {
+        let supervisor = SupervisorPolicy {
+            watchdog_budget_cycles: Some(42),
+            ..Default::default()
+        };
+        let mut seen = Vec::new();
+        sweep_supervised(
+            &[cfg().named("nobudget"), cfg().named("budget").with_trial_budget(7)],
+            4,
+            1,
+            &supervisor,
+            &[],
+            &mut |_| {},
+            |env, _| {
+                seen.push(env.sim.trial_budget_cycles);
+                Ok(TrialMeasurement::from(1))
+            },
+        );
+        assert_eq!(seen, vec![Some(42), Some(7)]);
+    }
+
+    #[test]
+    fn circuit_breaker_stops_retrying_broken_configs() {
+        let supervisor = SupervisorPolicy {
+            retry: RetryPolicy { max_retries: 3, backoff_base_cycles: 1 },
+            breaker_threshold: Some(2),
+            ..Default::default()
+        };
+        let configs = vec![cfg().named("broken")];
+        let report =
+            sweep_supervised(&configs, 4, 4, &supervisor, &[], &mut |_| {}, |_, _| {
+                // Transient error that never clears: each trial burns all
+                // its retries until the breaker opens.
+                Err(SimError::InjectedAllocFault { region: 0, attempt: 0 })
+            });
+        let attempts: Vec<u32> = report.trials.iter().map(|t| t.attempts).collect();
+        assert_eq!(attempts, vec![4, 4, 1, 1], "breaker opens after 2 faulted trials");
+    }
+
+    #[test]
+    fn global_retry_budget_is_shared_across_cells() {
+        let supervisor = SupervisorPolicy {
+            retry: RetryPolicy { max_retries: 5, backoff_base_cycles: 1 },
+            global_retry_budget: Some(7),
+            ..Default::default()
+        };
+        let configs = vec![cfg().named("flaky")];
+        let report =
+            sweep_supervised(&configs, 4, 3, &supervisor, &[], &mut |_| {}, |_, _| {
+                Err(SimError::InjectedAllocFault { region: 0, attempt: 0 })
+            });
+        let attempts: Vec<u32> = report.trials.iter().map(|t| t.attempts).collect();
+        // 5 retries, then 2 remaining, then none.
+        assert_eq!(attempts, vec![6, 3, 1]);
+    }
+
+    #[test]
+    fn max_cells_interrupts_and_resume_completes_identically() {
+        let configs = vec![cfg().named("a"), cfg().named("b")];
+        let run = |supervisor: &SupervisorPolicy, resume: &[TrialRecord]| {
+            let mut journal = Vec::new();
+            let report = sweep_supervised(
+                &configs,
+                4,
+                2,
+                supervisor,
+                resume,
+                &mut |r| journal.push(r.clone()),
+                |env, trial| Ok(TrialMeasurement::from(env.sim.seed + trial as u64)),
+            );
+            (report, journal)
+        };
+        let full = run(&SupervisorPolicy::default(), &[]).0;
+        assert!(!full.interrupted);
+
+        let interrupted_policy =
+            SupervisorPolicy { max_cells: Some(3), ..Default::default() };
+        let (partial, journal) = run(&interrupted_policy, &[]);
+        assert!(partial.interrupted);
+        assert_eq!(partial.trials.len(), 3, "salvage covers completed cells");
+        assert_eq!(journal.len(), 3);
+
+        let (resumed, fresh) = run(&SupervisorPolicy::default(), &journal);
+        assert_eq!(fresh.len(), 1, "only the missing cell re-runs");
+        assert_eq!(resumed.table(), full.table(), "bit-identical final table");
     }
 }

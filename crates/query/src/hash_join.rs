@@ -82,7 +82,7 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
         ));
     })?;
     let (r_arr, s_arr) =
-        arrays.ok_or(SimError::Harness { what: "join relations were not mapped" })?;
+        arrays.ok_or(SimError::Harness { what: "join relations were not mapped".to_string() })?;
     sim.try_parallel(threads, &mut (), |w, _| {
         for i in r_arr.partition(w.tid(), threads) {
             r_arr.write(w, i, data.r[i].key, data.r[i].payload);

@@ -76,7 +76,7 @@ pub fn try_run_inl_join_on(
     sim.try_serial(&mut s_arr, |w, s_arr| {
         *s_arr = Some(TupleArray::new(w, data.s.len()));
     })?;
-    let s_arr = s_arr.ok_or(SimError::Harness { what: "probe relation was not mapped" })?;
+    let s_arr = s_arr.ok_or(SimError::Harness { what: "probe relation was not mapped".to_string() })?;
     sim.try_parallel(threads, &mut (), |w, _| {
         for i in s_arr.partition(w.tid(), threads) {
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);

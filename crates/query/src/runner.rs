@@ -77,7 +77,7 @@ pub fn try_load_tuples(
     sim.try_serial(&mut arr, |w, arr| {
         *arr = Some(TupleArray::new(w, records.len().max(1)));
     })?;
-    let arr = arr.ok_or(SimError::Harness { what: "tuple array was not mapped" })?;
+    let arr = arr.ok_or(SimError::Harness { what: "tuple array was not mapped".to_string() })?;
     sim.try_parallel(threads, &mut (), |w, _| {
         for i in arr.partition(w.tid(), threads) {
             arr.write(w, i, records[i].key, records[i].val);

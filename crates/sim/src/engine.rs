@@ -237,7 +237,18 @@ impl NumaSim {
             .fault_plan
             .as_ref()
             .unwrap_or(&quiet_plan)
-            .active(region, self.cfg.fault_attempt, self.num_links);
+            .active(
+                region,
+                self.cfg.fault_attempt,
+                self.num_links,
+                self.cfg.machine.topology.num_nodes(),
+            );
+        if active.any_node_offline() {
+            // Node outages apply before the region's threads run: pages
+            // are evacuated (charged as kernel migration traffic) and the
+            // evacuation itself can blow the trial budget.
+            self.apply_node_offline(&active)?;
+        }
         let budget_limit = self
             .cfg
             .trial_budget_cycles
@@ -258,6 +269,11 @@ impl NumaSim {
             taken
         } else {
             plan_region(&self.cfg, threads, region)
+        };
+        let schedules = if active.any_node_offline() {
+            self.remap_offline_schedules(schedules, &active)
+        } else {
+            schedules
         };
         while self.tlbs.len() < threads {
             let (t4, t2) = (
@@ -352,6 +368,100 @@ impl NumaSim {
         F: FnMut(&mut Worker<'_>, &mut S),
     {
         self.try_parallel(1, shared, f)
+    }
+
+    /// Apply node-offline faults that have not been applied yet: evacuate
+    /// each newly-dead node's pages to the nearest live node and charge
+    /// the copies like kernel page migrations. Outages are sticky — a
+    /// node already offline is skipped. Fails typed when the last live
+    /// node dies, the survivors cannot absorb the pages, or the
+    /// evacuation cost blows the trial budget.
+    fn apply_node_offline(&mut self, active: &ActiveFaults) -> SimResult<()> {
+        let nodes = self.cfg.machine.topology.num_nodes();
+        for node in 0..nodes {
+            if !active.node_offline(node) || self.memory.is_node_offline(node) {
+                continue;
+            }
+            let moved = self.memory.set_node_offline(node)?;
+            let costs = &self.cfg.costs;
+            let cost = costs.page_migration_fixed_cycles
+                + costs.page_migration_per_line_cycles * (SMALL_PAGE / LINE) * moved;
+            self.now_cycles += cost;
+            self.counters.kernel_cycles += cost;
+            self.counters.page_migrations += moved;
+            self.counters.evacuated_pages += moved;
+            self.counters.nodes_offlined += 1;
+        }
+        if let Some(budget) = self.cfg.trial_budget_cycles {
+            if self.now_cycles >= budget {
+                return Err(SimError::Timeout {
+                    budget_cycles: budget,
+                    elapsed_cycles: self.now_cycles,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-place threads scheduled onto offline cores, following the
+    /// active placement policy over the surviving nodes: `Sparse` spreads
+    /// displaced threads round-robin across live nodes, every other
+    /// policy packs them node-major. Roaming pools are filtered to live
+    /// cores. Each displaced thread is charged a migration.
+    fn remap_offline_schedules(
+        &mut self,
+        mut schedules: Vec<ThreadSchedule>,
+        active: &ActiveFaults,
+    ) -> Vec<ThreadSchedule> {
+        let machine = &self.cfg.machine;
+        let nodes = machine.topology.num_nodes();
+        let tpn = machine.threads_per_node;
+        let live: Vec<NodeId> = (0..nodes).filter(|&n| !active.node_offline(n)).collect();
+        let sparse =
+            matches!(self.cfg.thread_placement, crate::config::ThreadPlacement::Sparse);
+        let order: Vec<CoreId> = if sparse {
+            (0..tpn)
+                .flat_map(|slot| live.iter().map(move |&n| n * tpn + slot))
+                .collect()
+        } else {
+            live.iter().flat_map(|&n| (0..tpn).map(move |slot| n * tpn + slot)).collect()
+        };
+        let mut displaced = 0u64;
+        let mut next = 0usize;
+        for s in schedules.iter_mut() {
+            match s {
+                ThreadSchedule::Pinned(c) => {
+                    if active.node_offline(machine.node_of_core(*c)) {
+                        *c = order[next % order.len()];
+                        next += 1;
+                        displaced += 1;
+                    }
+                }
+                ThreadSchedule::Roaming { pool, idx, .. } => {
+                    let cur = pool[*idx];
+                    if pool.iter().all(|&c| active.node_offline(machine.node_of_core(c))) {
+                        // The whole pool died: fall back to every live core.
+                        *pool = order.clone();
+                    } else {
+                        pool.retain(|&c| !active.node_offline(machine.node_of_core(c)));
+                    }
+                    if active.node_offline(machine.node_of_core(cur)) {
+                        *idx = next % pool.len();
+                        next += 1;
+                        displaced += 1;
+                    } else {
+                        *idx = pool.iter().position(|&c| c == cur).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        if displaced > 0 {
+            let cost = self.cfg.costs.thread_migration_cycles * displaced;
+            self.now_cycles += cost;
+            self.counters.kernel_cycles += cost;
+            self.counters.thread_migrations += displaced;
+        }
+        schedules
     }
 
     fn resolve(

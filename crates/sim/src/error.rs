@@ -50,11 +50,20 @@ pub enum SimError {
         /// Simulated cycles consumed when the budget tripped.
         elapsed_cycles: u64,
     },
+    /// A NUMA node (CPUs + memory controller) dropped out and the
+    /// operation strictly required it: a `MemPolicy::Bind` to the dead
+    /// node, or an attempt to take the *last* live node offline. Trials
+    /// that merely *used* the node degrade instead (pages are evacuated,
+    /// threads re-placed) — this error is the strict path.
+    NodeOffline {
+        /// The offline node.
+        node: usize,
+    },
     /// A harness-level invariant failed (the fallible replacement for
     /// internal `expect`s on the experiment path).
     Harness {
         /// What went wrong.
-        what: &'static str,
+        what: String,
     },
 }
 
@@ -73,6 +82,7 @@ impl SimError {
             SimError::InvalidMapping { .. } => "invalid-mapping",
             SimError::InjectedAllocFault { .. } => "alloc-fault",
             SimError::Timeout { .. } => "timeout",
+            SimError::NodeOffline { .. } => "node-offline",
             SimError::Harness { .. } => "harness",
         }
     }
@@ -96,6 +106,9 @@ impl fmt::Display for SimError {
                 f,
                 "trial exceeded its cycle budget ({elapsed_cycles} of {budget_cycles} budgeted cycles)"
             ),
+            SimError::NodeOffline { node } => {
+                write!(f, "node {node} is offline and the operation required it")
+            }
             SimError::Harness { what } => write!(f, "harness invariant failed: {what}"),
         }
     }

@@ -65,6 +65,17 @@ pub enum FaultKind {
     },
     /// AutoNUMA page migrations fail during the window.
     MigrationFail,
+    /// A whole NUMA node — its CPUs and its memory controller — drops out
+    /// at `from_region` and stays out for the rest of the trial (the
+    /// window's `to_region` is ignored: real node outages do not heal
+    /// mid-query). The engine evacuates the node's pages to the nearest
+    /// live node (charged as migration traffic) and re-places threads
+    /// pinned there; strict `Bind` placements on the dead node fail with
+    /// [`SimError::NodeOffline`].
+    NodeOffline {
+        /// The node to take offline.
+        node: usize,
+    },
     /// Preempt every thread each `period_cycles` of its execution,
     /// charging a context switch and flushing its L1/TLBs.
     PreemptionStorm {
@@ -107,7 +118,17 @@ impl FaultPlan {
 
     /// Resolve the faults active in `region` on retry `attempt` into a
     /// flat per-region view the engine consults on hot paths.
-    pub fn active(&self, region: u64, attempt: u32, num_links: usize) -> ActiveFaults {
+    ///
+    /// `num_nodes` sizes the node-offline set; [`FaultKind::NodeOffline`]
+    /// events are *sticky* — active from their `from_region` onward, with
+    /// `to_region` ignored.
+    pub fn active(
+        &self,
+        region: u64,
+        attempt: u32,
+        num_links: usize,
+        num_nodes: usize,
+    ) -> ActiveFaults {
         let mut a = ActiveFaults {
             seed: self.seed,
             region,
@@ -117,8 +138,16 @@ impl FaultPlan {
             link_bw_div: vec![1.0; num_links],
             block_migrations: false,
             preempt_period: None,
+            offline: vec![false; num_nodes],
         };
         for ev in &self.events {
+            if let FaultKind::NodeOffline { node } = ev.kind {
+                // Sticky: outages never heal within a trial.
+                if region >= ev.from_region && node < num_nodes {
+                    a.offline[node] = true;
+                }
+                continue;
+            }
             if region < ev.from_region || region > ev.to_region {
                 continue;
             }
@@ -140,6 +169,8 @@ impl FaultPlan {
                     a.preempt_period =
                         Some(a.preempt_period.map_or(p, |prev: u64| prev.min(p)));
                 }
+                // Handled (sticky) before the window filter above.
+                FaultKind::NodeOffline { .. } => {}
             }
         }
         a
@@ -155,12 +186,14 @@ impl FaultPlan {
     ///          | 'link'    [link=N] [lat=F] [bw=F]
     ///          | 'migfail'
     ///          | 'preempt' [period=N]
+    ///          | 'offline' [node=N]                  (sticky from window start)
     /// ```
     ///
-    /// Example: `alloc@2:attempts=1;link@0..9:link=0,lat=2.5,bw=4`.
+    /// Example: `alloc@2:attempts=1;link@0..9:link=0,lat=2.5,bw=4` or
+    /// `offline@6:node=1` (node 1 dies at region 6 and stays dead).
     pub fn parse(spec: &str, seed: u64) -> SimResult<FaultPlan> {
-        fn bad(_why: &'static str) -> SimError {
-            SimError::Harness { what: "malformed --faults spec" }
+        fn bad(why: &'static str) -> SimError {
+            SimError::Harness { what: format!("malformed --faults spec: {why}") }
         }
         let mut plan = FaultPlan::new(seed);
         for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
@@ -214,6 +247,7 @@ impl FaultPlan {
                 "preempt" => FaultKind::PreemptionStorm {
                     period_cycles: getu("period", 100_000)?.max(1),
                 },
+                "offline" => FaultKind::NodeOffline { node: getu("node", 0)? as usize },
                 _ => return Err(bad("unknown fault kind")),
             };
             plan.events.push(FaultEvent { from_region: from, to_region: to, kind });
@@ -237,6 +271,8 @@ pub struct ActiveFaults {
     pub block_migrations: bool,
     /// Forced preemption period, when a storm is active.
     pub preempt_period: Option<u64>,
+    /// Per-node offline flags (true = the node is dead by this region).
+    pub offline: Vec<bool>,
 }
 
 impl ActiveFaults {
@@ -276,11 +312,25 @@ impl ActiveFaults {
         m
     }
 
+    /// Whether `node` is offline by this region.
+    #[inline]
+    #[must_use]
+    pub fn node_offline(&self, node: usize) -> bool {
+        self.offline.get(node).copied().unwrap_or(false)
+    }
+
+    /// Whether any node is offline by this region.
+    #[must_use]
+    pub fn any_node_offline(&self) -> bool {
+        self.offline.iter().any(|&x| x)
+    }
+
     /// True when nothing is degraded this region (fast-path guard).
     pub fn is_quiet(&self) -> bool {
         self.alloc_fail_ppm == 0
             && !self.block_migrations
             && self.preempt_period.is_none()
+            && !self.any_node_offline()
             && self.link_latency.iter().all(|&x| x == 1.0)
             && self.link_bw_div.iter().all(|&x| x == 1.0)
     }
@@ -305,7 +355,7 @@ mod tests {
     fn empty_plan_is_quiet_everywhere() {
         let p = FaultPlan::new(7);
         assert!(p.is_empty());
-        let a = p.active(3, 0, 4);
+        let a = p.active(3, 0, 4, 2);
         assert!(a.is_quiet());
         assert!(!a.alloc_should_fail(0, 0));
     }
@@ -313,10 +363,10 @@ mod tests {
     #[test]
     fn alloc_fail_clears_after_configured_attempts() {
         let p = FaultPlan::new(1).with_alloc_fail(2, 2, 1);
-        assert!(p.active(2, 0, 0).alloc_should_fail(0, 0));
-        assert!(!p.active(2, 1, 0).alloc_should_fail(0, 0), "attempt 1 must run clean");
-        assert!(!p.active(1, 0, 0).alloc_should_fail(0, 0), "outside the window");
-        assert!(!p.active(3, 0, 0).alloc_should_fail(0, 0));
+        assert!(p.active(2, 0, 0, 2).alloc_should_fail(0, 0));
+        assert!(!p.active(2, 1, 0, 2).alloc_should_fail(0, 0), "attempt 1 must run clean");
+        assert!(!p.active(1, 0, 0, 2).alloc_should_fail(0, 0), "outside the window");
+        assert!(!p.active(3, 0, 0, 2).alloc_should_fail(0, 0));
     }
 
     #[test]
@@ -326,7 +376,7 @@ mod tests {
             100,
             FaultKind::AllocFail { rate_ppm: PPM / 2, fail_attempts: 1 },
         );
-        let a = p.active(5, 0, 0);
+        let a = p.active(5, 0, 0, 2);
         let fails: Vec<bool> = (0..64).map(|i| a.alloc_should_fail(1, i)).collect();
         let again: Vec<bool> = (0..64).map(|i| a.alloc_should_fail(1, i)).collect();
         assert_eq!(fails, again, "decisions must be reproducible");
@@ -341,13 +391,13 @@ mod tests {
             4,
             FaultKind::LinkDegrade { link: 2, latency_x: 3.0, bandwidth_div: 4.0 },
         );
-        let a = p.active(2, 0, 4);
+        let a = p.active(2, 0, 4, 2);
         assert_eq!(a.link_latency[2], 3.0);
         assert_eq!(a.link_bw_div[2], 4.0);
         assert_eq!(a.link_latency[0], 1.0);
         assert_eq!(a.path_latency_mult(&[0, 2]), 3.0);
         assert_eq!(a.path_latency_mult(&[0, 1]), 1.0);
-        assert!(p.active(0, 0, 4).is_quiet());
+        assert!(p.active(0, 0, 4, 2).is_quiet());
     }
 
     #[test]
@@ -355,13 +405,28 @@ mod tests {
         let p = FaultPlan::new(0)
             .with_event(0, 1, FaultKind::MigrationFail)
             .with_event(1, 2, FaultKind::PreemptionStorm { period_cycles: 500 });
-        assert!(p.active(0, 0, 0).block_migrations);
-        let a1 = p.active(1, 0, 0);
+        assert!(p.active(0, 0, 0, 2).block_migrations);
+        let a1 = p.active(1, 0, 0, 2);
         assert!(a1.block_migrations);
         assert_eq!(a1.preempt_period, Some(500));
-        let a2 = p.active(2, 0, 0);
+        let a2 = p.active(2, 0, 0, 2);
         assert!(!a2.block_migrations);
         assert_eq!(a2.preempt_period, Some(500));
+    }
+
+    #[test]
+    fn node_offline_is_sticky_and_parses() {
+        let parsed = FaultPlan::parse("offline@3:node=1", 0).unwrap();
+        assert_eq!(parsed.events[0].kind, FaultKind::NodeOffline { node: 1 });
+        assert_eq!(parsed.events[0].from_region, 3);
+        let p = FaultPlan::new(0).with_event(3, 3, FaultKind::NodeOffline { node: 1 });
+        assert!(!p.active(2, 0, 0, 4).node_offline(1));
+        assert!(p.active(2, 0, 0, 4).is_quiet());
+        assert!(p.active(3, 0, 0, 4).node_offline(1));
+        assert!(!p.active(3, 0, 0, 4).is_quiet());
+        assert!(p.active(9, 0, 0, 4).node_offline(1), "outages must not heal");
+        assert!(p.active(9, 0, 0, 4).any_node_offline());
+        assert!(!p.active(9, 0, 0, 4).node_offline(0));
     }
 
     #[test]

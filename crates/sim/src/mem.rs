@@ -88,6 +88,9 @@ pub struct Memory {
     num_nodes: usize,
     /// Nearest-node fallback orders, precomputed per node.
     fallback: Vec<Vec<NodeId>>,
+    /// Nodes whose memory controller is offline (node-outage fault).
+    /// Offline nodes hold no pages and are skipped by every placement.
+    offline: Vec<bool>,
 }
 
 impl Memory {
@@ -107,6 +110,7 @@ impl Memory {
             interleave_cursor: 0,
             num_nodes,
             fallback,
+            offline: vec![false; num_nodes],
         }
     }
 
@@ -252,6 +256,9 @@ impl Memory {
             MemPolicy::Bind(b) => {
                 // Strict membind: the bound node or failure, no fallback.
                 let node = b.min(self.num_nodes - 1);
+                if self.offline[node] {
+                    return Err(SimError::NodeOffline { node });
+                }
                 if self.node_used_pages[node] + unit_pages > self.node_capacity_pages {
                     return Err(SimError::OutOfMemory {
                         node,
@@ -274,14 +281,14 @@ impl Memory {
         Ok(Some(node))
     }
 
-    /// Nearest node to `desired` (zone order) with room for `unit_pages`
-    /// more pages; `None` when every node is full — the model of a real
-    /// kernel OOM.
+    /// Nearest *live* node to `desired` (zone order) with room for
+    /// `unit_pages` more pages; `None` when every live node is full — the
+    /// model of a real kernel OOM.
     fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> Option<NodeId> {
-        self.fallback[desired]
-            .iter()
-            .copied()
-            .find(|&n| self.node_used_pages[n] + unit_pages <= self.node_capacity_pages)
+        self.fallback[desired].iter().copied().find(|&n| {
+            !self.offline[n]
+                && self.node_used_pages[n] + unit_pages <= self.node_capacity_pages
+        })
     }
 
     /// Resolve a touch by `toucher_node` at `addr`: performs First Touch
@@ -360,6 +367,10 @@ impl Memory {
         allow_migrate: bool,
     ) -> (u64, bool) {
         let page = (addr / SMALL_PAGE) as usize;
+        if self.offline.get(toucher_node).copied().unwrap_or(false) {
+            // Defensive: never migrate pages onto a dead node.
+            return (0, false);
+        }
         let e = &mut self.pages[page];
         e.sharers |= 1u8 << (toucher_node & 7);
         if e.node as NodeId == toucher_node {
@@ -441,6 +452,69 @@ impl Memory {
     /// Pages currently assigned to each node.
     pub fn node_used_pages(&self) -> &[u64] {
         &self.node_used_pages
+    }
+
+    /// Whether `node`'s memory controller has been taken offline.
+    pub fn is_node_offline(&self, node: NodeId) -> bool {
+        self.offline.get(node).copied().unwrap_or(false)
+    }
+
+    /// Take `node` offline and evacuate every page it holds to the
+    /// nearest live node with space (zone order), preserving the
+    /// frame-shares-one-node invariant by moving huge frames as whole
+    /// units. Returns the number of 4 KB pages moved; the engine charges
+    /// them as migration traffic.
+    ///
+    /// Fails with [`SimError::NodeOffline`] when `node` is the last live
+    /// node (nowhere to run or evacuate to) and [`SimError::OutOfMemory`]
+    /// when the survivors cannot absorb the evacuated pages. Taking an
+    /// already-offline node offline again is a no-op.
+    pub fn set_node_offline(&mut self, node: NodeId) -> SimResult<u64> {
+        if node >= self.num_nodes {
+            return Err(SimError::Harness {
+                what: format!("offline of nonexistent node {node}"),
+            });
+        }
+        if self.offline[node] {
+            return Ok(0);
+        }
+        let live = self.offline.iter().filter(|&&dead| !dead).count();
+        if live <= 1 {
+            return Err(SimError::NodeOffline { node });
+        }
+        // Flag first so placement fallbacks skip the dead node while its
+        // pages are rehomed.
+        self.offline[node] = true;
+        let mut moved = 0u64;
+        let mut p = 0usize;
+        while p < self.pages.len() {
+            let e = self.pages[p];
+            if !(e.mapped && e.node as usize == node) {
+                p += 1;
+                continue;
+            }
+            // Huge mappings are 2 MB-aligned, so a frame's first page is
+            // always reached before its tail: evacuate the whole unit.
+            let (start, unit) = if e.huge {
+                let start = p - p % PAGES_PER_HUGE as usize;
+                (start, PAGES_PER_HUGE as usize)
+            } else {
+                (p, 1)
+            };
+            let target = self.node_with_space(node, unit as u64).ok_or(
+                SimError::OutOfMemory { node, requested_pages: unit as u64 },
+            )?;
+            self.node_used_pages[node] -= unit as u64;
+            self.node_used_pages[target] += unit as u64;
+            for q in start..start + unit {
+                self.pages[q].node = target as u8;
+                self.pages[q].remote_hits = 0;
+                self.pages[q].last_remote = NO_NODE;
+            }
+            moved += unit as u64;
+            p = start + unit;
+        }
+        Ok(moved)
     }
 
     /// The TLB tag for `addr`: huge frames translate at 2 MB granularity.
@@ -743,6 +817,62 @@ mod tests {
         assert_eq!(m.autonuma_touch(a, 1, 2, true), (0, false));
         assert_eq!(m.autonuma_touch(a, 1, 2, true), (1, false));
         assert_eq!(m.node_of(a), Some(1));
+    }
+
+    #[test]
+    fn offline_evacuates_pages_and_blocks_placement() {
+        let mut m = mem();
+        let a = m.map(SMALL_PAGE * 8, MemPolicy::Interleave, 0, false).unwrap();
+        for p in 0..8 {
+            m.resolve_touch(a + p * SMALL_PAGE, 0).unwrap();
+        }
+        assert_eq!(m.node_used_pages()[1], 2);
+        let moved = m.set_node_offline(1).unwrap();
+        assert_eq!(moved, 2);
+        assert!(m.is_node_offline(1));
+        assert_eq!(m.node_used_pages()[1], 0, "dead node must hold no pages");
+        for p in 0..8 {
+            assert_ne!(m.node_of(a + p * SMALL_PAGE).unwrap(), 1);
+        }
+        // New placements skip the dead node, Bind to it fails typed.
+        let b = m.map(SMALL_PAGE * 8, MemPolicy::Interleave, 0, false).unwrap();
+        for p in 0..8 {
+            assert_ne!(m.node_of(b + p * SMALL_PAGE).unwrap(), 1);
+        }
+        assert!(matches!(
+            m.map(SMALL_PAGE, MemPolicy::Bind(1), 0, false),
+            Err(SimError::NodeOffline { node: 1 })
+        ));
+        // Re-offlining is a no-op.
+        assert_eq!(m.set_node_offline(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn offline_evacuates_huge_frames_as_units() {
+        let mut m = mem();
+        let a = m.map(4 * HUGE_PAGE, MemPolicy::Interleave, 0, true).unwrap();
+        let dead = m.node_of(a + 2 * HUGE_PAGE).unwrap();
+        let moved = m.set_node_offline(dead).unwrap();
+        assert_eq!(moved, PAGES_PER_HUGE);
+        // The evacuated frame still shares a single (live) home node.
+        let home = m.node_of(a + 2 * HUGE_PAGE).unwrap();
+        assert_ne!(home, dead);
+        assert_eq!(m.node_of(a + 3 * HUGE_PAGE - SMALL_PAGE), Some(home));
+        let total: u64 = m.node_used_pages().iter().sum();
+        assert_eq!(total, 4 * PAGES_PER_HUGE, "evacuation must not leak capacity");
+    }
+
+    #[test]
+    fn last_live_node_cannot_go_offline() {
+        let mut m = mem();
+        for n in 0..3 {
+            m.set_node_offline(n).unwrap();
+        }
+        assert!(matches!(
+            m.set_node_offline(3),
+            Err(SimError::NodeOffline { node: 3 })
+        ));
+        assert!(!m.is_node_offline(3));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct Counters {
     pub page_migration_failures: u64,
     /// Forced context switches injected by a preemption storm.
     pub preemptions: u64,
+    /// Pages moved off a dying node by node-offline evacuation (also
+    /// counted in `page_migrations`).
+    pub evacuated_pages: u64,
+    /// Node-offline events applied (a nonzero value marks the trial as
+    /// degraded: it completed without part of the machine).
+    pub nodes_offlined: u64,
 }
 
 impl Counters {
@@ -116,6 +122,8 @@ impl AddAssign for Counters {
         self.alloc_fault_injections += rhs.alloc_fault_injections;
         self.page_migration_failures += rhs.page_migration_failures;
         self.preemptions += rhs.preemptions;
+        self.evacuated_pages += rhs.evacuated_pages;
+        self.nodes_offlined += rhs.nodes_offlined;
     }
 }
 
@@ -144,6 +152,8 @@ impl Sub for Counters {
             page_migration_failures: self.page_migration_failures
                 - rhs.page_migration_failures,
             preemptions: self.preemptions - rhs.preemptions,
+            evacuated_pages: self.evacuated_pages - rhs.evacuated_pages,
+            nodes_offlined: self.nodes_offlined - rhs.nodes_offlined,
         }
     }
 }

@@ -8,7 +8,32 @@ cargo test -q --offline
 
 # The simulator and the experiment runner are the fallible substrate
 # everything else leans on: no unwrap()/expect() may land in their
-# library code. Both crate roots carry
+# library code (this now covers journal.rs — the crash-safety layer
+# must itself surface faults, not panic). Both crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
 cargo clippy -p nqp-sim -p nqp-core --lib --offline
+
+# Crash-safe resume smoke test: interrupt a journaled sweep after two
+# cells, resume it from the journal, and require the resumed table to
+# be byte-identical to an uninterrupted run of the same grid.
+CLI=target/release/nqp-cli
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+ARGS=(sweep w2 --machine B --threads 4 --n 8000 --card 800 --trials 2
+      --faults "offline@3:node=1")
+"$CLI" "${ARGS[@]}" > "$SMOKE/full.txt"
+"$CLI" "${ARGS[@]}" --journal "$SMOKE/j.jsonl" --max-cells 2 > "$SMOKE/part.txt" 2> "$SMOKE/part.err"
+grep -q "interrupted" "$SMOKE/part.err"
+"$CLI" "${ARGS[@]}" --resume "$SMOKE/j.jsonl" > "$SMOKE/resumed.txt" 2> "$SMOKE/resumed.err"
+grep -q "resuming: 2 of 4" "$SMOKE/resumed.err"
+diff "$SMOKE/full.txt" "$SMOKE/resumed.txt"
+grep -q "degraded" "$SMOKE/full.txt"   # the outage run is salvage, not failure
+
+# An empty grid must fail loudly, not exit 0 with no output.
+if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then
+  echo "check.sh: empty sweep grid must exit nonzero" >&2
+  exit 1
+fi
+
+echo "check.sh: all gates passed"

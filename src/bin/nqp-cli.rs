@@ -12,17 +12,30 @@
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
 //! nqp-cli sweep w1|w2|w3|w4 [--trials N] [--retries N] [--faults SPEC]
 //!                [--trial-budget CYCLES] [--machine A|B|C]
+//!                [--journal PATH | --resume PATH] [--max-cells N]
+//!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
+//!                [--csv FILE] [--json FILE]
 //! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
 //! ```
 //!
 //! `--faults` takes the deterministic fault-plan grammar of
-//! `FaultPlan::parse`, e.g. `alloc@2:attempts=1;link@0..9:link=1,lat=2.5`.
-//! `sweep` runs every trial of every configuration to completion and
-//! exits nonzero only if *every* trial of some configuration failed.
+//! `FaultPlan::parse`, e.g. `alloc@2:attempts=1;link@0..9:link=1,lat=2.5`
+//! or `offline@3:node=1` for a sticky node outage. `sweep` runs every
+//! trial of every configuration to completion and exits nonzero only if
+//! *every* trial of some configuration failed; trials that survive a
+//! node outage by evacuating its memory are reported `degraded`.
+//!
+//! `--journal PATH` appends each finished `(config, trial)` cell to a
+//! fsync'd write-ahead journal; after a crash or Ctrl-C, rerun the same
+//! sweep with `--resume PATH` to skip the journaled cells and produce a
+//! final table bit-identical to an uninterrupted run.
 
 use nqp::alloc::AllocatorKind;
 use nqp::core::advisor::{advise, WorkloadProfile};
-use nqp::core::runner::{sweep, RetryPolicy};
+use nqp::core::journal::{grid_fingerprint, JournalWriter};
+use nqp::core::runner::{
+    sweep_supervised, RetryPolicy, SupervisorPolicy, TrialMeasurement, TrialRecord,
+};
 use nqp::core::TuningConfig;
 use nqp::datagen::tpch::TpchData;
 use nqp::datagen::{generate, JoinDataset};
@@ -35,6 +48,7 @@ use nqp::query::{
 use nqp::sim::{Counters, FaultPlan, MemPolicy, SimResult, ThreadPlacement};
 use nqp::topology::{machines, MachineSpec};
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -71,6 +85,8 @@ const USAGE: &str = "usage:
   nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
   nqp-cli sweep <w1|w2|w3|w4> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
+                [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
+                [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
 
@@ -318,10 +334,48 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Canonical description of a sweep grid: everything that changes the
+/// final table, in a stable order. Flags that only affect durability or
+/// interruption (`--journal`, `--resume`, `--max-cells`) and output
+/// destinations (`--csv`, `--json`) are excluded, so a resumed run
+/// fingerprints identically to the run it continues.
+fn grid_descriptor(
+    which: &str,
+    machine_name: &str,
+    threads: usize,
+    trials: usize,
+    flags: &HashMap<String, String>,
+) -> String {
+    let mut kv: Vec<(&str, &str)> = flags
+        .iter()
+        .filter(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "journal" | "resume" | "max-cells" | "csv" | "json"
+                    | "machine" | "threads" | "trials"
+            )
+        })
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    kv.sort_unstable();
+    let rest: Vec<String> = kv.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(
+        "sweep {which} machine={machine_name} threads={threads} trials={trials} {}",
+        rest.join(" ")
+    )
+}
+
 /// `sweep`: os-default and tuned configurations × N trials, through the
-/// fallible retrying harness. Transient injected faults are retried
-/// with backoff; every other fault is recorded as that trial's outcome.
-/// The sweep always runs to completion and the command fails (nonzero
+/// supervised harness. Transient injected faults are retried with
+/// backoff; every other fault is recorded as that trial's outcome.
+///
+/// With `--journal PATH` every finished cell is appended to a fsync'd
+/// write-ahead journal; after a crash or Ctrl-C, `--resume PATH` skips
+/// the journaled cells and completes the sweep with a final table
+/// bit-identical to an uninterrupted run. `--max-cells N` stops after N
+/// fresh cells (deterministic interruption for testing the resume
+/// path). `--watchdog`, `--retry-budget` and `--breaker` bound how much
+/// a misbehaving configuration can cost. The command fails (nonzero
 /// exit) only when every trial of some configuration failed.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
@@ -333,7 +387,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .unwrap_or(machine.total_hw_threads());
     let trials: usize = flags.get("trials").and_then(|s| s.parse().ok()).unwrap_or(3);
     let retries: u32 = flags.get("retries").and_then(|s| s.parse().ok()).unwrap_or(3);
-    let policy = RetryPolicy { max_retries: retries, ..RetryPolicy::default() };
+    let supervisor = SupervisorPolicy {
+        retry: RetryPolicy { max_retries: retries, ..RetryPolicy::default() },
+        watchdog_budget_cycles: flags.get("watchdog").and_then(|s| s.parse().ok()),
+        global_retry_budget: flags.get("retry-budget").and_then(|s| s.parse().ok()),
+        breaker_threshold: flags.get("breaker").and_then(|s| s.parse().ok()),
+        max_cells: flags.get("max-cells").and_then(|s| s.parse().ok()),
+    };
 
     // Both presets get the same fault plan / budget / policy overrides,
     // so an injected fault stresses the whole sweep, not one column.
@@ -354,10 +414,81 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         },
     ];
 
+    // An empty grid is a mis-specified sweep, not a vacuous success:
+    // fail loudly instead of printing nothing and exiting 0.
+    if configs.is_empty() || trials == 0 {
+        eprintln!(
+            "warning: sweep grid is empty ({} configs x {trials} trials) — nothing to run",
+            configs.len()
+        );
+        return Err("empty sweep grid (use --trials N with N >= 1)".to_string());
+    }
+
+    let grid_desc =
+        grid_descriptor(which, &configs[0].sim.machine.name, threads, trials, &flags);
+    let fp = grid_fingerprint(&grid_desc);
+
+    let mut resumed: Vec<TrialRecord> = Vec::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(path) = flags.get("resume") {
+        let (w, contents) = JournalWriter::append_to(Path::new(path))
+            .map_err(|e| format!("cannot resume from `{path}`: {e}"))?;
+        if contents.fingerprint != fp {
+            return Err(format!(
+                "journal `{path}` records a different sweep grid (its fingerprint \
+                 {} != requested {fp}); refusing to mix results\n  journal grid:   {}\n  requested grid: {grid_desc}",
+                contents.fingerprint, contents.grid_desc
+            ));
+        }
+        if contents.torn {
+            eprintln!(
+                "note: discarded a torn record at the end of `{path}` \
+                 (crash mid-append); that cell will re-run"
+            );
+        }
+        eprintln!(
+            "resuming: {} of {} cells already journaled in `{path}`",
+            contents.records.len(),
+            configs.len() * trials
+        );
+        resumed = contents.records;
+        writer = Some(w);
+    } else if let Some(path) = flags.get("journal") {
+        writer = Some(
+            JournalWriter::create(Path::new(path), &fp, &grid_desc)
+                .map_err(|e| format!("cannot create journal `{path}`: {e}"))?,
+        );
+    }
+
     let plan = WorkloadPlan::parse(which, &flags)?;
-    let report = sweep(&configs, threads, trials, &policy, |env, _trial| {
-        plan.try_run(env).map(|(cycles, _)| cycles)
-    });
+    let mut journal_err: Option<String> = None;
+    let report = {
+        let mut sink = |rec: &TrialRecord| {
+            if let Some(w) = writer.as_mut() {
+                if let Err(e) = w.record(rec) {
+                    journal_err.get_or_insert_with(|| e.to_string());
+                }
+            }
+        };
+        sweep_supervised(
+            &configs,
+            threads,
+            trials,
+            &supervisor,
+            &resumed,
+            &mut sink,
+            |env, _trial| {
+                plan.try_run(env).map(|(cycles, counters)| TrialMeasurement {
+                    cycles,
+                    degraded: counters.nodes_offlined > 0 || counters.evacuated_pages > 0,
+                    evacuated_pages: counters.evacuated_pages,
+                })
+            },
+        )
+    };
+    if let Some(e) = journal_err {
+        return Err(format!("journal write failed mid-sweep: {e}"));
+    }
 
     println!(
         "{which} sweep on machine {} — {threads} threads, {trials} trials/config:",
@@ -369,6 +500,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             Some(mean) => println!("{}: mean {mean} cycles over successful trials", cfg.name),
             None => println!("{}: no successful trials", cfg.name),
         }
+    }
+
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| format!("cannot write CSV to `{path}`: {e}"))?;
+    }
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write JSON to `{path}`: {e}"))?;
+    }
+
+    if report.interrupted {
+        // Salvage, not failure: the partial table above is real data and
+        // the journal has everything needed to finish the grid later.
+        eprintln!(
+            "note: sweep interrupted by --max-cells after {} journaled cells; \
+             the table above is partial — finish with `--resume <journal>`",
+            report.trials.len()
+        );
+        return Ok(());
     }
     let dead = report.failed_configs();
     if dead.is_empty() {

@@ -1,0 +1,198 @@
+//! Integration tests for crash-safe resumable sweeps and node-offline
+//! graceful degradation, end to end: real workloads, real journal files
+//! on disk, real torn writes.
+//!
+//! The contract under test is the one EXPERIMENTS.md sells: kill a
+//! sweep at any cell boundary (or mid-append), resume it from its
+//! journal, and the final table is bit-identical to a run that was
+//! never interrupted.
+
+use nqp::core::journal::{grid_fingerprint, read_journal, JournalWriter};
+use nqp::core::runner::{
+    sweep_supervised, Outcome, SupervisorPolicy, TrialMeasurement, TrialRecord,
+};
+use nqp::core::TuningConfig;
+use nqp::datagen::generate;
+use nqp::query::{try_run_aggregation_on, AggConfig, WorkloadEnv};
+use nqp::sim::{FaultKind, FaultPlan, MemPolicy, SimError, SimResult};
+use nqp::topology::machines;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "nqp-resume-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A small two-config grid whose second config degrades: node 1 goes
+/// offline partway through the run.
+fn grid() -> Vec<TuningConfig> {
+    let outage = FaultPlan::new(5).with_event(2, 2, FaultKind::NodeOffline { node: 1 });
+    vec![
+        TuningConfig::os_default(machines::machine_b())
+            .with_policy(MemPolicy::Interleave)
+            .named("healthy"),
+        TuningConfig::os_default(machines::machine_b())
+            .with_policy(MemPolicy::Interleave)
+            .with_faults(outage)
+            .named("node-1-dies"),
+    ]
+}
+
+fn workload() -> impl FnMut(&WorkloadEnv, usize) -> SimResult<TrialMeasurement> {
+    let acfg = AggConfig::w2(6_000, 600, 3);
+    let records = generate(acfg.dataset, 6_000, 600, 3);
+    move |env: &WorkloadEnv, _trial: usize| {
+        let out = try_run_aggregation_on(env, &acfg, &records)?;
+        Ok(TrialMeasurement {
+            cycles: out.exec_cycles,
+            degraded: out.counters.nodes_offlined > 0 || out.counters.evacuated_pages > 0,
+            evacuated_pages: out.counters.evacuated_pages,
+        })
+    }
+}
+
+fn run_sweep(
+    resume: &[TrialRecord],
+    max_cells: Option<usize>,
+    sink: &mut dyn FnMut(&TrialRecord),
+) -> nqp::core::SweepReport {
+    let policy = SupervisorPolicy { max_cells, ..Default::default() };
+    sweep_supervised(&grid(), 4, 2, &policy, resume, sink, workload())
+}
+
+/// Node outage mid-region: the engine evacuates the node's pages and
+/// the trial completes `Degraded` with the evacuation metered — not a
+/// panic, not a failure.
+#[test]
+fn node_offline_degrades_the_trial_with_metrics() {
+    let report = run_sweep(&[], None, &mut |_| {});
+    let wounded: Vec<&TrialRecord> =
+        report.trials.iter().filter(|t| t.config == "node-1-dies").collect();
+    assert_eq!(wounded.len(), 2);
+    for t in &wounded {
+        assert_eq!(t.outcome, Outcome::Degraded, "outage must degrade, not kill");
+        assert!(t.evacuated_pages > 0, "evacuation must be metered");
+        assert!(t.cycles.is_some(), "degraded trials still report cycles");
+    }
+    let healthy: Vec<&TrialRecord> =
+        report.trials.iter().filter(|t| t.config == "healthy").collect();
+    assert!(healthy.iter().all(|t| t.outcome == Outcome::Ok && t.evacuated_pages == 0));
+    // Degraded configs are not "failed": the sweep-level verdict stays clean.
+    assert!(report.failed_configs().is_empty());
+}
+
+/// Strict binding to a node that goes offline is unsatisfiable: the
+/// fault surfaces as a typed `SimError::NodeOffline`, never a panic,
+/// and the sweep records the cell as `Faulted`.
+#[test]
+fn strict_bind_to_offline_node_fails_typed() {
+    let outage = FaultPlan::new(9).with_event(0, 0, FaultKind::NodeOffline { node: 1 });
+    let cfg = TuningConfig::os_default(machines::machine_b())
+        .with_policy(MemPolicy::Bind(1))
+        .with_faults(outage)
+        .named("bound-to-dead-node");
+    let acfg = AggConfig::w2(2_000, 200, 3);
+    let records = generate(acfg.dataset, 2_000, 200, 3);
+    let err = try_run_aggregation_on(&cfg.env(4), &acfg, &records)
+        .expect_err("binding to an offline node cannot succeed");
+    assert_eq!(err, SimError::NodeOffline { node: 1 });
+
+    let policy = SupervisorPolicy::default();
+    let report = sweep_supervised(&[cfg], 4, 1, &policy, &[], &mut |_| {}, {
+        move |env: &WorkloadEnv, _| {
+            try_run_aggregation_on(env, &acfg, &records)
+                .map(|o| TrialMeasurement::from(o.exec_cycles))
+        }
+    });
+    assert_eq!(report.trials[0].outcome, Outcome::Faulted);
+    assert_eq!(report.failed_configs(), vec!["bound-to-dead-node"]);
+}
+
+/// The headline guarantee, through real files: run the grid journaled
+/// but interrupted after 1 cell, resume from the journal on disk, and
+/// the final table is bit-identical to an uninterrupted run.
+#[test]
+fn interrupted_then_resumed_sweep_is_bit_identical() {
+    let uninterrupted = run_sweep(&[], None, &mut |_| {});
+
+    let path = temp_journal("resume");
+    let fp = grid_fingerprint("resume-test-grid");
+    let mut w = JournalWriter::create(&path, &fp, "resume-test-grid").unwrap();
+    let partial = run_sweep(&[], Some(1), &mut |rec| w.record(rec).unwrap());
+    drop(w);
+    assert!(partial.interrupted);
+    assert_eq!(partial.trials.len(), 1);
+
+    let (mut w, contents) = JournalWriter::append_to(&path).unwrap();
+    assert_eq!(contents.fingerprint, fp);
+    assert!(!contents.torn);
+    assert_eq!(contents.records, partial.trials, "journal round-trips the records");
+    let resumed = run_sweep(&contents.records, None, &mut |rec| w.record(rec).unwrap());
+    drop(w);
+
+    assert_eq!(resumed.table(), uninterrupted.table(), "tables must be bit-identical");
+    assert_eq!(resumed.trials, uninterrupted.trials);
+    assert_eq!(resumed.to_csv(), uninterrupted.to_csv());
+    assert_eq!(resumed.to_json(), uninterrupted.to_json());
+
+    // The journal now holds the full grid and replays to the same table.
+    let full = read_journal(&path).unwrap();
+    assert_eq!(full.records, uninterrupted.trials);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash *mid-append*: tear the journal's last record in half. Resume
+/// discards the torn cell, re-runs it deterministically, and still
+/// converges to the uninterrupted table.
+#[test]
+fn torn_write_is_discarded_and_the_cell_reruns() {
+    let uninterrupted = run_sweep(&[], None, &mut |_| {});
+
+    let path = temp_journal("torn");
+    let fp = grid_fingerprint("torn-test-grid");
+    let mut w = JournalWriter::create(&path, &fp, "torn-test-grid").unwrap();
+    let partial = run_sweep(&[], Some(3), &mut |rec| w.record(rec).unwrap());
+    drop(w);
+    assert_eq!(partial.trials.len(), 3);
+
+    // Simulate the crash landing mid-write: chop the tail mid-line.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 17]).unwrap();
+
+    let (mut w, contents) = JournalWriter::append_to(&path).unwrap();
+    assert!(contents.torn, "the torn tail must be detected");
+    assert_eq!(contents.records.len(), 2, "only intact records survive");
+    let resumed = run_sweep(&contents.records, None, &mut |rec| w.record(rec).unwrap());
+    drop(w);
+
+    assert_eq!(resumed.table(), uninterrupted.table());
+    assert_eq!(resumed.trials, uninterrupted.trials);
+    let full = read_journal(&path).unwrap();
+    assert!(!full.torn, "append after recovery restores a clean journal");
+    assert_eq!(full.records, uninterrupted.trials);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Degraded outcomes survive the journal round trip exactly — outcome
+/// label, evacuation count, cycles — so a resumed table renders
+/// degraded rows identically to the original run.
+#[test]
+fn degraded_records_round_trip_through_the_journal() {
+    let path = temp_journal("degraded");
+    let fp = grid_fingerprint("degraded-grid");
+    let mut w = JournalWriter::create(&path, &fp, "degraded-grid").unwrap();
+    let report = run_sweep(&[], None, &mut |rec| w.record(rec).unwrap());
+    drop(w);
+    let back = read_journal(&path).unwrap();
+    assert_eq!(back.records, report.trials);
+    assert!(
+        back.records.iter().any(|t| t.outcome == Outcome::Degraded),
+        "the grid must exercise a degraded cell"
+    );
+    std::fs::remove_file(&path).ok();
+}
