@@ -1,0 +1,399 @@
+//! The parallel sweep executor: `sweep_supervised`'s grid, fanned
+//! across a scoped worker pool, with the same bytes out.
+//!
+//! The paper's methodology is a large Cartesian sweep (allocator ×
+//! placement × policy × THP) whose trials are deterministic and
+//! independent, so the grid parallelises — but only if the supervision
+//! semantics stay deterministic. Three decisions make that hold:
+//!
+//! * **Per-config worker affinity.** The unit of work handed to a
+//!   worker is a whole configuration, not a cell: every trial of one
+//!   configuration runs on one worker, in trial order. The circuit
+//!   breaker and the `fault_attempt` retry loop are per-config state
+//!   walked in trial order, so their decisions are identical to the
+//!   serial path no matter how configs interleave across workers.
+//! * **Deterministic retry quota.** The serial path spends
+//!   `SupervisorPolicy::global_retry_budget` in grid order; under
+//!   parallel scheduling that order does not exist, so the budget
+//!   becomes a per-config quota of `ceil(budget / configs)` fixed
+//!   before any worker starts. Admission decisions then depend only on
+//!   the config's own trial history — never on scheduling order — and
+//!   `sweep_parallel(jobs=k)` produces the same report for every `k`.
+//!   (When the budget never binds — the common case — the parallel
+//!   report is bit-identical to the serial one; when it binds, the two
+//!   paths ration differently and DESIGN.md §4c documents the split.)
+//! * **Completion-order journal, grid-order report.** A single
+//!   journal-writer thread receives finished [`TrialRecord`]s over a
+//!   channel and hands them to the sink in completion order — resume
+//!   matching is by `(config, trial)`, so an out-of-order journal
+//!   resumes correctly, serial or parallel. The in-memory
+//!   [`SweepReport`] is assembled in grid order from per-config result
+//!   slots, so `table()`/`to_csv()`/`to_json()` are byte-identical to
+//!   a serial run of the same grid.
+//!
+//! `max_cells` admission (which cells run, which are adopted from
+//! `resume`, where the grid is truncated) is computed up front by
+//! replaying the serial path's bookkeeping, so an interrupted parallel
+//! run journals exactly the cells an interrupted serial run would.
+
+use crate::experiment::TuningConfig;
+use crate::runner::{
+    run_trial_measured, Outcome, RetryPolicy, SupervisorPolicy, SweepReport,
+    TrialMeasurement, TrialRecord,
+};
+use nqp_query::WorkloadEnv;
+use nqp_sim::SimResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+
+/// One cell of the admission plan: either adopt a journaled record
+/// verbatim or run the workload.
+#[derive(Debug)]
+struct CellPlan {
+    trial: usize,
+    resumed: Option<TrialRecord>,
+}
+
+/// All admitted cells of one configuration, in trial order.
+#[derive(Debug)]
+struct ConfigPlan<'a> {
+    cfg: &'a TuningConfig,
+    cells: Vec<CellPlan>,
+}
+
+/// Replay the serial path's admission bookkeeping up front: resumed
+/// cells are free, fresh cells count against `max_cells`, and the first
+/// over-budget fresh cell truncates the grid (later cells — resumed or
+/// not — are excluded from the report, exactly like the serial
+/// `break 'grid`). Returns the per-config plans and the interrupted
+/// flag.
+fn admission_plan<'a>(
+    configs: &'a [TuningConfig],
+    trials: usize,
+    policy: &SupervisorPolicy,
+    resume: &[TrialRecord],
+) -> (Vec<ConfigPlan<'a>>, bool) {
+    let mut plans: Vec<ConfigPlan<'a>> = Vec::with_capacity(configs.len());
+    let mut cells_run = 0usize;
+    let mut interrupted = false;
+    'grid: for cfg in configs {
+        let mut cells = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let resumed = resume
+                .iter()
+                .find(|r| r.config == cfg.name && r.trial == trial)
+                .cloned();
+            if resumed.is_none() {
+                if policy.max_cells.is_some_and(|m| cells_run >= m) {
+                    interrupted = true;
+                    if !cells.is_empty() {
+                        plans.push(ConfigPlan { cfg, cells });
+                    }
+                    break 'grid;
+                }
+                cells_run += 1;
+            }
+            cells.push(CellPlan { trial, resumed });
+        }
+        plans.push(ConfigPlan { cfg, cells });
+    }
+    (plans, interrupted)
+}
+
+/// Run every admitted cell of one configuration, in trial order, with
+/// the per-config supervision state (circuit breaker, retry quota).
+/// Fresh records are sent to the journal-writer channel as they finish.
+fn run_config<F>(
+    plan: &ConfigPlan<'_>,
+    threads: usize,
+    policy: &SupervisorPolicy,
+    quota: Option<u32>,
+    workload: &F,
+    fresh: &mpsc::Sender<TrialRecord>,
+) -> Vec<TrialRecord>
+where
+    F: Fn(&WorkloadEnv, usize) -> SimResult<TrialMeasurement> + Sync,
+{
+    let mut out = Vec::with_capacity(plan.cells.len());
+    let mut retries_left = quota;
+    let mut consecutive_faulted = 0u32;
+    for cell in &plan.cells {
+        let record = match &cell.resumed {
+            Some(r) => r.clone(),
+            None => {
+                let breaker_open = policy
+                    .breaker_threshold
+                    .is_some_and(|k| consecutive_faulted >= k);
+                let mut retry = if breaker_open {
+                    RetryPolicy::none()
+                } else {
+                    policy.retry.clone()
+                };
+                if let Some(left) = retries_left {
+                    retry.max_retries = retry.max_retries.min(left);
+                }
+                let r = run_trial_measured(
+                    plan.cfg,
+                    threads,
+                    cell.trial,
+                    &retry,
+                    policy.watchdog_budget_cycles,
+                    &mut |env, t| workload(env, t),
+                );
+                // A send only fails if the writer thread died; its
+                // panic propagates when the scope joins, so the error
+                // carries no extra information here.
+                let _ = fresh.send(r.clone());
+                r
+            }
+        };
+        if let Some(left) = retries_left.as_mut() {
+            *left = left.saturating_sub(record.attempts.saturating_sub(1));
+        }
+        if record.outcome == Outcome::Faulted {
+            consecutive_faulted += 1;
+        } else {
+            consecutive_faulted = 0;
+        }
+        out.push(record);
+    }
+    out
+}
+
+/// [`crate::runner::sweep_supervised`], fanned across `jobs` scoped
+/// workers. Each configuration's trials stay on one worker in trial
+/// order; `sink` (the journal append hook) runs on a dedicated writer
+/// thread and observes records in completion order; the returned
+/// report is in grid order, byte-identical (table/CSV/JSON) to a
+/// serial run of the same grid — see the module docs for the
+/// determinism argument and the one semantic difference
+/// (`global_retry_budget` becomes a per-config quota of
+/// `ceil(budget / configs)`).
+///
+/// `jobs == 0` is treated as 1; `jobs` above the config count is
+/// clamped (a worker's unit of work is a whole configuration).
+// Mirrors sweep_supervised's seven parameters plus `jobs`; grouping
+// them would diverge the two call shapes for no clarity gain.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_parallel<F>(
+    configs: &[TuningConfig],
+    threads: usize,
+    trials: usize,
+    policy: &SupervisorPolicy,
+    resume: &[TrialRecord],
+    jobs: usize,
+    sink: &mut (dyn FnMut(&TrialRecord) + Send),
+    workload: F,
+) -> SweepReport
+where
+    F: Fn(&WorkloadEnv, usize) -> SimResult<TrialMeasurement> + Sync,
+{
+    let (plans, interrupted) = admission_plan(configs, trials, policy, resume);
+    let quota = policy
+        .global_retry_budget
+        .map(|b| b.div_ceil(configs.len().max(1) as u32));
+    let jobs = jobs.clamp(1, plans.len().max(1));
+
+    // One result slot per configuration: workers fill their claimed
+    // slots, the report is reassembled in grid order below.
+    let results: Vec<Mutex<Vec<TrialRecord>>> =
+        plans.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<TrialRecord>();
+        // The single journal writer: completion-order appends, one
+        // thread, so the sink needs Send but not Sync.
+        s.spawn(move || {
+            for rec in rx {
+                sink(&rec);
+            }
+        });
+        let plans = &plans;
+        let results = &results;
+        let next = &next;
+        let workload = &workload;
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(plan) = plans.get(i) else { break };
+                let recs = run_config(plan, threads, policy, quota, workload, &tx);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = recs;
+            });
+        }
+        // Drop the original sender so the writer thread's receive loop
+        // ends once every worker has finished and dropped its clone.
+        drop(tx);
+    });
+
+    let mut report = SweepReport { trials: Vec::new(), interrupted };
+    for slot in results {
+        report
+            .trials
+            .extend(slot.into_inner().unwrap_or_else(PoisonError::into_inner));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sweep_supervised;
+    use nqp_sim::SimError;
+    use nqp_topology::machines;
+
+    fn cfg(name: &str) -> TuningConfig {
+        TuningConfig::tuned(machines::machine_b()).named(name)
+    }
+
+    fn grid(n: usize) -> Vec<TuningConfig> {
+        (0..n).map(|i| cfg(&format!("cfg-{i}"))).collect()
+    }
+
+    /// Deterministic workload: cycles depend on (config seed, trial),
+    /// with a transient fault on trial 1 that clears after one retry.
+    fn workload(env: &WorkloadEnv, trial: usize) -> nqp_sim::SimResult<TrialMeasurement> {
+        if trial == 1 && env.sim.fault_attempt == 0 {
+            return Err(SimError::InjectedAllocFault { region: 0, attempt: 0 });
+        }
+        Ok(TrialMeasurement::from(env.sim.seed + 100 * trial as u64))
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_for_every_job_count() {
+        let configs = grid(5);
+        let policy = SupervisorPolicy {
+            retry: RetryPolicy { max_retries: 2, backoff_base_cycles: 10 },
+            ..Default::default()
+        };
+        let serial =
+            sweep_supervised(&configs, 4, 3, &policy, &[], &mut |_| {}, workload);
+        for jobs in [0, 1, 2, 7, 64] {
+            let parallel = sweep_parallel(
+                &configs,
+                4,
+                3,
+                &policy,
+                &[],
+                jobs,
+                &mut |_| {},
+                workload,
+            );
+            assert_eq!(parallel.trials, serial.trials, "jobs={jobs}");
+            assert_eq!(parallel.table(), serial.table());
+            assert_eq!(parallel.to_csv(), serial.to_csv());
+            assert_eq!(parallel.to_json(), serial.to_json());
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_fresh_cell_exactly_once() {
+        let configs = grid(3);
+        let policy = SupervisorPolicy::default();
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        let report = sweep_parallel(
+            &configs,
+            4,
+            2,
+            &policy,
+            &[],
+            3,
+            &mut |r| seen.push((r.config.clone(), r.trial)),
+            workload,
+        );
+        assert_eq!(report.trials.len(), 6);
+        seen.sort();
+        let mut want: Vec<(String, usize)> = report
+            .trials
+            .iter()
+            .map(|t| (t.config.clone(), t.trial))
+            .collect();
+        want.sort();
+        assert_eq!(seen, want, "completion-order journal covers the whole grid");
+    }
+
+    #[test]
+    fn resumed_cells_are_adopted_not_rerun_and_not_journaled() {
+        let configs = grid(2);
+        let policy = SupervisorPolicy::default();
+        let full = sweep_parallel(&configs, 4, 2, &policy, &[], 2, &mut |_| {}, workload);
+        let resume: Vec<TrialRecord> = full.trials[..3].to_vec();
+        let mut fresh = Vec::new();
+        let resumed = sweep_parallel(
+            &configs,
+            4,
+            2,
+            &policy,
+            &resume,
+            2,
+            &mut |r| fresh.push(r.clone()),
+            workload,
+        );
+        assert_eq!(fresh.len(), 1, "only the missing cell re-runs");
+        assert_eq!(resumed.trials, full.trials);
+    }
+
+    #[test]
+    fn max_cells_truncates_exactly_like_the_serial_path() {
+        let configs = grid(3);
+        for max in 0..=6 {
+            let policy = SupervisorPolicy { max_cells: Some(max), ..Default::default() };
+            let serial =
+                sweep_supervised(&configs, 4, 2, &policy, &[], &mut |_| {}, workload);
+            let parallel = sweep_parallel(
+                &configs,
+                4,
+                2,
+                &policy,
+                &[],
+                2,
+                &mut |_| {},
+                workload,
+            );
+            assert_eq!(parallel.trials, serial.trials, "max_cells={max}");
+            assert_eq!(parallel.interrupted, serial.interrupted);
+        }
+    }
+
+    #[test]
+    fn retry_quota_is_deterministic_across_job_counts() {
+        // Budget 5 over 2 configs -> quota ceil(5/2) = 3 per config,
+        // independent of which worker runs first.
+        let configs = grid(2);
+        let policy = SupervisorPolicy {
+            retry: RetryPolicy { max_retries: 10, backoff_base_cycles: 1 },
+            global_retry_budget: Some(5),
+            ..Default::default()
+        };
+        let fail = |_: &WorkloadEnv, _: usize| -> nqp_sim::SimResult<TrialMeasurement> {
+            Err(SimError::InjectedAllocFault { region: 0, attempt: 0 })
+        };
+        let reference =
+            sweep_parallel(&configs, 4, 2, &policy, &[], 1, &mut |_| {}, fail);
+        let attempts: Vec<u32> = reference.trials.iter().map(|t| t.attempts).collect();
+        // Each config independently: 3 retries on trial 0, quota spent,
+        // then first-attempt-only on trial 1.
+        assert_eq!(attempts, vec![4, 1, 4, 1]);
+        for jobs in [2, 7] {
+            let r = sweep_parallel(&configs, 4, 2, &policy, &[], jobs, &mut |_| {}, fail);
+            assert_eq!(r.trials, reference.trials, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_yields_an_empty_report() {
+        let report = sweep_parallel(
+            &[],
+            4,
+            3,
+            &SupervisorPolicy::default(),
+            &[],
+            4,
+            &mut |_| {},
+            workload,
+        );
+        assert!(report.trials.is_empty());
+        assert!(!report.interrupted);
+    }
+}

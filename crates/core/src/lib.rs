@@ -26,11 +26,13 @@
 //! ```
 
 pub mod advisor;
+pub mod executor;
 pub mod experiment;
 pub mod journal;
 pub mod runner;
 
 pub use advisor::{advise, TuningPlan, WorkloadProfile};
+pub use executor::sweep_parallel;
 pub use experiment::{speedup, ExperimentResult, TuningConfig};
 pub use journal::{
     grid_fingerprint, read_journal, JournalContents, JournalWriter, JOURNAL_VERSION,

@@ -17,6 +17,12 @@
 //! resume from a set of already-completed cells (the trial journal, see
 //! [`crate::journal`]), and an interruption bound (`max_cells`) whose
 //! partial report still renders — partial-result salvage.
+//!
+//! Trials are deterministic and independent, so the grid also runs in
+//! parallel: [`crate::executor::sweep_parallel`] fans configurations
+//! across a scoped worker pool and produces byte-identical
+//! table/CSV/JSON output (see that module for the determinism
+//! argument).
 
 use crate::experiment::TuningConfig;
 use nqp_query::WorkloadEnv;
@@ -127,6 +133,25 @@ impl RetryPolicy {
     pub fn none() -> Self {
         RetryPolicy { max_retries: 0, backoff_base_cycles: 0 }
     }
+
+    /// Backoff cycles charged before retry `attempt`, saturating at
+    /// `u64::MAX` once the doubling schedule would overflow the shift.
+    /// With `--retries 64`+ and a persistent transient fault, the naive
+    /// `base << attempt` panics in debug builds and wraps to a
+    /// near-zero backoff in release; saturation keeps the schedule
+    /// monotone instead.
+    #[must_use]
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let base = self.backoff_base_cycles;
+        if base == 0 {
+            return 0;
+        }
+        if attempt > base.leading_zeros() {
+            u64::MAX
+        } else {
+            base << attempt
+        }
+    }
 }
 
 /// Sweep-level robustness knobs layered over the per-trial
@@ -226,13 +251,30 @@ impl SweepReport {
             .collect()
     }
 
-    /// Mean completed cycles of a configuration, if any trial made it.
+    /// Mean cycles over a configuration's *clean* (`Ok`) trials, if any
+    /// made it. `Degraded` trials ran on a smaller machine after a node
+    /// evacuation — folding them in would skew config comparisons, so
+    /// they are excluded here and reported separately by
+    /// [`SweepReport::mean_cycles_degraded`].
     #[must_use]
     pub fn mean_cycles(&self, config: &str) -> Option<u64> {
+        self.mean_of(config, Outcome::Ok)
+    }
+
+    /// Mean cycles over a configuration's `Degraded` trials — the
+    /// salvage number for grids where a node outage left no clean
+    /// trials. Real data, but from fewer nodes than configured; never
+    /// mix it with [`SweepReport::mean_cycles`].
+    #[must_use]
+    pub fn mean_cycles_degraded(&self, config: &str) -> Option<u64> {
+        self.mean_of(config, Outcome::Degraded)
+    }
+
+    fn mean_of(&self, config: &str, outcome: Outcome) -> Option<u64> {
         let ok: Vec<u64> = self
             .trials
             .iter()
-            .filter(|t| t.config == config)
+            .filter(|t| t.config == config && t.outcome == outcome)
             .filter_map(|t| t.cycles)
             .collect();
         if ok.is_empty() {
@@ -364,14 +406,14 @@ where
                     config: cfg.name.clone(),
                     trial,
                     outcome: if m.degraded { Outcome::Degraded } else { Outcome::Ok },
-                    cycles: Some(m.cycles + backoff),
+                    cycles: Some(m.cycles.saturating_add(backoff)),
                     attempts: attempt + 1,
                     evacuated_pages: m.evacuated_pages,
                     error: None,
                 }
             }
             Err(e) if e.is_transient() && attempt < policy.max_retries => {
-                backoff += policy.backoff_base_cycles << attempt;
+                backoff = backoff.saturating_add(policy.backoff_cycles(attempt));
                 attempt += 1;
             }
             Err(e) => {
@@ -552,6 +594,83 @@ mod tests {
         assert_eq!(calls, 3, "initial + 2 retries");
         assert_eq!(rec.outcome, Outcome::Faulted);
         assert_eq!(rec.attempts, 3);
+    }
+
+    #[test]
+    fn huge_retry_counts_saturate_backoff_instead_of_overflowing() {
+        // `--retries 80` with a fault that never clears: the naive
+        // `base << attempt` shifts by >= 64 and panics in debug builds.
+        let policy = RetryPolicy { max_retries: 80, backoff_base_cycles: 10_000 };
+        let mut calls = 0u32;
+        let rec = run_trial(&cfg(), 4, 0, &policy, &mut |_, _| {
+            calls += 1;
+            Err(SimError::InjectedAllocFault { region: 0, attempt: 0 })
+        });
+        assert_eq!(calls, 81, "initial attempt + 80 retries");
+        assert_eq!(rec.attempts, 81);
+        assert_eq!(rec.outcome, Outcome::Faulted);
+
+        // When the fault eventually clears, the charged backoff is
+        // saturated, not wrapped back down to a tiny number.
+        let rec = run_trial(&cfg(), 4, 0, &policy, &mut |env, _| {
+            if env.sim.fault_attempt < 70 {
+                Err(SimError::InjectedAllocFault { region: 0, attempt: env.sim.fault_attempt })
+            } else {
+                Ok(1_000)
+            }
+        });
+        assert_eq!(rec.outcome, Outcome::Ok);
+        assert_eq!(rec.attempts, 71);
+        assert_eq!(rec.cycles, Some(u64::MAX), "backoff saturates at u64::MAX");
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_to_saturation() {
+        let p = RetryPolicy { max_retries: 100, backoff_base_cycles: 1 };
+        assert_eq!(p.backoff_cycles(0), 1);
+        assert_eq!(p.backoff_cycles(63), 1 << 63);
+        assert_eq!(p.backoff_cycles(64), u64::MAX);
+        let p = RetryPolicy { max_retries: 100, backoff_base_cycles: 3 };
+        assert_eq!(p.backoff_cycles(62), 3 << 62);
+        assert_eq!(p.backoff_cycles(63), u64::MAX);
+        let p = RetryPolicy { max_retries: 100, backoff_base_cycles: 0 };
+        assert_eq!(p.backoff_cycles(99), 0, "zero base never charges backoff");
+    }
+
+    #[test]
+    fn mean_cycles_excludes_degraded_trials() {
+        let configs = vec![cfg().named("wounded")];
+        let report = sweep_supervised(
+            &configs,
+            4,
+            3,
+            &SupervisorPolicy::default(),
+            &[],
+            &mut |_| {},
+            |_, trial| {
+                Ok(TrialMeasurement {
+                    cycles: if trial == 2 { 1_000_000 } else { 1_000 },
+                    degraded: trial == 2,
+                    evacuated_pages: 0,
+                })
+            },
+        );
+        // The degraded trial ran on a smaller machine; its million
+        // cycles must not pollute the clean mean.
+        assert_eq!(report.mean_cycles("wounded"), Some(1_000));
+        assert_eq!(report.mean_cycles_degraded("wounded"), Some(1_000_000));
+        // A config with only degraded trials has no clean mean at all.
+        let report = sweep_supervised(
+            &configs,
+            4,
+            1,
+            &SupervisorPolicy::default(),
+            &[],
+            &mut |_| {},
+            |_, _| Ok(TrialMeasurement { cycles: 5, degraded: true, evacuated_pages: 1 }),
+        );
+        assert_eq!(report.mean_cycles("wounded"), None);
+        assert_eq!(report.mean_cycles_degraded("wounded"), Some(5));
     }
 
     #[test]

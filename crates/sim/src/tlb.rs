@@ -7,15 +7,20 @@
 //! 2 MB pages — at O(1) cost per access.
 
 /// Direct-mapped TLB for one page size.
+///
+/// Validity is tracked separately from the tag: an earlier version used
+/// `u64::MAX` as an in-band empty-slot sentinel, which made page number
+/// `u64::MAX` report a phantom hit on a cold slot and disappear from
+/// `occupied()`. Every 64-bit page number is now a legal tag.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    /// Tag per slot; `u64::MAX` marks an empty slot.
+    /// Tag per slot; meaningful only where `valid` is set.
     tags: Vec<u64>,
+    /// Per-slot validity bit.
+    valid: Vec<bool>,
     /// Slot mask (`tags.len() - 1`); tags length is a power of two.
     mask: u64,
 }
-
-pub const EMPTY_TAG: u64 = u64::MAX;
 
 impl Tlb {
     /// Create a TLB with at least `entries` slots (rounded up to a power
@@ -23,10 +28,10 @@ impl Tlb {
     /// misses on every lookup.
     pub fn new(entries: u64) -> Self {
         if entries == 0 {
-            return Tlb { tags: Vec::new(), mask: 0 };
+            return Tlb { tags: Vec::new(), valid: Vec::new(), mask: 0 };
         }
         let size = entries.next_power_of_two() as usize;
-        Tlb { tags: vec![EMPTY_TAG; size], mask: size as u64 - 1 }
+        Tlb { tags: vec![0; size], valid: vec![false; size], mask: size as u64 - 1 }
     }
 
     /// Look up a page number; inserts on miss. Returns `true` on hit.
@@ -36,17 +41,18 @@ impl Tlb {
             return false;
         }
         let slot = (mix(page_number) & self.mask) as usize;
-        if self.tags[slot] == page_number {
+        if self.valid[slot] && self.tags[slot] == page_number {
             true
         } else {
             self.tags[slot] = page_number;
+            self.valid[slot] = true;
             false
         }
     }
 
     /// Drop all translations (context switch / migration / shootdown).
     pub fn flush(&mut self) {
-        self.tags.fill(EMPTY_TAG);
+        self.valid.fill(false);
     }
 
     /// Number of slots.
@@ -56,7 +62,7 @@ impl Tlb {
 
     /// Number of currently valid translations.
     pub fn occupied(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 }
 
@@ -99,6 +105,20 @@ mod tests {
         tlb.flush();
         assert_eq!(tlb.occupied(), 0);
         assert!(!tlb.access(1));
+    }
+
+    #[test]
+    fn sentinel_page_number_is_a_real_translation() {
+        // u64::MAX doubled as the empty-slot tag before validity bits:
+        // a cold lookup of that page reported a phantom hit and the
+        // inserted entry never showed up in occupied().
+        let mut tlb = Tlb::new(8);
+        assert!(!tlb.access(u64::MAX), "cold slot must miss, even for the old sentinel");
+        assert!(tlb.access(u64::MAX), "second access is a genuine hit");
+        assert_eq!(tlb.occupied(), 1, "the entry is counted as resident");
+        tlb.flush();
+        assert_eq!(tlb.occupied(), 0);
+        assert!(!tlb.access(u64::MAX), "flush forgets the sentinel page too");
     }
 
     #[test]

@@ -8,8 +8,10 @@ cargo test -q --offline
 
 # The simulator and the experiment runner are the fallible substrate
 # everything else leans on: no unwrap()/expect() may land in their
-# library code (this now covers journal.rs — the crash-safety layer
-# must itself surface faults, not panic). Both crate roots carry
+# library code (this covers journal.rs — the crash-safety layer must
+# itself surface faults, not panic — and executor.rs, the parallel
+# sweep executor, whose worker pool must degrade via poison-tolerant
+# lock recovery instead of unwrap). Both crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
 cargo clippy -p nqp-sim -p nqp-core --lib --offline
@@ -29,6 +31,19 @@ grep -q "interrupted" "$SMOKE/part.err"
 grep -q "resuming: 2 of 4" "$SMOKE/resumed.err"
 diff "$SMOKE/full.txt" "$SMOKE/resumed.txt"
 grep -q "degraded" "$SMOKE/full.txt"   # the outage run is salvage, not failure
+
+# Parallel sweep smoke: --jobs 4 must produce stdout and CSV
+# byte-identical to the serial run of the same grid (the determinism
+# contract of the parallel executor, DESIGN.md §4c).
+"$CLI" "${ARGS[@]}" --csv "$SMOKE/serial.csv" > /dev/null
+"$CLI" "${ARGS[@]}" --jobs 4 --csv "$SMOKE/parallel.csv" > "$SMOKE/parallel.txt"
+diff "$SMOKE/serial.csv" "$SMOKE/parallel.csv"
+diff "$SMOKE/full.txt" "$SMOKE/parallel.txt"
+
+# A journal written under --jobs resumes serially to the same bytes.
+"$CLI" "${ARGS[@]}" --jobs 4 --journal "$SMOKE/jp.jsonl" --max-cells 2 > /dev/null 2>&1
+"$CLI" "${ARGS[@]}" --resume "$SMOKE/jp.jsonl" > "$SMOKE/presumed.txt" 2> /dev/null
+diff "$SMOKE/full.txt" "$SMOKE/presumed.txt"
 
 # An empty grid must fail loudly, not exit 0 with no output.
 if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then

@@ -11,7 +11,7 @@
 //!                [--faults SPEC] [--trial-budget CYCLES]
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
 //! nqp-cli sweep w1|w2|w3|w4 [--trials N] [--retries N] [--faults SPEC]
-//!                [--trial-budget CYCLES] [--machine A|B|C]
+//!                [--trial-budget CYCLES] [--machine A|B|C] [--jobs N]
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
@@ -29,10 +29,18 @@
 //! fsync'd write-ahead journal; after a crash or Ctrl-C, rerun the same
 //! sweep with `--resume PATH` to skip the journaled cells and produce a
 //! final table bit-identical to an uninterrupted run.
+//!
+//! `--jobs N` (default 1 = the serial path) fans configurations across
+//! N worker threads; the table/CSV/JSON output is byte-identical to the
+//! serial run and the journal stays resumable, serial or parallel (the
+//! one semantic shift: `--retry-budget` becomes a deterministic
+//! per-config quota of `ceil(budget / configs)` so admission never
+//! depends on scheduling order).
 
 use nqp::alloc::AllocatorKind;
 use nqp::core::advisor::{advise, WorkloadProfile};
 use nqp::core::journal::{grid_fingerprint, JournalWriter};
+use nqp::core::executor::sweep_parallel;
 use nqp::core::runner::{
     sweep_supervised, RetryPolicy, SupervisorPolicy, TrialMeasurement, TrialRecord,
 };
@@ -85,7 +93,7 @@ const USAGE: &str = "usage:
   nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
   nqp-cli sweep <w1|w2|w3|w4> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
-                [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
+                [--jobs N] [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
@@ -349,10 +357,13 @@ fn grid_descriptor(
     let mut kv: Vec<(&str, &str)> = flags
         .iter()
         .filter(|(k, _)| {
+            // `jobs` is excluded too: the parallel executor produces the
+            // same bytes, so a journal from a --jobs run resumes under
+            // any job count (and vice versa).
             !matches!(
                 k.as_str(),
                 "journal" | "resume" | "max-cells" | "csv" | "json"
-                    | "machine" | "threads" | "trials"
+                    | "machine" | "threads" | "trials" | "jobs"
             )
         })
         .map(|(k, v)| (k.as_str(), v.as_str()))
@@ -387,6 +398,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .unwrap_or(machine.total_hw_threads());
     let trials: usize = flags.get("trials").and_then(|s| s.parse().ok()).unwrap_or(3);
     let retries: u32 = flags.get("retries").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let jobs: usize = match flags.get("jobs") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --jobs `{s}` (need an integer >= 1)"))?,
+        None => 1,
+    };
     let supervisor = SupervisorPolicy {
         retry: RetryPolicy { max_retries: retries, ..RetryPolicy::default() },
         watchdog_budget_cycles: flags.get("watchdog").and_then(|s| s.parse().ok()),
@@ -470,21 +489,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 }
             }
         };
-        sweep_supervised(
-            &configs,
-            threads,
-            trials,
-            &supervisor,
-            &resumed,
-            &mut sink,
-            |env, _trial| {
-                plan.try_run(env).map(|(cycles, counters)| TrialMeasurement {
-                    cycles,
-                    degraded: counters.nodes_offlined > 0 || counters.evacuated_pages > 0,
-                    evacuated_pages: counters.evacuated_pages,
-                })
-            },
-        )
+        let workload = |env: &WorkloadEnv, _trial: usize| {
+            plan.try_run(env).map(|(cycles, counters)| TrialMeasurement {
+                cycles,
+                degraded: counters.nodes_offlined > 0 || counters.evacuated_pages > 0,
+                evacuated_pages: counters.evacuated_pages,
+            })
+        };
+        if jobs > 1 {
+            sweep_parallel(
+                &configs, threads, trials, &supervisor, &resumed, jobs, &mut sink,
+                workload,
+            )
+        } else {
+            sweep_supervised(
+                &configs, threads, trials, &supervisor, &resumed, &mut sink, workload,
+            )
+        }
     };
     if let Some(e) = journal_err {
         return Err(format!("journal write failed mid-sweep: {e}"));
@@ -496,9 +517,24 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     );
     print!("{}", report.table());
     for cfg in &configs {
-        match report.mean_cycles(&cfg.name) {
-            Some(mean) => println!("{}: mean {mean} cycles over successful trials", cfg.name),
-            None => println!("{}: no successful trials", cfg.name),
+        // Degraded trials ran on a smaller machine (node evacuated);
+        // their mean is salvage data, never mixed into the clean mean.
+        let clean = report.mean_cycles(&cfg.name);
+        let degraded = report.mean_cycles_degraded(&cfg.name);
+        match (clean, degraded) {
+            (Some(m), None) => {
+                println!("{}: mean {m} cycles over successful trials", cfg.name);
+            }
+            (Some(m), Some(d)) => println!(
+                "{}: mean {m} cycles over successful trials \
+                 (degraded trials excluded: mean {d} cycles)",
+                cfg.name
+            ),
+            (None, Some(d)) => println!(
+                "{}: no successful trials (degraded salvage: mean {d} cycles)",
+                cfg.name
+            ),
+            (None, None) => println!("{}: no successful trials", cfg.name),
         }
     }
 

@@ -7,6 +7,7 @@
 //! journal, and the final table is bit-identical to a run that was
 //! never interrupted.
 
+use nqp::core::executor::sweep_parallel;
 use nqp::core::journal::{grid_fingerprint, read_journal, JournalWriter};
 use nqp::core::runner::{
     sweep_supervised, Outcome, SupervisorPolicy, TrialMeasurement, TrialRecord,
@@ -43,7 +44,9 @@ fn grid() -> Vec<TuningConfig> {
     ]
 }
 
-fn workload() -> impl FnMut(&WorkloadEnv, usize) -> SimResult<TrialMeasurement> {
+// `Fn + Sync` (not just `FnMut`) so the same workload drives both the
+// serial supervisor and the parallel executor.
+fn workload() -> impl Fn(&WorkloadEnv, usize) -> SimResult<TrialMeasurement> + Sync {
     let acfg = AggConfig::w2(6_000, 600, 3);
     let records = generate(acfg.dataset, 6_000, 600, 3);
     move |env: &WorkloadEnv, _trial: usize| {
@@ -63,6 +66,16 @@ fn run_sweep(
 ) -> nqp::core::SweepReport {
     let policy = SupervisorPolicy { max_cells, ..Default::default() };
     sweep_supervised(&grid(), 4, 2, &policy, resume, sink, workload())
+}
+
+fn run_sweep_parallel(
+    resume: &[TrialRecord],
+    max_cells: Option<usize>,
+    jobs: usize,
+    sink: &mut (dyn FnMut(&TrialRecord) + Send),
+) -> nqp::core::SweepReport {
+    let policy = SupervisorPolicy { max_cells, ..Default::default() };
+    sweep_parallel(&grid(), 4, 2, &policy, resume, jobs, sink, workload())
 }
 
 /// Node outage mid-region: the engine evacuates the node's pages and
@@ -175,6 +188,69 @@ fn torn_write_is_discarded_and_the_cell_reruns() {
     let full = read_journal(&path).unwrap();
     assert!(!full.torn, "append after recovery restores a clean journal");
     assert_eq!(full.records, uninterrupted.trials);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The parallel executor is a drop-in for the serial supervisor: for
+/// every worker count the report — table, CSV, JSON, the records
+/// themselves — is byte-identical to `sweep_supervised` on the same
+/// grid (which here includes a real node-outage fault plan).
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = run_sweep(&[], None, &mut |_| {});
+    for jobs in [1, 2, 7] {
+        let parallel = run_sweep_parallel(&[], None, jobs, &mut |_| {});
+        assert_eq!(parallel.trials, serial.trials, "jobs={jobs}");
+        assert_eq!(parallel.table(), serial.table(), "jobs={jobs}");
+        assert_eq!(parallel.to_csv(), serial.to_csv(), "jobs={jobs}");
+        assert_eq!(parallel.to_json(), serial.to_json(), "jobs={jobs}");
+    }
+}
+
+/// Kill a *parallel* journaled run mid-grid, then resume — serially and
+/// in parallel — from the journal it left behind. Both resumed runs
+/// converge to the uninterrupted serial table, even though the journal
+/// was written in completion order rather than grid order.
+#[test]
+fn killed_parallel_run_resumes_serial_or_parallel_to_identical_bytes() {
+    let uninterrupted = run_sweep(&[], None, &mut |_| {});
+
+    let path = temp_journal("parallel");
+    let fp = grid_fingerprint("parallel-resume-grid");
+    let mut w = JournalWriter::create(&path, &fp, "parallel-resume-grid").unwrap();
+    let partial =
+        run_sweep_parallel(&[], Some(2), 2, &mut |rec| w.record(rec).unwrap());
+    drop(w);
+    assert!(partial.interrupted);
+    assert_eq!(partial.trials.len(), 2, "admission matches the serial cutoff");
+
+    // Resume serially from the parallel run's journal.
+    let (mut w, contents) = JournalWriter::append_to(&path).unwrap();
+    assert_eq!(contents.records.len(), 2);
+    // Completion order may differ from grid order; resume matches by
+    // (config, trial), so sorted sets must agree.
+    let mut journaled = contents.records.clone();
+    journaled.sort_by(|a, b| (&a.config, a.trial).cmp(&(&b.config, b.trial)));
+    let mut partial_sorted = partial.trials.clone();
+    partial_sorted.sort_by(|a, b| (&a.config, a.trial).cmp(&(&b.config, b.trial)));
+    assert_eq!(journaled, partial_sorted);
+
+    let resumed_serial =
+        run_sweep(&contents.records, None, &mut |rec| w.record(rec).unwrap());
+    drop(w);
+    assert_eq!(resumed_serial.table(), uninterrupted.table());
+    assert_eq!(resumed_serial.trials, uninterrupted.trials);
+    assert_eq!(resumed_serial.to_csv(), uninterrupted.to_csv());
+
+    // The journal now covers the full grid (in whatever append order);
+    // a parallel resume from it adopts every cell and re-runs nothing.
+    let full = read_journal(&path).unwrap();
+    let mut reran = 0usize;
+    let resumed_parallel =
+        run_sweep_parallel(&full.records, None, 7, &mut |_| reran += 1);
+    assert_eq!(reran, 0, "a complete journal leaves nothing to re-run");
+    assert_eq!(resumed_parallel.trials, uninterrupted.trials);
+    assert_eq!(resumed_parallel.to_json(), uninterrupted.to_json());
     std::fs::remove_file(&path).ok();
 }
 
