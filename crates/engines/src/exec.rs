@@ -133,6 +133,7 @@ where
     let mut build = Some(build);
     let overhead = ctx.profile.row_overhead_cycles;
     let startup = ctx.profile.phase_startup_cycles;
+    sim.phase_begin(&format!("scan:{table}"));
     let stats = sim.parallel(ctx.threads, &mut shared, |w, sh| {
         if w.tid() == 0 {
             // Per-phase coordination cost (process pools pay dearly here).
@@ -172,6 +173,7 @@ where
             std::mem::take(locals),
         ));
     });
+    sim.phase_end();
     out.expect("merge produced a result")
 }
 

@@ -87,6 +87,8 @@ pub struct AggOutcome {
     pub counters: Counters,
     /// Per-region stats of the query phases (init, build, finalize).
     pub regions: Vec<nqp_sim::RegionStats>,
+    /// The finalised trace log when `env.sim.trace` was set, else None.
+    pub trace: Option<nqp_sim::TraceLog>,
 }
 
 /// Cost charged per comparison while sorting a group's values (median).
@@ -126,7 +128,9 @@ pub fn try_run_aggregation_on(
     let heap = SimHeap::new(env.allocator, &mut sim);
     let table = HashTable::new(&mut sim, cfg.cardinality * 2);
 
+    sim.phase_begin("load");
     let input = try_load_tuples(&mut sim, records, env.threads)?;
+    sim.phase_end();
     let load_cycles = sim.now_cycles();
     let counters_before = sim.counters();
 
@@ -135,6 +139,7 @@ pub fn try_run_aggregation_on(
     let mut regions = Vec::new();
     let mut state = (table, heap);
     let interleaved = cfg.interleaved_table;
+    sim.phase_begin("agg:init");
     regions.push(sim.try_serial(&mut state, |w, (table, _)| {
         if interleaved {
             table.init_interleaved(w);
@@ -142,10 +147,12 @@ pub fn try_run_aggregation_on(
             table.init(w);
         }
     })?);
+    sim.phase_end();
 
     // Parallel build.
     let kind = cfg.kind;
     let threads = env.threads;
+    sim.phase_begin("agg:build");
     regions.push(sim.try_parallel(threads, &mut state, |w, (table, heap)| {
         for i in input.partition(w.tid(), threads) {
             let (key, val) = input.read(w, i);
@@ -167,10 +174,12 @@ pub fn try_run_aggregation_on(
             }
         }
     })?);
+    sim.phase_end();
 
     // Parallel finalize: walk buckets, produce (key, aggregate).
     let mut results: Vec<(u64, u64, u64)> = Vec::new(); // (tid, key, agg)
     let mut fin = (state.0, state.1, Vec::new());
+    sim.phase_begin("agg:finalize");
     regions.push(sim.try_parallel(threads, &mut fin, |w, (table, _heap, out)| {
         let range = table.bucket_partition(w.tid(), threads);
         let mut local: Vec<(u64, u64, u64)> = Vec::new();
@@ -192,6 +201,7 @@ pub fn try_run_aggregation_on(
         });
         out.extend(local);
     })?);
+    sim.phase_end();
     results.append(&mut fin.2);
 
     let exec_cycles = sim.now_cycles() - load_cycles;
@@ -207,6 +217,7 @@ pub fn try_run_aggregation_on(
         // Counters describe the query phases only, not the load.
         counters: sim.counters() - counters_before,
         regions,
+        trace: sim.take_trace(),
     })
 }
 

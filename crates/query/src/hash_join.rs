@@ -45,6 +45,8 @@ pub struct JoinOutcome {
     pub checksum: u64,
     /// Counters over build + probe only.
     pub counters: Counters,
+    /// The finalised trace log when `env.sim.trace` was set, else None.
+    pub trace: Option<nqp_sim::TraceLog>,
 }
 
 /// Run W3 under `env`.
@@ -74,6 +76,7 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
     let threads = env.threads;
 
     // Load both relations partition-parallel.
+    sim.phase_begin("load");
     let mut arrays: Option<(TupleArray, TupleArray)> = None;
     sim.try_serial(&mut arrays, |w, arrays| {
         *arrays = Some((
@@ -91,11 +94,13 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);
         }
     })?;
+    sim.phase_end();
     let load_cycles = sim.now_cycles();
     let counters_before = sim.counters();
 
     // Build: coordinator initialises the directory, workers fill it.
     let mut state = (table, heap);
+    sim.phase_begin("join:build");
     sim.try_serial(&mut state, |w, (table, _)| table.init(w))?;
     sim.try_parallel(threads, &mut state, |w, (table, heap)| {
         for i in r_arr.partition(w.tid(), threads) {
@@ -103,10 +108,12 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
             table.upsert(w, heap, key, payload, |_, _| {});
         }
     })?;
+    sim.phase_end();
     let build_cycles = sim.now_cycles() - load_cycles;
 
     // Probe: lock-free lookups, accumulate per-thread then combine.
     let mut probe = (state.0, state.1, 0u64, 0u64); // (+matches, +checksum)
+    sim.phase_begin("join:probe");
     sim.try_parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
@@ -120,6 +127,7 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
         *matches += local_matches;
         *checksum ^= local_sum;
     })?;
+    sim.phase_end();
     let probe_cycles = sim.now_cycles() - load_cycles - build_cycles;
 
     Ok(JoinOutcome {
@@ -129,6 +137,7 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
         matches: probe.2,
         checksum: probe.3,
         counters: sim.counters() - counters_before,
+        trace: sim.take_trace(),
     })
 }
 

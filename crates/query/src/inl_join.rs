@@ -39,6 +39,8 @@ pub struct InlOutcome {
     pub checksum: u64,
     /// Counters over build + join.
     pub counters: Counters,
+    /// The finalised trace log when `env.sim.trace` was set, else None.
+    pub trace: Option<nqp_sim::TraceLog>,
 }
 
 /// Run W4 under `env`.
@@ -72,6 +74,7 @@ pub fn try_run_inl_join_on(
 
     // Load the probe relation partition-parallel (build side feeds the
     // index directly from host memory during the build phase).
+    sim.phase_begin("load");
     let mut s_arr: Option<TupleArray> = None;
     sim.try_serial(&mut s_arr, |w, s_arr| {
         *s_arr = Some(TupleArray::new(w, data.s.len()));
@@ -82,6 +85,7 @@ pub fn try_run_inl_join_on(
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);
         }
     })?;
+    sim.phase_end();
     let counters_start = sim.counters();
     let start = sim.now_cycles();
 
@@ -89,15 +93,18 @@ pub fn try_run_inl_join_on(
     // the paper measures build time separately (Figure 7e).
     let index = build_index(kind);
     let mut state = (index, heap);
+    sim.phase_begin("inl:build");
     sim.try_serial(&mut state, |w, (index, heap)| {
         for t in &data.r {
             index.insert(w, heap, t.key, t.payload);
         }
     })?;
+    sim.phase_end();
     let build_cycles = sim.now_cycles() - start;
 
     // Parallel join: read-only index probes.
     let mut join = (state.0, 0u64, 0u64);
+    sim.phase_begin("inl:join");
     sim.try_parallel(threads, &mut join, |w, (index, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
@@ -111,6 +118,7 @@ pub fn try_run_inl_join_on(
         *matches += local_matches;
         *checksum ^= local_sum;
     })?;
+    sim.phase_end();
     let join_cycles = sim.now_cycles() - start - build_cycles;
 
     Ok(InlOutcome {
@@ -119,6 +127,7 @@ pub fn try_run_inl_join_on(
         matches: join.1,
         checksum: join.2,
         counters: sim.counters() - counters_start,
+        trace: sim.take_trace(),
     })
 }
 

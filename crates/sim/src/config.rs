@@ -2,6 +2,7 @@
 //! model parameters.
 
 use crate::fault::FaultPlan;
+use crate::trace::TraceConfig;
 use nqp_topology::{MachineSpec, NodeId};
 
 /// Thread placement strategy (§III-B of the paper).
@@ -179,6 +180,9 @@ pub struct SimConfig {
     /// Per-trial cycle budget; a region that would push the simulated
     /// clock past it fails with `SimError::Timeout`. None = unlimited.
     pub trial_budget_cycles: Option<u64>,
+    /// Deterministic tracing (None = off; the hot path stays free of
+    /// recording work and cycle results are unchanged).
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -197,6 +201,7 @@ impl SimConfig {
             fault_plan: None,
             fault_attempt: 0,
             trial_budget_cycles: None,
+            trace: None,
         }
     }
 
@@ -265,6 +270,12 @@ impl SimConfig {
     /// Builder-style setter for the per-trial cycle budget.
     pub fn with_trial_budget(mut self, cycles: u64) -> Self {
         self.trial_budget_cycles = Some(cycles);
+        self
+    }
+
+    /// Builder-style setter enabling deterministic tracing.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

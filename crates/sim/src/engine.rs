@@ -32,6 +32,7 @@ use crate::mem::{Memory, VAddr, LINE, SMALL_PAGE};
 use crate::metrics::{Bottleneck, Counters, RegionStats};
 use crate::sched::{plan_region, ThreadSchedule};
 use crate::tlb::Tlb;
+use crate::trace::{TraceEvent, TraceLog, NO_TID};
 use nqp_topology::{CoreId, NodeId};
 
 /// Read or write; counted identically by the current cost model but kept
@@ -81,6 +82,10 @@ pub struct NumaSim {
     /// `link_paths[a][b]` = link indices along the a→b route.
     link_paths: Vec<Vec<Vec<u16>>>,
     num_links: usize,
+    /// Deterministic trace recorder (None unless `SimConfig::trace` is
+    /// set — the pay-for-what-you-use switch: every hook is one branch
+    /// on this Option and hooks never charge cycles).
+    trace: Option<Box<TraceLog>>,
 }
 
 impl NumaSim {
@@ -111,8 +116,10 @@ impl NumaSim {
             })
             .collect();
         let memory = Memory::new(machine);
+        let trace = cfg.trace.as_ref().map(|tc| Box::new(TraceLog::new(tc.clone())));
         NumaSim {
             memory,
+            trace,
             caches,
             tlbs: Vec::new(),
             l1s: Vec::new(),
@@ -146,6 +153,43 @@ impl NumaSim {
     /// Register a modelled lock (used by allocator models).
     pub fn new_lock(&mut self) -> LockId {
         self.locks.new_lock()
+    }
+
+    /// Whether deterministic tracing is recording.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a named phase span at the current model cycle. No-op when
+    /// tracing is disabled.
+    pub fn phase_begin(&mut self, name: &str) {
+        let now = self.now_cycles;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.phase_begin(name, now);
+        }
+    }
+
+    /// Close the innermost open phase span at the current model cycle.
+    /// No-op when tracing is disabled or no phase is open.
+    pub fn phase_end(&mut self) {
+        let now = self.now_cycles;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.phase_end(now);
+        }
+    }
+
+    /// Detach the trace log, finalising it first: the residual counter
+    /// delta since the last region boundary is flushed into a final
+    /// epoch sample and the live totals/elapsed are recorded, so
+    /// `sum(samples) == totals` holds bit-for-bit. Returns `None` when
+    /// tracing is disabled (or the log was already taken).
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        let now = self.now_cycles;
+        let totals = self.counters;
+        self.trace.take().map(|mut t| {
+            t.finish(now, totals);
+            *t
+        })
     }
 
     /// Invalidate all LLCs and TLBs (cold-run experiments).
@@ -287,6 +331,13 @@ impl NumaSim {
         let total_cores = self.cfg.machine.total_hw_threads();
         let nodes = self.cfg.machine.topology.num_nodes();
         let mut finished: Vec<ThreadOutcome2> = Vec::with_capacity(threads);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(
+                self.now_cycles,
+                NO_TID,
+                TraceEvent::RegionBegin { region, threads: threads as u32 },
+            );
+        }
 
         for (tid, sched) in schedules.into_iter().enumerate() {
             let (tlb4, tlb2) = std::mem::replace(
@@ -328,6 +379,7 @@ impl NumaSim {
                 budget_limit,
                 sim_now: self.now_cycles,
                 fault: None,
+                trace: self.trace.as_deref_mut(),
             };
             w.next_sched_at = w.sched.next_event_at();
             w.next_scan_at = if self.cfg.autonuma {
@@ -391,6 +443,13 @@ impl NumaSim {
             self.counters.page_migrations += moved;
             self.counters.evacuated_pages += moved;
             self.counters.nodes_offlined += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.push(
+                    self.now_cycles,
+                    NO_TID,
+                    TraceEvent::NodeOffline { node, evacuated_pages: moved },
+                );
+            }
         }
         if let Some(budget) = self.cfg.trial_budget_cycles {
             if self.now_cycles >= budget {
@@ -428,13 +487,22 @@ impl NumaSim {
         };
         let mut displaced = 0u64;
         let mut next = 0usize;
-        for s in schedules.iter_mut() {
+        let now = self.now_cycles;
+        for (tid, s) in schedules.iter_mut().enumerate() {
             match s {
                 ThreadSchedule::Pinned(c) => {
                     if active.node_offline(machine.node_of_core(*c)) {
+                        let from = *c;
                         *c = order[next % order.len()];
                         next += 1;
                         displaced += 1;
+                        if let Some(t) = self.trace.as_deref_mut() {
+                            t.push(
+                                now,
+                                tid as u32,
+                                TraceEvent::ThreadMigration { from_core: from, to_core: *c },
+                            );
+                        }
                     }
                 }
                 ThreadSchedule::Roaming { pool, idx, .. } => {
@@ -449,6 +517,16 @@ impl NumaSim {
                         *idx = next % pool.len();
                         next += 1;
                         displaced += 1;
+                        if let Some(t) = self.trace.as_deref_mut() {
+                            t.push(
+                                now,
+                                tid as u32,
+                                TraceEvent::ThreadMigration {
+                                    from_core: cur,
+                                    to_core: pool[*idx],
+                                },
+                            );
+                        }
                     } else {
                         *idx = pool.iter().position(|&c| c == cur).unwrap_or(0);
                     }
@@ -466,7 +544,7 @@ impl NumaSim {
 
     fn resolve(
         &mut self,
-        _region: u64,
+        region: u64,
         mut threads: Vec<ThreadOutcome2>,
         total_cores: usize,
         faults: &ActiveFaults,
@@ -578,6 +656,26 @@ impl NumaSim {
         self.counters += counters;
         self.now_cycles += elapsed;
 
+        if let Some(t) = self.trace.as_deref_mut() {
+            for (tid, &w) in waits.iter().enumerate() {
+                if w > 0 {
+                    t.push(
+                        self.now_cycles,
+                        tid as u32,
+                        TraceEvent::LockContention { wait_cycles: w },
+                    );
+                }
+            }
+            t.push(
+                self.now_cycles,
+                NO_TID,
+                TraceEvent::RegionEnd { region, elapsed_cycles: elapsed },
+            );
+            // Epoch sample at the region boundary: the delta since the
+            // previous boundary telescopes, so bins sum to the totals.
+            t.sample(self.now_cycles, self.counters, &node_lines, &link_lines);
+        }
+
         RegionStats {
             elapsed_cycles: elapsed,
             max_thread_cycles: latency_bound,
@@ -655,6 +753,10 @@ pub struct Worker<'a> {
     /// fast-forward (cheap no-ops) so the workload closure completes
     /// structurally without unwinding.
     fault: Option<SimError>,
+    /// Trace recorder, reborrowed from the simulator for the duration
+    /// of this thread's run (threads execute sequentially). `None`
+    /// when tracing is disabled: every hook is one branch.
+    trace: Option<&'a mut TraceLog>,
 }
 
 impl<'a> Worker<'a> {
@@ -774,6 +876,10 @@ impl<'a> Worker<'a> {
             return false;
         }
         self.counters.alloc_fault_injections += 1;
+        if self.trace.is_some() {
+            let region = self.region;
+            self.trace_event(TraceEvent::AllocFaultInjected { region });
+        }
         self.fail(SimError::InjectedAllocFault {
             region: self.region,
             attempt: self.faults.attempt(),
@@ -845,6 +951,12 @@ impl<'a> Worker<'a> {
             self.clock += cost;
             self.counters.kernel_cycles += cost;
             self.counters.page_faults += res.fault_pages;
+            if self.trace.is_some() {
+                self.trace_event(TraceEvent::PageFault {
+                    node: res.node,
+                    pages: res.fault_pages,
+                });
+            }
         }
 
         // TLB.
@@ -895,6 +1007,9 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migration_failures += 1;
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::PageMigrationBlocked { node: home });
+                    }
                 }
                 if migrated > 0 {
                     // One migration event: the kernel rate-limits the
@@ -904,6 +1019,13 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migrations += migrated;
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::PageMigration {
+                            from_node: home,
+                            to_node: self.node,
+                            pages: migrated,
+                        });
+                    }
                     let lines_per_page = SMALL_PAGE / LINE;
                     self.dma_lines(line_addr, lines_per_page * migrated.min(8));
                     home = self.node;
@@ -1068,18 +1190,33 @@ impl<'a> Worker<'a> {
         self.counters
     }
 
+    /// Record a trace event at this thread's current model cycle.
+    /// A no-op single branch when tracing is disabled; never charges
+    /// cycles, so tracing cannot perturb results.
+    #[inline]
+    fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(self.sim_now + self.clock, self.tid as u32, event);
+        }
+    }
+
     #[inline]
     fn check_events(&mut self) {
         while self.clock >= self.next_sched_at {
             // OS load balancer migrates this thread.
             self.core_time.push((self.core, self.clock - self.core_since));
             self.core_since = self.clock;
+            let from_core = self.core;
             self.core = self.sched.migrate();
             self.node = self.cfg.machine.node_of_core(self.core);
             self.next_sched_at = self.sched.next_event_at();
             self.clock += self.cfg.costs.thread_migration_cycles;
             self.counters.kernel_cycles += self.cfg.costs.thread_migration_cycles;
             self.counters.thread_migrations += 1;
+            if self.trace.is_some() {
+                let to_core = self.core;
+                self.trace_event(TraceEvent::ThreadMigration { from_core, to_core });
+            }
             self.tlb4.flush();
             self.tlb2.flush();
             self.l1.flush();
@@ -1094,6 +1231,10 @@ impl<'a> Worker<'a> {
             self.clock += self.cfg.costs.thread_migration_cycles;
             self.counters.kernel_cycles += self.cfg.costs.thread_migration_cycles;
             self.counters.preemptions += 1;
+            if self.trace.is_some() {
+                let core = self.core;
+                self.trace_event(TraceEvent::Preemption { core });
+            }
             self.tlb4.flush();
             self.tlb2.flush();
             self.l1.flush();

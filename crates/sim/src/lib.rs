@@ -46,6 +46,7 @@ mod mem;
 mod metrics;
 mod sched;
 mod tlb;
+mod trace;
 
 pub use cache::Llc;
 pub use config::{CostParams, MemPolicy, SimConfig, ThreadPlacement};
@@ -56,3 +57,6 @@ pub use lock::LockId;
 pub use mem::{VAddr, HUGE_PAGE, LINE, PAGES_PER_HUGE, SMALL_PAGE};
 pub use metrics::{Bottleneck, Counters, RegionStats};
 pub use tlb::Tlb;
+pub use trace::{
+    EpochSample, PhaseSpan, TraceConfig, TraceEvent, TraceLog, TraceRecord, NO_TID,
+};

@@ -55,7 +55,85 @@ pub struct Counters {
     pub nodes_offlined: u64,
 }
 
+/// Apply a macro to the full counter field list. Single source of truth
+/// for `AddAssign`/`Sub`/`fields`/`set`: adding a counter to the struct
+/// without extending this list is a compile error in `fields()` (array
+/// length mismatch), not a silent drift.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
+            l1_hits,
+            cache_hits,
+            cache_misses,
+            local_accesses,
+            remote_accesses,
+            tlb_misses_4k,
+            tlb_misses_2m,
+            tlb_hits,
+            page_faults,
+            thread_migrations,
+            page_migrations,
+            compute_cycles,
+            dram_cycles,
+            kernel_cycles,
+            lock_wait_cycles,
+            alloc_fault_injections,
+            page_migration_failures,
+            preemptions,
+            evacuated_pages,
+            nodes_offlined
+        )
+    };
+}
+
 impl Counters {
+    /// Number of counter fields, = `fields().len()`.
+    pub const FIELD_COUNT: usize = 20;
+
+    /// All counters as `(name, value)` pairs in declaration order, for
+    /// serialisers and report formatters that must stay in sync with the
+    /// struct.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        macro_rules! emit {
+            ($($f:ident),*) => { [$((stringify!($f), self.$f)),*] };
+        }
+        for_each_counter!(emit)
+    }
+
+    /// Set one counter by its `fields()` name. Returns `false` (and
+    /// changes nothing) for an unknown name.
+    pub fn set(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! emit {
+            ($($f:ident),*) => {
+                match name {
+                    $(stringify!($f) => { self.$f = value; true })*
+                    _ => false,
+                }
+            };
+        }
+        for_each_counter!(emit)
+    }
+
+    /// Counter delta between two snapshots: `self` (later) minus
+    /// `earlier`, saturating per field at zero.
+    ///
+    /// Saturation matters for degraded trials: a post-evacuation
+    /// snapshot subtracted from a snapshot taken mid-fault can be
+    /// momentarily "behind" on fields charged outside regions, and a
+    /// plain `-` would panic in debug builds.
+    #[must_use]
+    pub fn delta(self, earlier: Counters) -> Counters {
+        let mut out = Counters::default();
+        macro_rules! emit {
+            ($($f:ident),*) => {
+                $(out.$f = self.$f.saturating_sub(earlier.$f);)*
+            };
+        }
+        for_each_counter!(emit);
+        out
+    }
+
     /// Total DRAM accesses (local + remote).
     pub fn dram_accesses(&self) -> u64 {
         self.local_accesses + self.remote_accesses
@@ -104,57 +182,19 @@ impl Add for Counters {
 
 impl AddAssign for Counters {
     fn add_assign(&mut self, rhs: Counters) {
-        self.l1_hits += rhs.l1_hits;
-        self.cache_hits += rhs.cache_hits;
-        self.cache_misses += rhs.cache_misses;
-        self.local_accesses += rhs.local_accesses;
-        self.remote_accesses += rhs.remote_accesses;
-        self.tlb_misses_4k += rhs.tlb_misses_4k;
-        self.tlb_misses_2m += rhs.tlb_misses_2m;
-        self.tlb_hits += rhs.tlb_hits;
-        self.page_faults += rhs.page_faults;
-        self.thread_migrations += rhs.thread_migrations;
-        self.page_migrations += rhs.page_migrations;
-        self.compute_cycles += rhs.compute_cycles;
-        self.dram_cycles += rhs.dram_cycles;
-        self.kernel_cycles += rhs.kernel_cycles;
-        self.lock_wait_cycles += rhs.lock_wait_cycles;
-        self.alloc_fault_injections += rhs.alloc_fault_injections;
-        self.page_migration_failures += rhs.page_migration_failures;
-        self.preemptions += rhs.preemptions;
-        self.evacuated_pages += rhs.evacuated_pages;
-        self.nodes_offlined += rhs.nodes_offlined;
+        macro_rules! emit {
+            ($($f:ident),*) => { $(self.$f += rhs.$f;)* };
+        }
+        for_each_counter!(emit);
     }
 }
 
 impl Sub for Counters {
     type Output = Counters;
-    /// Counter delta between two snapshots (`later - earlier`).
+    /// Counter delta between two snapshots (`later - earlier`),
+    /// saturating at zero per field — see [`Counters::delta`].
     fn sub(self, rhs: Counters) -> Counters {
-        Counters {
-            l1_hits: self.l1_hits - rhs.l1_hits,
-            cache_hits: self.cache_hits - rhs.cache_hits,
-            cache_misses: self.cache_misses - rhs.cache_misses,
-            local_accesses: self.local_accesses - rhs.local_accesses,
-            remote_accesses: self.remote_accesses - rhs.remote_accesses,
-            tlb_misses_4k: self.tlb_misses_4k - rhs.tlb_misses_4k,
-            tlb_misses_2m: self.tlb_misses_2m - rhs.tlb_misses_2m,
-            tlb_hits: self.tlb_hits - rhs.tlb_hits,
-            page_faults: self.page_faults - rhs.page_faults,
-            thread_migrations: self.thread_migrations - rhs.thread_migrations,
-            page_migrations: self.page_migrations - rhs.page_migrations,
-            compute_cycles: self.compute_cycles - rhs.compute_cycles,
-            dram_cycles: self.dram_cycles - rhs.dram_cycles,
-            kernel_cycles: self.kernel_cycles - rhs.kernel_cycles,
-            lock_wait_cycles: self.lock_wait_cycles - rhs.lock_wait_cycles,
-            alloc_fault_injections: self.alloc_fault_injections
-                - rhs.alloc_fault_injections,
-            page_migration_failures: self.page_migration_failures
-                - rhs.page_migration_failures,
-            preemptions: self.preemptions - rhs.preemptions,
-            evacuated_pages: self.evacuated_pages - rhs.evacuated_pages,
-            nodes_offlined: self.nodes_offlined - rhs.nodes_offlined,
-        }
+        self.delta(rhs)
     }
 }
 
@@ -241,5 +281,35 @@ mod tests {
     fn tlb_miss_ratio_counts_both_sizes() {
         let c = Counters { tlb_hits: 6, tlb_misses_4k: 3, tlb_misses_2m: 1, ..Default::default() };
         assert!((c.tlb_miss_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    /// Regression: subtracting snapshots out of order (a degraded
+    /// trial's pre-evacuation snapshot minus a later one) used to
+    /// underflow and panic in debug builds; it must now saturate.
+    #[test]
+    fn sub_saturates_on_out_of_order_snapshots() {
+        let earlier = Counters { page_faults: 3, evacuated_pages: 0, ..Default::default() };
+        let later = Counters { page_faults: 5, evacuated_pages: 128, ..Default::default() };
+        // Backwards subtraction: every field clamps at zero.
+        let d = earlier - later;
+        assert_eq!(d, Counters::default());
+        // Forward subtraction still yields the exact delta.
+        let d = later.delta(earlier);
+        assert_eq!(d.page_faults, 2);
+        assert_eq!(d.evacuated_pages, 128);
+    }
+
+    #[test]
+    fn fields_and_set_round_trip_every_counter() {
+        let mut c = Counters::default();
+        // Give every field a distinct value via `set`, then read back.
+        for (i, (name, _)) in Counters::default().fields().iter().enumerate() {
+            assert!(c.set(name, (i as u64 + 1) * 10), "unknown field {name}");
+        }
+        for (i, (_, v)) in c.fields().iter().enumerate() {
+            assert_eq!(*v, (i as u64 + 1) * 10);
+        }
+        assert_eq!(c.fields().len(), Counters::FIELD_COUNT);
+        assert!(!c.set("not_a_counter", 1));
     }
 }

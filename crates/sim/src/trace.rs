@@ -1,0 +1,386 @@
+//! Deterministic tracing hooks for the simulator.
+//!
+//! This module is the *recording* half of the `nqp-trace` subsystem:
+//! a ring-buffered event log, epoch-binned counter samples, and phase
+//! spans, all timestamped in **model cycles** — never wall-clock — so
+//! a trace taken from a serial sweep is byte-identical to one taken
+//! from a `--jobs N` or resumed sweep of the same grid. Rendering and
+//! export (Chrome JSON, CSV, `perf stat`-style reports) live in the
+//! `nqp-trace` crate, which depends on these types.
+//!
+//! Pay-for-what-you-use: `NumaSim` holds an `Option<Box<TraceLog>>`
+//! that is `None` unless `SimConfig::trace` is set. Every hook is a
+//! single `Option` branch on an otherwise-rare event path, and hooks
+//! never charge cycles, so enabling tracing cannot change cycle
+//! results.
+
+use crate::metrics::Counters;
+
+/// Thread id used for simulator-level events (region boundaries,
+/// node-offline evacuations) that no logical thread owns.
+pub const NO_TID: u32 = u32::MAX;
+
+/// Switches carried on `SimConfig` that turn tracing on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Width of one counter-sample bin in model cycles. Samples are
+    /// taken at region boundaries, so a bin can be wider than this
+    /// (a single long region lands entirely in the bin its end cycle
+    /// falls into); the telescoping-delta construction keeps the sum
+    /// of all bins exactly equal to the live totals regardless.
+    pub epoch_cycles: u64,
+    /// Event-ring capacity. The most recent `capacity` events are
+    /// kept; older ones are dropped (counted, never silently).
+    pub capacity: usize,
+    /// Free-form label recorded in the artifact and used by the CLI
+    /// to name per-cell trace files (e.g. the sweep config name).
+    pub label: String,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { epoch_cycles: 1_000_000, capacity: 65_536, label: String::new() }
+    }
+}
+
+impl TraceConfig {
+    /// Builder: set the epoch width (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_epoch_cycles(mut self, cycles: u64) -> Self {
+        self.epoch_cycles = cycles.max(1);
+        self
+    }
+
+    /// Builder: set the artifact label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// One timestamped occurrence in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A parallel region began (`threads` logical threads admitted).
+    RegionBegin { region: u64, threads: u32 },
+    /// A parallel region resolved to `elapsed_cycles` of model time.
+    RegionEnd { region: u64, elapsed_cycles: u64 },
+    /// First touch of `pages` 4 KB pages placed on `node`.
+    PageFault { node: usize, pages: u64 },
+    /// The OS scheduler moved a thread between cores.
+    ThreadMigration { from_core: usize, to_core: usize },
+    /// A preemption-storm fault forced a context switch on `core`.
+    Preemption { core: usize },
+    /// AutoNUMA moved `pages` 4 KB pages between nodes.
+    PageMigration { from_node: usize, to_node: usize, pages: u64 },
+    /// AutoNUMA wanted to migrate but an injected migration-failure
+    /// fault blocked it (cycles burned, page left in place).
+    PageMigrationBlocked { node: usize },
+    /// A transient allocation fault was injected into `region`.
+    AllocFaultInjected { region: u64 },
+    /// `node` went offline; `evacuated_pages` 4 KB pages were moved
+    /// to surviving nodes.
+    NodeOffline { node: usize, evacuated_pages: u64 },
+    /// A thread spent `wait_cycles` blocked on contended locks over
+    /// the region that just resolved.
+    LockContention { wait_cycles: u64 },
+}
+
+/// A `TraceEvent` plus when and on which logical thread it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Model-cycle timestamp (simulator time base, deterministic).
+    pub at: u64,
+    /// Logical thread id, or [`NO_TID`] for simulator-level events.
+    pub tid: u32,
+    pub event: TraceEvent,
+}
+
+/// Counter deltas accumulated over one epoch bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    /// Bin index: `end_cycles / epoch_cycles` at the time of sampling.
+    pub epoch: u64,
+    /// Model cycle at which this bin's first delta started.
+    pub start_cycles: u64,
+    /// Model cycle of the last region boundary folded into this bin.
+    pub end_cycles: u64,
+    /// Counter delta (later snapshot minus earlier, saturating).
+    pub counters: Counters,
+    /// DRAM lines served per node over the bin (demand seen by each
+    /// memory controller), indexed by node id.
+    pub node_lines: Vec<u64>,
+    /// Lines crossing each interconnect link, indexed like
+    /// `Topology::links`.
+    pub link_lines: Vec<u64>,
+}
+
+/// One named phase (e.g. `agg:build`, `scan:lineitem`) with its
+/// attributed model-cycle window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    pub name: String,
+    pub begin_cycles: u64,
+    pub end_cycles: u64,
+    /// Nesting depth at open time (0 = top level), so exporters can
+    /// reconstruct the stack without re-deriving containment.
+    pub depth: u32,
+}
+
+/// The in-simulator recording buffer: events (ring), epoch samples,
+/// and phase spans. Extracted whole via `NumaSim::take_trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLog {
+    cfg: TraceConfig,
+    /// Ring storage; chronological order is `events[head..] ++
+    /// events[..head]` once the ring has wrapped.
+    events: Vec<TraceRecord>,
+    head: usize,
+    dropped: u64,
+    samples: Vec<EpochSample>,
+    /// Cumulative counters at the last sample — the telescoping
+    /// anchor that makes `sum(samples) == totals` exact.
+    last_snapshot: Counters,
+    /// Model cycle the next sample's window starts at.
+    window_start: u64,
+    spans: Vec<PhaseSpan>,
+    open_phases: Vec<(String, u64)>,
+    /// Cumulative counters at `take` time (the live totals).
+    totals: Counters,
+    /// Model cycle at `take` time.
+    end_cycles: u64,
+}
+
+impl TraceLog {
+    #[must_use]
+    pub fn new(cfg: TraceConfig) -> Self {
+        let capacity = cfg.capacity.max(1);
+        TraceLog {
+            cfg: TraceConfig { capacity, ..cfg },
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+            samples: Vec::new(),
+            last_snapshot: Counters::default(),
+            window_start: 0,
+            spans: Vec::new(),
+            open_phases: Vec::new(),
+            totals: Counters::default(),
+            end_cycles: 0,
+        }
+    }
+
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Record one event. Ring semantics: once `capacity` events are
+    /// held, each push overwrites the oldest and bumps `dropped`.
+    pub fn push(&mut self, at: u64, tid: u32, event: TraceEvent) {
+        let rec = TraceRecord { at, tid, event };
+        if self.events.len() < self.cfg.capacity {
+            self.events.push(rec);
+        } else {
+            self.events[self.head] = rec;
+            self.head = (self.head + 1) % self.cfg.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological (record) order.
+    #[must_use]
+    pub fn events(&self) -> Vec<&TraceRecord> {
+        let (tail, front) = self.events.split_at(self.head);
+        front.iter().chain(tail.iter()).collect()
+    }
+
+    /// Events that were overwritten by ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fold the counter delta since the previous sample into the
+    /// epoch bin `now / epoch_cycles`. Called at every region
+    /// boundary and once more at `take` time; because each call
+    /// consumes exactly `cumulative - last_snapshot`, the bins
+    /// telescope and their sum equals the final totals bit-for-bit.
+    pub fn sample(
+        &mut self,
+        now: u64,
+        cumulative: Counters,
+        node_lines: &[u64],
+        link_lines: &[u64],
+    ) {
+        let delta = cumulative.delta(self.last_snapshot);
+        self.last_snapshot = cumulative;
+        let start = self.window_start;
+        self.window_start = now;
+        let no_lines =
+            node_lines.iter().all(|&l| l == 0) && link_lines.iter().all(|&l| l == 0);
+        if delta == Counters::default() && no_lines {
+            return;
+        }
+        let epoch = now / self.cfg.epoch_cycles;
+        match self.samples.last_mut() {
+            Some(last) if last.epoch == epoch => {
+                last.counters += delta;
+                last.end_cycles = now;
+                merge_lines(&mut last.node_lines, node_lines);
+                merge_lines(&mut last.link_lines, link_lines);
+            }
+            _ => self.samples.push(EpochSample {
+                epoch,
+                start_cycles: start,
+                end_cycles: now,
+                counters: delta,
+                node_lines: node_lines.to_vec(),
+                link_lines: link_lines.to_vec(),
+            }),
+        }
+    }
+
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    /// Open a named phase at model cycle `now`.
+    pub fn phase_begin(&mut self, name: &str, now: u64) {
+        self.open_phases.push((name.to_string(), now));
+    }
+
+    /// Close the innermost open phase at model cycle `now`. A close
+    /// without a matching open is ignored (never panics — tracing
+    /// must not take down a trial).
+    pub fn phase_end(&mut self, now: u64) {
+        if let Some((name, begin)) = self.open_phases.pop() {
+            self.spans.push(PhaseSpan {
+                name,
+                begin_cycles: begin,
+                end_cycles: now.max(begin),
+                depth: self.open_phases.len() as u32,
+            });
+        }
+    }
+
+    /// Spans in close order (inner phases precede the phase that
+    /// contains them).
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Finalise the log: flush any residual counter delta (charges
+    /// made after the last region boundary, e.g. an evacuation on a
+    /// region that then faulted), close dangling phases, and record
+    /// the live totals. Called by `NumaSim::take_trace`.
+    pub fn finish(&mut self, now: u64, cumulative: Counters) {
+        self.sample(now, cumulative, &[], &[]);
+        while !self.open_phases.is_empty() {
+            self.phase_end(now);
+        }
+        self.totals = cumulative;
+        self.end_cycles = now;
+    }
+
+    /// Live `Counters` totals recorded at `finish` time.
+    pub fn totals(&self) -> Counters {
+        self.totals
+    }
+
+    /// Model cycle recorded at `finish` time.
+    pub fn end_cycles(&self) -> u64 {
+        self.end_cycles
+    }
+}
+
+/// Element-wise `dst += src`, growing `dst` if `src` is longer (the
+/// first samples of a trial can predate topology-sized line vectors).
+fn merge_lines(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let cfg = TraceConfig { capacity: 3, ..Default::default() };
+        let mut log = TraceLog::new(cfg);
+        for i in 0..5u64 {
+            log.push(i, 0, TraceEvent::Preemption { core: i as usize });
+        }
+        assert_eq!(log.dropped(), 2);
+        let ats: Vec<u64> = log.events().iter().map(|r| r.at).collect();
+        assert_eq!(ats, vec![2, 3, 4], "chronological, oldest dropped");
+    }
+
+    #[test]
+    fn samples_telescope_to_totals() {
+        let mut log = TraceLog::new(TraceConfig::default().with_epoch_cycles(100));
+        let mut cum = Counters::default();
+        cum.page_faults = 4;
+        log.sample(50, cum, &[2, 0], &[1]);
+        cum.page_faults = 9;
+        cum.compute_cycles = 1_000;
+        log.sample(260, cum, &[3, 1], &[0]);
+        log.finish(260, cum);
+        let sum = log
+            .samples()
+            .iter()
+            .fold(Counters::default(), |acc, s| acc + s.counters);
+        assert_eq!(sum, log.totals());
+        assert_eq!(log.samples().len(), 2, "cycles 50 and 260 land in different bins");
+        assert_eq!(log.samples()[0].epoch, 0);
+        assert_eq!(log.samples()[1].epoch, 2);
+    }
+
+    #[test]
+    fn same_epoch_samples_merge() {
+        let mut log = TraceLog::new(TraceConfig::default().with_epoch_cycles(1_000));
+        let mut cum = Counters::default();
+        cum.page_faults = 1;
+        log.sample(10, cum, &[1], &[]);
+        cum.page_faults = 3;
+        log.sample(20, cum, &[2], &[]);
+        assert_eq!(log.samples().len(), 1);
+        assert_eq!(log.samples()[0].counters.page_faults, 3);
+        assert_eq!(log.samples()[0].node_lines, vec![3]);
+        assert_eq!(log.samples()[0].start_cycles, 0);
+        assert_eq!(log.samples()[0].end_cycles, 20);
+    }
+
+    #[test]
+    fn phase_spans_nest_and_unbalanced_end_is_ignored() {
+        let mut log = TraceLog::new(TraceConfig::default());
+        log.phase_end(5); // unmatched: ignored
+        log.phase_begin("outer", 0);
+        log.phase_begin("inner", 10);
+        log.phase_end(20);
+        log.phase_end(30);
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(log.spans()[0].name, "inner");
+        assert_eq!(log.spans()[0].depth, 1);
+        assert_eq!(log.spans()[1].name, "outer");
+        assert_eq!(log.spans()[1].depth, 0);
+    }
+
+    #[test]
+    fn finish_closes_dangling_phases_and_flushes_residual_delta() {
+        let mut log = TraceLog::new(TraceConfig::default());
+        log.phase_begin("left-open", 0);
+        let mut cum = Counters::default();
+        cum.evacuated_pages = 7;
+        log.finish(40, cum);
+        assert_eq!(log.spans().len(), 1);
+        assert_eq!(log.spans()[0].end_cycles, 40);
+        assert_eq!(log.samples().len(), 1, "residual delta flushed");
+        assert_eq!(log.samples()[0].counters.evacuated_pages, 7);
+        assert_eq!(log.end_cycles(), 40);
+    }
+}

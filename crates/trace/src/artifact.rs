@@ -1,0 +1,600 @@
+//! The `nqp-trace v1` artifact: a line-based, byte-deterministic text
+//! serialisation of one recorded trial trace, and its parser.
+//!
+//! Why not JSON: the workspace has no serde (DESIGN.md §5) and the
+//! journal's hand-rolled JSON parser is private to `nqp-core`; a tagged
+//! `key=value` line format is simpler to emit deterministically, diffs
+//! cleanly (the determinism gates literally `diff` artifacts), and
+//! parses with `split_whitespace`.
+
+use nqp_sim::{Counters, EpochSample, PhaseSpan, TraceEvent, TraceLog, TraceRecord, NO_TID};
+use std::fmt;
+use std::path::Path;
+
+/// Identity of the sweep cell a trace was recorded from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Sweep config name (the `TraceConfig::label` at record time).
+    pub label: String,
+    /// Trial index within the config.
+    pub trial: u64,
+    /// Machine preset name.
+    pub machine: String,
+    /// Logical threads in the trial.
+    pub threads: u64,
+}
+
+/// One recorded trial trace, decoupled from the simulator: built from
+/// a `TraceLog` or parsed back from an artifact file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub meta: TraceMeta,
+    /// Epoch bin width the samples were recorded with.
+    pub epoch_cycles: u64,
+    /// Model cycle at which the log was finalised (trial elapsed time).
+    pub end_cycles: u64,
+    /// Events lost to ring wrap-around (0 = complete event record).
+    pub dropped: u64,
+    /// Live `Counters` totals at finalisation — recorded directly from
+    /// the simulator, *not* derived from the samples, so a parsed
+    /// artifact can prove `sum(samples) == totals`.
+    pub totals: Counters,
+    pub spans: Vec<PhaseSpan>,
+    pub samples: Vec<EpochSample>,
+    pub events: Vec<TraceRecord>,
+}
+
+/// Artifact read/parse failure.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Malformed artifact content.
+    Parse { line: usize, what: String },
+    /// Filesystem failure reading or writing an artifact.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, what } => {
+                write!(f, "trace artifact line {line}: {what}")
+            }
+            TraceError::Io(e) => write!(f, "trace artifact I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+const MAGIC: &str = "nqp-trace v1";
+
+impl Trace {
+    /// Package a finished `TraceLog` (from `NumaSim::take_trace`) with
+    /// its cell identity.
+    #[must_use]
+    pub fn from_log(meta: TraceMeta, log: &TraceLog) -> Trace {
+        Trace {
+            meta,
+            epoch_cycles: log.config().epoch_cycles,
+            end_cycles: log.end_cycles(),
+            dropped: log.dropped(),
+            totals: log.totals(),
+            spans: log.spans().to_vec(),
+            samples: log.samples().to_vec(),
+            events: log.events().into_iter().cloned().collect(),
+        }
+    }
+
+    /// Counter totals reconstructed from the recorded time-series (the
+    /// telescoping sum of all epoch samples). Equal to [`Trace::totals`]
+    /// bit-for-bit for any complete trace — the invariant the Table III
+    /// replay test pins down.
+    #[must_use]
+    pub fn sampled_totals(&self) -> Counters {
+        self.samples
+            .iter()
+            .fold(Counters::default(), |acc, s| acc + s.counters)
+    }
+
+    /// Serialise to the `nqp-trace v1` text artifact. Byte-deterministic:
+    /// the output is a pure function of the trace content.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "meta label={} trial={} machine={} threads={} epoch_cycles={} end_cycles={} dropped={}\n",
+            esc(&self.meta.label),
+            self.meta.trial,
+            esc(&self.meta.machine),
+            self.meta.threads,
+            self.epoch_cycles,
+            self.end_cycles,
+            self.dropped,
+        ));
+        out.push_str("total");
+        for (name, v) in self.totals.fields() {
+            out.push_str(&format!(" {name}={v}"));
+        }
+        out.push('\n');
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span name={} depth={} begin={} end={}\n",
+                esc(&s.name),
+                s.depth,
+                s.begin_cycles,
+                s.end_cycles
+            ));
+        }
+        for s in &self.samples {
+            out.push_str(&format!(
+                "sample epoch={} start={} end={} node_lines={} link_lines={}",
+                s.epoch,
+                s.start_cycles,
+                s.end_cycles,
+                join_lines(&s.node_lines),
+                join_lines(&s.link_lines)
+            ));
+            // Only nonzero counters, in declaration order: compact and
+            // still deterministic (a parse defaults absent fields to 0).
+            for (name, v) in s.counters.fields() {
+                if v > 0 {
+                    out.push_str(&format!(" {name}={v}"));
+                }
+            }
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str("event at=");
+            out.push_str(&e.at.to_string());
+            out.push_str(" tid=");
+            if e.tid == NO_TID {
+                out.push('-');
+            } else {
+                out.push_str(&e.tid.to_string());
+            }
+            out.push(' ');
+            out.push_str(&event_text(&e.event));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a `nqp-trace v1` artifact.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l == MAGIC => {}
+            other => {
+                return Err(TraceError::Parse {
+                    line: 1,
+                    what: format!(
+                        "expected header {MAGIC:?}, got {:?}",
+                        other.map(|(_, l)| l).unwrap_or("")
+                    ),
+                })
+            }
+        }
+        let mut trace = Trace {
+            meta: TraceMeta::default(),
+            epoch_cycles: 0,
+            end_cycles: 0,
+            dropped: 0,
+            totals: Counters::default(),
+            spans: Vec::new(),
+            samples: Vec::new(),
+            events: Vec::new(),
+        };
+        let mut saw_meta = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let tag = toks.next().unwrap_or("");
+            let kv = Fields::parse(toks, lineno)?;
+            match tag {
+                "meta" => {
+                    saw_meta = true;
+                    trace.meta.label = kv.text("label", lineno)?;
+                    trace.meta.trial = kv.num("trial", lineno)?;
+                    trace.meta.machine = kv.text("machine", lineno)?;
+                    trace.meta.threads = kv.num("threads", lineno)?;
+                    trace.epoch_cycles = kv.num("epoch_cycles", lineno)?;
+                    trace.end_cycles = kv.num("end_cycles", lineno)?;
+                    trace.dropped = kv.num("dropped", lineno)?;
+                }
+                "total" => {
+                    trace.totals = kv.counters(lineno)?;
+                }
+                "span" => trace.spans.push(PhaseSpan {
+                    name: kv.text("name", lineno)?,
+                    depth: kv.num("depth", lineno)? as u32,
+                    begin_cycles: kv.num("begin", lineno)?,
+                    end_cycles: kv.num("end", lineno)?,
+                }),
+                "sample" => trace.samples.push(EpochSample {
+                    epoch: kv.num("epoch", lineno)?,
+                    start_cycles: kv.num("start", lineno)?,
+                    end_cycles: kv.num("end", lineno)?,
+                    node_lines: split_lines(&kv.text("node_lines", lineno)?, lineno)?,
+                    link_lines: split_lines(&kv.text("link_lines", lineno)?, lineno)?,
+                    counters: kv.counters(lineno)?,
+                }),
+                "event" => {
+                    let tid = match kv.raw("tid") {
+                        Some("-") => NO_TID,
+                        _ => kv.num("tid", lineno)? as u32,
+                    };
+                    trace.events.push(TraceRecord {
+                        at: kv.num("at", lineno)?,
+                        tid,
+                        event: event_parse(&kv, lineno)?,
+                    });
+                }
+                other => {
+                    return Err(TraceError::Parse {
+                        line: lineno,
+                        what: format!("unknown record tag {other:?}"),
+                    })
+                }
+            }
+        }
+        if !saw_meta {
+            return Err(TraceError::Parse { line: 1, what: "missing meta record".into() });
+        }
+        Ok(trace)
+    }
+
+    /// Write the text artifact to `path`.
+    pub fn write_file(&self, path: &Path) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Read and parse an artifact from `path`.
+    pub fn read_file(path: &Path) -> Result<Trace, TraceError> {
+        let text = std::fs::read_to_string(path)?;
+        Trace::parse(&text)
+    }
+}
+
+/// Filesystem-safe slug for a config label: `[A-Za-z0-9._-]` kept,
+/// every other run of characters collapsed to one `_`, trimmed.
+#[must_use]
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut gap = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            out.push(c);
+            gap = false;
+        } else if !gap && !out.is_empty() {
+            out.push('_');
+            gap = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("trace");
+    }
+    out
+}
+
+/// Canonical artifact file name for one sweep cell: the journal's
+/// `(config, trial)` key maps to `<slug(config)>-t<trial>.trace`.
+#[must_use]
+pub fn artifact_name(label: &str, trial: usize) -> String {
+    format!("{}-t{trial}.trace", slug(label))
+}
+
+/// Percent-encode the characters the line format reserves.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' | b'%' | b'=' | b'\n' | b'\r' | b'\t' => {
+                out.push_str(&format!("%{b:02x}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            let hex = s.get(i + 1..i + 3);
+            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `1,2,3` (or `-` when empty) for node/link line vectors.
+fn join_lines(v: &[u64]) -> String {
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn split_lines(s: &str, lineno: usize) -> Result<Vec<u64>, TraceError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| {
+            x.parse::<u64>().map_err(|e| TraceError::Parse {
+                line: lineno,
+                what: format!("bad line-vector entry {x:?}: {e}"),
+            })
+        })
+        .collect()
+}
+
+/// Parsed `key=value` tokens of one line.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(
+        toks: impl Iterator<Item = &'a str>,
+        lineno: usize,
+    ) -> Result<Fields<'a>, TraceError> {
+        let mut pairs = Vec::new();
+        for t in toks {
+            let (k, v) = t.split_once('=').ok_or_else(|| TraceError::Parse {
+                line: lineno,
+                what: format!("token {t:?} is not key=value"),
+            })?;
+            pairs.push((k, v));
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn raw(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn text(&self, key: &str, lineno: usize) -> Result<String, TraceError> {
+        self.raw(key).map(unesc).ok_or_else(|| TraceError::Parse {
+            line: lineno,
+            what: format!("missing field {key:?}"),
+        })
+    }
+
+    fn num(&self, key: &str, lineno: usize) -> Result<u64, TraceError> {
+        let raw = self.raw(key).ok_or_else(|| TraceError::Parse {
+            line: lineno,
+            what: format!("missing field {key:?}"),
+        })?;
+        raw.parse::<u64>().map_err(|e| TraceError::Parse {
+            line: lineno,
+            what: format!("field {key}={raw:?}: {e}"),
+        })
+    }
+
+    /// Fold every token whose key names a counter into a `Counters`
+    /// (absent counters stay 0; unknown keys are left to the caller).
+    fn counters(&self, lineno: usize) -> Result<Counters, TraceError> {
+        let mut c = Counters::default();
+        for (k, v) in &self.pairs {
+            let parsed = v.parse::<u64>().map_err(|e| TraceError::Parse {
+                line: lineno,
+                what: format!("field {k}={v:?}: {e}"),
+            });
+            // Only treat successfully-parsed numeric fields with known
+            // counter names as counters; structural fields (epoch,
+            // node_lines, …) simply don't match a counter name.
+            if c.set(k, 0) {
+                c.set(k, parsed?);
+            }
+        }
+        Ok(c)
+    }
+}
+
+fn event_text(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::RegionBegin { region, threads } => {
+            format!("kind=region-begin region={region} threads={threads}")
+        }
+        TraceEvent::RegionEnd { region, elapsed_cycles } => {
+            format!("kind=region-end region={region} elapsed={elapsed_cycles}")
+        }
+        TraceEvent::PageFault { node, pages } => {
+            format!("kind=page-fault node={node} pages={pages}")
+        }
+        TraceEvent::ThreadMigration { from_core, to_core } => {
+            format!("kind=thread-migration from={from_core} to={to_core}")
+        }
+        TraceEvent::Preemption { core } => format!("kind=preemption core={core}"),
+        TraceEvent::PageMigration { from_node, to_node, pages } => {
+            format!("kind=page-migration from={from_node} to={to_node} pages={pages}")
+        }
+        TraceEvent::PageMigrationBlocked { node } => {
+            format!("kind=page-migration-blocked node={node}")
+        }
+        TraceEvent::AllocFaultInjected { region } => {
+            format!("kind=alloc-fault region={region}")
+        }
+        TraceEvent::NodeOffline { node, evacuated_pages } => {
+            format!("kind=node-offline node={node} evacuated={evacuated_pages}")
+        }
+        TraceEvent::LockContention { wait_cycles } => {
+            format!("kind=lock-contention wait={wait_cycles}")
+        }
+    }
+}
+
+fn event_parse(kv: &Fields<'_>, lineno: usize) -> Result<TraceEvent, TraceError> {
+    let kind = kv.raw("kind").ok_or_else(|| TraceError::Parse {
+        line: lineno,
+        what: "event without kind".into(),
+    })?;
+    Ok(match kind {
+        "region-begin" => TraceEvent::RegionBegin {
+            region: kv.num("region", lineno)?,
+            threads: kv.num("threads", lineno)? as u32,
+        },
+        "region-end" => TraceEvent::RegionEnd {
+            region: kv.num("region", lineno)?,
+            elapsed_cycles: kv.num("elapsed", lineno)?,
+        },
+        "page-fault" => TraceEvent::PageFault {
+            node: kv.num("node", lineno)? as usize,
+            pages: kv.num("pages", lineno)?,
+        },
+        "thread-migration" => TraceEvent::ThreadMigration {
+            from_core: kv.num("from", lineno)? as usize,
+            to_core: kv.num("to", lineno)? as usize,
+        },
+        "preemption" => TraceEvent::Preemption { core: kv.num("core", lineno)? as usize },
+        "page-migration" => TraceEvent::PageMigration {
+            from_node: kv.num("from", lineno)? as usize,
+            to_node: kv.num("to", lineno)? as usize,
+            pages: kv.num("pages", lineno)?,
+        },
+        "page-migration-blocked" => {
+            TraceEvent::PageMigrationBlocked { node: kv.num("node", lineno)? as usize }
+        }
+        "alloc-fault" => TraceEvent::AllocFaultInjected { region: kv.num("region", lineno)? },
+        "node-offline" => TraceEvent::NodeOffline {
+            node: kv.num("node", lineno)? as usize,
+            evacuated_pages: kv.num("evacuated", lineno)?,
+        },
+        "lock-contention" => {
+            TraceEvent::LockContention { wait_cycles: kv.num("wait", lineno)? }
+        }
+        other => {
+            return Err(TraceError::Parse {
+                line: lineno,
+                what: format!("unknown event kind {other:?}"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut totals = Counters::default();
+        totals.page_faults = 12;
+        totals.compute_cycles = 900;
+        let mut c1 = Counters::default();
+        c1.page_faults = 5;
+        c1.compute_cycles = 400;
+        let mut c2 = Counters::default();
+        c2.page_faults = 7;
+        c2.compute_cycles = 500;
+        Trace {
+            meta: TraceMeta {
+                label: "os-default (+flags)".into(),
+                trial: 3,
+                machine: "B".into(),
+                threads: 8,
+            },
+            epoch_cycles: 1_000,
+            end_cycles: 2_500,
+            dropped: 0,
+            totals,
+            spans: vec![
+                PhaseSpan { name: "agg:build".into(), begin_cycles: 0, end_cycles: 1_200, depth: 1 },
+                PhaseSpan { name: "trial 100%".into(), begin_cycles: 0, end_cycles: 2_500, depth: 0 },
+            ],
+            samples: vec![
+                EpochSample {
+                    epoch: 1,
+                    start_cycles: 0,
+                    end_cycles: 1_200,
+                    counters: c1,
+                    node_lines: vec![3, 4],
+                    link_lines: vec![1],
+                },
+                EpochSample {
+                    epoch: 2,
+                    start_cycles: 1_200,
+                    end_cycles: 2_500,
+                    counters: c2,
+                    node_lines: vec![0, 9],
+                    link_lines: Vec::new(),
+                },
+            ],
+            events: vec![
+                TraceRecord { at: 0, tid: NO_TID, event: TraceEvent::RegionBegin { region: 0, threads: 8 } },
+                TraceRecord { at: 40, tid: 2, event: TraceEvent::PageFault { node: 1, pages: 16 } },
+                TraceRecord { at: 90, tid: 5, event: TraceEvent::ThreadMigration { from_core: 3, to_core: 11 } },
+                TraceRecord { at: 99, tid: 0, event: TraceEvent::LockContention { wait_cycles: 77 } },
+                TraceRecord { at: 100, tid: NO_TID, event: TraceEvent::NodeOffline { node: 1, evacuated_pages: 64 } },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let t = sample_trace();
+        let text = t.to_text();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+        // Serialisation is a pure function: re-serialising the parse
+        // reproduces the bytes.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn labels_with_reserved_chars_survive() {
+        let mut t = sample_trace();
+        t.meta.label = "weird = label % with\ttabs".into();
+        let back = Trace::parse(&t.to_text()).unwrap();
+        assert_eq!(back.meta.label, t.meta.label);
+    }
+
+    #[test]
+    fn sampled_totals_match_stored_totals() {
+        let t = sample_trace();
+        assert_eq!(t.sampled_totals(), t.totals);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse("not a trace").is_err());
+        assert!(Trace::parse("nqp-trace v1\nbogus tag=1").is_err());
+        assert!(Trace::parse("nqp-trace v1\n").is_err(), "meta is mandatory");
+        let missing = "nqp-trace v1\nmeta label=x trial=0 machine=B threads=2 epoch_cycles=5";
+        assert!(Trace::parse(missing).is_err(), "meta must be complete");
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe_and_stable() {
+        assert_eq!(slug("os-default (+flags)"), "os-default_flags");
+        assert_eq!(slug("tuned (+flags)"), "tuned_flags");
+        assert_eq!(slug("..//.."), ".._..");
+        assert_eq!(slug("***"), "trace");
+        assert_eq!(artifact_name("tuned (+flags)", 2), "tuned_flags-t2.trace");
+    }
+}

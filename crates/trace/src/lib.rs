@@ -1,0 +1,26 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # nqp-trace — deterministic trace artifacts and exporters
+//!
+//! The recording half of the tracing subsystem lives in `nqp-sim`
+//! (`TraceLog`: ring-buffered events, epoch-binned counter samples,
+//! phase spans, all timestamped in model cycles). This crate owns the
+//! *artifact*: a line-based, versioned, byte-deterministic text format
+//! ([`Trace::to_text`] / [`Trace::parse`]) plus three exporters —
+//!
+//! * [`Trace::to_chrome_json`] — Chrome `trace_event` JSON, loadable
+//!   in `chrome://tracing` or Perfetto;
+//! * [`Trace::to_timeline_csv`] — the epoch counter time-series as CSV;
+//! * [`Trace::perf_report`] — a `perf stat`-style text report that
+//!   reproduces the Table III counter comparison from recorded data.
+//!
+//! Determinism contract: artifact content is a pure function of the
+//! recorded trace — no wall-clock timestamps, no hash-map iteration
+//! order, no floating-point accumulation across records — so a sweep
+//! cell traced under `--jobs 1`, `--jobs N`, or a resumed run writes
+//! byte-identical files (DESIGN.md §"Observability").
+
+mod artifact;
+mod export;
+
+pub use artifact::{artifact_name, slug, Trace, TraceError, TraceMeta};
+pub use export::counters_report;

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf baseline for the sweep harness (schema: EXPERIMENTS.md, "Bench
+# baseline"). Runs a small fixed W1 sweep and emits BENCH_sweep.json:
+#
+#   - mean model cycles per headline config (deterministic: these two
+#     numbers must not move unless the simulator's cost model changes),
+#   - wall-clock overhead of --trace-dir on the same grid (host-time,
+#     machine-dependent: compare trends, not absolutes).
+#
+# Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_sweep.json}
+cargo build --release --offline >&2
+CLI=target/release/nqp-cli
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# The fixed grid: large enough that tracing has real events to record,
+# small enough to finish in seconds.
+ARGS=(sweep w1 --machine B --threads 8 --n 20000 --card 2000 --trials 2)
+
+now_ns() { date +%s%N; }
+
+T0=$(now_ns)
+"$CLI" "${ARGS[@]}" > "$WORK/plain.txt"
+T1=$(now_ns)
+"$CLI" "${ARGS[@]}" --trace-dir "$WORK/traces" > "$WORK/traced.txt"
+T2=$(now_ns)
+PLAIN_NS=$((T1 - T0))
+TRACED_NS=$((T2 - T1))
+
+# Tracing must not move the model-cycle results; the overhead is pure
+# host time. Guard the invariant here so a regression fails the bench.
+diff <(grep "mean" "$WORK/plain.txt") <(grep "mean" "$WORK/traced.txt") >&2
+
+# "os-default (+flags): mean 123 cycles over successful trials" -> rows.
+CONFIGS_JSON=$(awk -F': mean | cycles' '/: mean .* cycles/ {
+  printf "%s    {\"name\": \"%s\", \"mean_cycles\": %s}", sep, $1, $2; sep=",\n"
+}' "$WORK/plain.txt")
+
+cat > "$OUT" <<EOF
+{
+  "schema": "nqp-bench-sweep-v1",
+  "grid": "${ARGS[*]}",
+  "configs": [
+$CONFIGS_JSON
+  ],
+  "trace_overhead": {
+    "plain_wall_ns": $PLAIN_NS,
+    "traced_wall_ns": $TRACED_NS,
+    "delta_ns": $((TRACED_NS - PLAIN_NS))
+  }
+}
+EOF
+echo "bench.sh: wrote $OUT" >&2
+cat "$OUT"

@@ -4,17 +4,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo build --release --examples --offline
 cargo test -q --offline
 
-# The simulator and the experiment runner are the fallible substrate
-# everything else leans on: no unwrap()/expect() may land in their
-# library code (this covers journal.rs — the crash-safety layer must
-# itself surface faults, not panic — and executor.rs, the parallel
-# sweep executor, whose worker pool must degrade via poison-tolerant
-# lock recovery instead of unwrap). Both crate roots carry
+# The simulator, the experiment runner, and the trace subsystem are the
+# fallible substrate everything else leans on: no unwrap()/expect() may
+# land in their library code (this covers journal.rs — the crash-safety
+# layer must itself surface faults, not panic — executor.rs, the
+# parallel sweep executor, whose worker pool must degrade via
+# poison-tolerant lock recovery instead of unwrap, and nqp-trace's
+# artifact parser, which must reject malformed input with typed
+# errors). The crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
-cargo clippy -p nqp-sim -p nqp-core --lib --offline
+cargo clippy -p nqp-sim -p nqp-core -p nqp-trace --lib --offline
 
 # Crash-safe resume smoke test: interrupt a journaled sweep after two
 # cells, resume it from the journal, and require the resumed table to
@@ -44,6 +47,16 @@ diff "$SMOKE/full.txt" "$SMOKE/parallel.txt"
 "$CLI" "${ARGS[@]}" --jobs 4 --journal "$SMOKE/jp.jsonl" --max-cells 2 > /dev/null 2>&1
 "$CLI" "${ARGS[@]}" --resume "$SMOKE/jp.jsonl" > "$SMOKE/presumed.txt" 2> /dev/null
 diff "$SMOKE/full.txt" "$SMOKE/presumed.txt"
+
+# Trace determinism smoke: --trace-dir artifacts must be byte-identical
+# between a serial and a --jobs 4 run of the same grid, and rendering
+# one must produce a perf-stat report and Perfetto-loadable JSON.
+"$CLI" "${ARGS[@]}" --trace-dir "$SMOKE/t1" > /dev/null
+"$CLI" "${ARGS[@]}" --trace-dir "$SMOKE/t2" --jobs 4 > /dev/null
+diff -r "$SMOKE/t1" "$SMOKE/t2"
+ARTIFACT=$(ls "$SMOKE/t1"/*.trace | head -1)
+"$CLI" trace "$ARTIFACT" --chrome "$SMOKE/t1.json" --report | grep -q "Performance counter stats"
+grep -q '"traceEvents"' "$SMOKE/t1.json"
 
 # An empty grid must fail loudly, not exit 0 with no output.
 if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then

@@ -15,6 +15,8 @@
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
+//!                [--trace-dir DIR] [--trace-epoch CYCLES]
+//! nqp-cli trace FILE [--chrome OUT] [--csv OUT] [--report]
 //! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
 //! ```
 //!
@@ -53,10 +55,13 @@ use nqp::query::{
     try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on, AggConfig, AggKind,
     WorkloadEnv,
 };
-use nqp::sim::{Counters, FaultPlan, MemPolicy, SimResult, ThreadPlacement};
+use nqp::sim::{
+    Counters, FaultPlan, MemPolicy, SimError, SimResult, ThreadPlacement, TraceConfig, TraceLog,
+};
 use nqp::topology::{machines, MachineSpec};
+use nqp::trace::{artifact_name, Trace, TraceMeta};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -71,6 +76,7 @@ fn main() -> ExitCode {
         "workload" => cmd_workload(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "tpch" => cmd_tpch(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -95,6 +101,8 @@ const USAGE: &str = "usage:
   nqp-cli sweep <w1|w2|w3|w4> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
                 [--jobs N] [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
+                [--trace-dir DIR] [--trace-epoch CYCLES]
+  nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--report]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
 
@@ -275,20 +283,22 @@ impl WorkloadPlan {
     }
 
     /// Run once under `env`, surfacing simulation faults (OOM under a
-    /// strict bind, injected failures, budget timeouts) as errors.
-    fn try_run(&self, env: &WorkloadEnv) -> SimResult<(u64, Counters)> {
+    /// strict bind, injected failures, budget timeouts) as errors. The
+    /// third element is the finalised trace log when `env.sim.trace`
+    /// was configured, else `None`.
+    fn try_run(&self, env: &WorkloadEnv) -> SimResult<(u64, Counters, Option<TraceLog>)> {
         match self {
             WorkloadPlan::Agg { acfg, records } => {
                 let out = try_run_aggregation_on(env, acfg, records)?;
-                Ok((out.exec_cycles, out.counters))
+                Ok((out.exec_cycles, out.counters, out.trace))
             }
             WorkloadPlan::Hash { data } => {
                 let out = try_run_hash_join_on(env, data)?;
-                Ok((out.build_cycles + out.probe_cycles, out.counters))
+                Ok((out.build_cycles + out.probe_cycles, out.counters, out.trace))
             }
             WorkloadPlan::Inl { index, data } => {
                 let out = try_run_inl_join_on(env, *index, data)?;
-                Ok((out.build_cycles + out.join_cycles, out.counters))
+                Ok((out.build_cycles + out.join_cycles, out.counters, out.trace))
             }
         }
     }
@@ -302,6 +312,7 @@ fn run_workload(
 ) -> Result<(u64, Counters), String> {
     let plan = WorkloadPlan::parse(which, flags)?;
     plan.try_run(&cfg.env(threads))
+        .map(|(cycles, counters, _trace)| (cycles, counters))
         .map_err(|e| format!("simulation fault: {e}"))
 }
 
@@ -359,11 +370,14 @@ fn grid_descriptor(
         .filter(|(k, _)| {
             // `jobs` is excluded too: the parallel executor produces the
             // same bytes, so a journal from a --jobs run resumes under
-            // any job count (and vice versa).
+            // any job count (and vice versa). The trace flags are
+            // excluded because tracing never changes cycle results —
+            // artifacts are a side output, like `--csv`.
             !matches!(
                 k.as_str(),
                 "journal" | "resume" | "max-cells" | "csv" | "json"
                     | "machine" | "threads" | "trials" | "jobs"
+                    | "trace-dir" | "trace-epoch"
             )
         })
         .map(|(k, v)| (k.as_str(), v.as_str()))
@@ -413,10 +427,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         breaker_threshold: flags.get("breaker").and_then(|s| s.parse().ok()),
         max_cells: flags.get("max-cells").and_then(|s| s.parse().ok()),
     };
+    let trace_dir: Option<PathBuf> = flags.get("trace-dir").map(PathBuf::from);
+    let trace_epoch: u64 = match flags.get("trace-epoch") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --trace-epoch `{s}` (need cycles >= 1)"))?,
+        None => TraceConfig::default().epoch_cycles,
+    };
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --trace-dir `{}`: {e}", dir.display()))?;
+    }
 
     // Both presets get the same fault plan / budget / policy overrides,
     // so an injected fault stresses the whole sweep, not one column.
-    let configs = vec![
+    let mut configs = vec![
         config_from_flags(machine.clone(), &flags)?
             .named("os-default (+flags)"),
         {
@@ -432,6 +459,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             cfg
         },
     ];
+    if trace_dir.is_some() {
+        // Tracing is pay-for-what-you-use: the hooks charge no cycles,
+        // so enabling it here cannot perturb the sweep's results. The
+        // config name becomes the trace label (and the artifact slug).
+        for cfg in &mut configs {
+            cfg.sim = cfg.sim.clone().with_trace(
+                TraceConfig::default()
+                    .with_epoch_cycles(trace_epoch)
+                    .with_label(&cfg.name),
+            );
+        }
+    }
 
     // An empty grid is a mis-specified sweep, not a vacuous success:
     // fail loudly instead of printing nothing and exiting 0.
@@ -489,8 +528,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 }
             }
         };
-        let workload = |env: &WorkloadEnv, _trial: usize| {
-            plan.try_run(env).map(|(cycles, counters)| TrialMeasurement {
+        let workload = |env: &WorkloadEnv, trial: usize| {
+            let (cycles, counters, trace) = plan.try_run(env)?;
+            // One artifact per (config, trial) cell, named purely from
+            // the cell's coordinates — the same cell writes the same
+            // bytes to the same path whether it runs serially, under
+            // --jobs N, or in a resumed sweep.
+            if let (Some(dir), Some(log)) = (&trace_dir, trace) {
+                let label = log.config().label.clone();
+                let artifact = Trace::from_log(
+                    TraceMeta {
+                        label: label.clone(),
+                        trial: trial as u64,
+                        machine: env.sim.machine.name.clone(),
+                        threads: env.threads as u64,
+                    },
+                    &log,
+                );
+                let path = dir.join(artifact_name(&label, trial));
+                artifact.write_file(&path).map_err(|e| SimError::Harness {
+                    what: format!("cannot write trace `{}`: {e}", path.display()),
+                })?;
+            }
+            Ok(TrialMeasurement {
                 cycles,
                 degraded: counters.nodes_offlined > 0 || counters.evacuated_pages > 0,
                 evacuated_pages: counters.evacuated_pages,
@@ -563,6 +623,37 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("every trial failed for: {}", dead.join(", ")))
     }
+}
+
+/// `trace`: render or convert a recorded `.trace` artifact.
+///
+/// With no output flags, prints the `perf stat`-style counter report
+/// reconstructed from the artifact's epoch samples. `--chrome OUT`
+/// writes Chrome `trace_event` JSON (loadable in Perfetto or
+/// `chrome://tracing`); `--csv OUT` writes the epoch-binned counter
+/// timeline; `--report` forces the report even when converting.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let file = pos.first().ok_or("trace needs a .trace artifact FILE")?;
+    let trace = Trace::read_file(Path::new(file))
+        .map_err(|e| format!("cannot read trace `{file}`: {e}"))?;
+    let mut converted = false;
+    if let Some(out) = flags.get("chrome") {
+        std::fs::write(out, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write Chrome JSON to `{out}`: {e}"))?;
+        println!("wrote Chrome trace_event JSON to {out}");
+        converted = true;
+    }
+    if let Some(out) = flags.get("csv") {
+        std::fs::write(out, trace.to_timeline_csv())
+            .map_err(|e| format!("cannot write timeline CSV to `{out}`: {e}"))?;
+        println!("wrote epoch timeline CSV to {out}");
+        converted = true;
+    }
+    if !converted || flags.contains_key("report") {
+        print!("{}", trace.perf_report());
+    }
+    Ok(())
 }
 
 fn cmd_tpch(args: &[String]) -> Result<(), String> {

@@ -13,6 +13,8 @@
 //! * [`query`] — aggregation and join workloads (W1–W4).
 //! * [`engines`] — the mini relational engine and TPC-H Q1–Q22 (W5).
 //! * [`core`] — experiment runner and the Figure 10 decision advisor.
+//! * [`trace`] — deterministic trace artifacts and exporters (Chrome
+//!   `trace_event` JSON, CSV timelines, `perf stat`-style reports).
 
 pub use nqp_alloc as alloc;
 pub use nqp_core as core;
@@ -23,3 +25,4 @@ pub use nqp_query as query;
 pub use nqp_sim as sim;
 pub use nqp_storage as storage;
 pub use nqp_topology as topology;
+pub use nqp_trace as trace;

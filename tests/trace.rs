@@ -1,0 +1,264 @@
+//! Integration tests for the nqp-trace subsystem, end to end: real
+//! traced workloads through the library, real `.trace` artifacts on
+//! disk written by the real `nqp-cli` binary.
+//!
+//! Two contracts under test, straight from DESIGN.md's observability
+//! section:
+//!
+//! 1. **Replay exactness** — the Table III report rendered from a
+//!    recorded trace (the telescoping sum of its epoch samples) is
+//!    byte-equal to the same report rendered from the live simulator's
+//!    counter totals. No drift, no rounding, no lost charges.
+//! 2. **Artifact determinism** — `sweep --trace-dir` writes
+//!    byte-identical artifacts whether the sweep runs serially, under
+//!    `--jobs N`, or interrupted-then-resumed; and enabling tracing
+//!    never changes the sweep's cycle results.
+
+use nqp::core::TuningConfig;
+use nqp::datagen::generate;
+use nqp::query::{try_run_aggregation_on, AggConfig};
+use nqp::sim::TraceConfig;
+use nqp::topology::machines;
+use nqp::trace::{artifact_name, counters_report, slug, Trace, TraceMeta};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "nqp-trace-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run a traced W1 and return the artifact built from its trace log.
+fn traced_w1() -> (Trace, nqp::sim::TraceLog) {
+    let mut cfg = TuningConfig::tuned(machines::machine_b());
+    cfg.sim = cfg
+        .sim
+        .with_trace(TraceConfig::default().with_epoch_cycles(50_000).with_label("w1-tuned"));
+    let acfg = AggConfig::w1(3_000, 150, 7);
+    let records = generate(acfg.dataset, acfg.n, acfg.cardinality, acfg.seed);
+    let out = try_run_aggregation_on(&cfg.env(4), &acfg, &records).unwrap();
+    let log = out.trace.expect("trace was configured, so the outcome must carry a log");
+    let meta = TraceMeta {
+        label: "w1-tuned".to_string(),
+        trial: 0,
+        machine: "B".to_string(),
+        threads: 4,
+    };
+    (Trace::from_log(meta, &log), log)
+}
+
+/// Contract 1: the report replayed from a *parsed* artifact (epoch
+/// samples only) is byte-equal to the report over the totals the live
+/// simulator recorded at `take_trace` time. This is exact equality of
+/// every counter, not approximate agreement.
+#[test]
+fn replayed_report_equals_live_totals_exactly() {
+    let (artifact, log) = traced_w1();
+    let live_totals = log.totals();
+
+    // The telescoping sum of samples reproduces the live totals...
+    assert_eq!(artifact.sampled_totals(), live_totals);
+
+    // ...and survives serialisation: parse(to_text(x)) loses nothing.
+    let round_tripped = Trace::parse(&artifact.to_text()).unwrap();
+    assert_eq!(round_tripped.sampled_totals(), live_totals);
+    assert_eq!(round_tripped.totals, live_totals);
+
+    // The headline byte-equality: Table III from recorded data ==
+    // Table III from live counters.
+    let live_report = counters_report(
+        "'w1-tuned' (trial 0, machine B, 4 threads)",
+        log.end_cycles(),
+        &live_totals,
+    );
+    assert_eq!(round_tripped.perf_report(), live_report);
+}
+
+/// Tracing is pay-for-what-you-use at the library level too: a traced
+/// run and an untraced run of the same workload report identical
+/// cycles and counters.
+#[test]
+fn tracing_does_not_change_simulation_results() {
+    let acfg = AggConfig::w1(3_000, 150, 7);
+    let records = generate(acfg.dataset, acfg.n, acfg.cardinality, acfg.seed);
+
+    let plain_cfg = TuningConfig::tuned(machines::machine_b());
+    let plain = try_run_aggregation_on(&plain_cfg.env(4), &acfg, &records).unwrap();
+    assert!(plain.trace.is_none(), "no trace configured, none returned");
+
+    let mut traced_cfg = TuningConfig::tuned(machines::machine_b());
+    traced_cfg.sim = traced_cfg.sim.with_trace(TraceConfig::default());
+    let traced = try_run_aggregation_on(&traced_cfg.env(4), &acfg, &records).unwrap();
+
+    assert_eq!(traced.exec_cycles, plain.exec_cycles);
+    assert_eq!(traced.load_cycles, plain.load_cycles);
+    assert_eq!(traced.counters, plain.counters);
+    assert_eq!(traced.checksum, plain.checksum);
+}
+
+/// The recorded phase spans nest and cover the run: `load` comes
+/// first, the three aggregation phases follow, and every span closes
+/// at or before the recorded end of the run.
+#[test]
+fn phase_spans_cover_the_aggregation_pipeline() {
+    let (artifact, _) = traced_w1();
+    let names: Vec<&str> = artifact.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["load", "agg:init", "agg:build", "agg:finalize"] {
+        assert!(names.contains(&expected), "missing span `{expected}` in {names:?}");
+    }
+    for s in &artifact.spans {
+        assert!(s.begin_cycles <= s.end_cycles, "span {s:?} runs backwards");
+        assert!(s.end_cycles <= artifact.end_cycles, "span {s:?} outlives the run");
+    }
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nqp-cli"))
+}
+
+fn sweep_args(dir: &std::path::Path, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "sweep", "w2", "--machine", "B", "--threads", "4", "--n", "6000", "--card",
+        "600", "--trials", "2", "--trace-dir",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.push(dir.display().to_string());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+fn read_artifacts(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Contract 2, through the real binary: serial, parallel, and
+/// kill-then-resume sweeps write byte-identical trace artifacts under
+/// deterministic names.
+#[test]
+fn sweep_trace_artifacts_are_byte_identical_serial_parallel_resumed() {
+    let serial_dir = temp_dir("serial");
+    let out = cli().args(sweep_args(&serial_dir, &[])).output().unwrap();
+    assert!(out.status.success(), "serial sweep failed: {out:?}");
+    let serial = read_artifacts(&serial_dir);
+    // 2 configs x 2 trials, named from the cell coordinates alone.
+    let expected: Vec<&String> = serial.iter().map(|(n, _)| n).collect();
+    assert_eq!(
+        expected,
+        vec![
+            &artifact_name("os-default (+flags)", 0),
+            &artifact_name("os-default (+flags)", 1),
+            &artifact_name("tuned (+flags)", 0),
+            &artifact_name("tuned (+flags)", 1),
+        ]
+    );
+    assert_eq!(slug("os-default (+flags)"), "os-default_flags");
+
+    // Parallel: same cells, same bytes, any job count.
+    let par_dir = temp_dir("jobs4");
+    let out = cli().args(sweep_args(&par_dir, &["--jobs", "4"])).output().unwrap();
+    assert!(out.status.success(), "parallel sweep failed: {out:?}");
+    assert_eq!(read_artifacts(&par_dir), serial);
+
+    // Interrupted after 2 cells, then resumed: the resumed run fills in
+    // exactly the missing artifacts and the directory converges.
+    let res_dir = temp_dir("resumed");
+    let journal = res_dir.join("sweep.journal");
+    let jflag = journal.display().to_string();
+    let out = cli()
+        .args(sweep_args(&res_dir, &["--journal", &jflag, "--max-cells", "2"]))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "interrupted sweep failed: {out:?}");
+    assert_eq!(read_artifacts(&res_dir).len(), 3, "2 artifacts + the journal");
+    let out = cli().args(sweep_args(&res_dir, &["--resume", &jflag])).output().unwrap();
+    assert!(out.status.success(), "resumed sweep failed: {out:?}");
+    std::fs::remove_file(&journal).unwrap();
+    assert_eq!(read_artifacts(&res_dir), serial);
+
+    for d in [serial_dir, par_dir, res_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// Enabling `--trace-dir` must not move a single cycle: the sweep CSV
+/// with tracing on is byte-identical to the CSV with tracing off.
+#[test]
+fn trace_dir_does_not_change_sweep_results() {
+    let dir = temp_dir("perturb");
+    let plain_csv = dir.join("plain.csv");
+    let traced_csv = dir.join("traced.csv");
+    let base = [
+        "sweep", "w2", "--machine", "B", "--threads", "4", "--n", "6000", "--card",
+        "600", "--trials", "2",
+    ];
+    let out = cli()
+        .args(base)
+        .args(["--csv", &plain_csv.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "plain sweep failed: {out:?}");
+    let out = cli()
+        .args(base)
+        .args(["--csv", &traced_csv.display().to_string()])
+        .args(["--trace-dir", &dir.join("traces").display().to_string()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "traced sweep failed: {out:?}");
+    assert_eq!(
+        std::fs::read(&plain_csv).unwrap(),
+        std::fs::read(&traced_csv).unwrap(),
+        "tracing perturbed the sweep's results"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The `trace` subcommand renders a recorded artifact: the default
+/// report carries the perf-stat shape, and `--chrome` emits JSON that
+/// Perfetto's trace_event importer accepts structurally.
+#[test]
+fn trace_subcommand_renders_and_converts() {
+    let dir = temp_dir("render");
+    let out = cli().args(sweep_args(&dir, &[])).output().unwrap();
+    assert!(out.status.success(), "sweep failed: {out:?}");
+    let artifact = dir.join(artifact_name("tuned (+flags)", 0));
+
+    let out = cli().args(["trace", &artifact.display().to_string()]).output().unwrap();
+    assert!(out.status.success(), "trace render failed: {out:?}");
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("Performance counter stats for"), "{report}");
+    assert!(report.contains("cycles elapsed (model)"), "{report}");
+    assert!(report.contains("local-access-ratio"), "{report}");
+
+    let chrome = dir.join("out.json");
+    let csv = dir.join("out.csv");
+    let out = cli()
+        .args(["trace", &artifact.display().to_string()])
+        .args(["--chrome", &chrome.display().to_string()])
+        .args(["--csv", &csv.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "trace convert failed: {out:?}");
+    let json = std::fs::read_to_string(&chrome).unwrap();
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "no span events in {json}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("epoch,start_cycles,end_cycles,"), "{csv_text}");
+    std::fs::remove_dir_all(dir).ok();
+}
