@@ -154,24 +154,35 @@ pub fn try_run_aggregation_on(
     let threads = env.threads;
     sim.phase_begin("agg:build");
     regions.push(sim.try_parallel(threads, &mut state, |w, (table, heap)| {
-        for i in input.partition(w.tid(), threads) {
-            let (key, val) = input.read(w, i);
-            match kind {
-                AggKind::DistributiveCount => {
-                    table.upsert(w, heap, key, 1, |w, entry| {
-                        let c = w.read_u64(entry + 8);
-                        w.write_u64(entry + 8, c + 1);
-                    });
-                }
-                AggKind::HolisticMedian => {
-                    // Payload holds the chain head; push allocates chunks.
-                    let entry = table.upsert(w, heap, key, 0, |_, _| {});
-                    let head = w.read_u64(entry + 8);
-                    let mut chain = Chain::from_head(head);
-                    chain.push(w, heap, val);
-                    w.write_u64(entry + 8, chain.head());
+        // Tuple-at-once input scan: each batch is one bulk ranged read
+        // instead of a per-tuple (let alone per-field) access charge.
+        let range = input.partition(w.tid(), threads);
+        let mut batch = [(0u64, 0u64); 32];
+        let mut i = range.start;
+        while i < range.end {
+            let n = (range.end - i).min(batch.len());
+            input.read_run(w, i, &mut batch[..n]);
+            for &(key, val) in &batch[..n] {
+                match kind {
+                    AggKind::DistributiveCount => {
+                        table.upsert(w, heap, key, 1, |w, entry| {
+                            // One write-intent RMW, not a read + a write.
+                            w.rmw_u64(entry + 8, |c| c + 1);
+                        });
+                    }
+                    AggKind::HolisticMedian => {
+                        // Payload holds the chain head; push allocates
+                        // chunks between the head read and write-back,
+                        // so this stays a genuine read-then-write.
+                        let entry = table.upsert(w, heap, key, 0, |_, _| {});
+                        let head = w.read_u64(entry + 8);
+                        let mut chain = Chain::from_head(head);
+                        chain.push(w, heap, val);
+                        w.write_u64(entry + 8, chain.head());
+                    }
                 }
             }
+            i += n;
         }
     })?);
     sim.phase_end();

@@ -103,9 +103,17 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
     sim.phase_begin("join:build");
     sim.try_serial(&mut state, |w, (table, _)| table.init(w))?;
     sim.try_parallel(threads, &mut state, |w, (table, heap)| {
-        for i in r_arr.partition(w.tid(), threads) {
-            let (key, payload) = r_arr.read(w, i);
-            table.upsert(w, heap, key, payload, |_, _| {});
+        // Tuple-at-once build scan (one bulk ranged read per batch).
+        let range = r_arr.partition(w.tid(), threads);
+        let mut batch = [(0u64, 0u64); 32];
+        let mut i = range.start;
+        while i < range.end {
+            let n = (range.end - i).min(batch.len());
+            r_arr.read_run(w, i, &mut batch[..n]);
+            for &(key, payload) in &batch[..n] {
+                table.upsert(w, heap, key, payload, |_, _| {});
+            }
+            i += n;
         }
     })?;
     sim.phase_end();
@@ -117,12 +125,21 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
     sim.try_parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
-        for i in s_arr.partition(w.tid(), threads) {
-            let (key, s_payload) = s_arr.read(w, i);
-            if let Some(r_payload) = table.get(w, key) {
-                local_matches += 1;
-                local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+        // Tuple-at-once probe scan: the probe side streams through bulk
+        // ranged reads; each hit costs one entry-at-once chain read.
+        let range = s_arr.partition(w.tid(), threads);
+        let mut batch = [(0u64, 0u64); 32];
+        let mut i = range.start;
+        while i < range.end {
+            let n = (range.end - i).min(batch.len());
+            s_arr.read_run(w, i, &mut batch[..n]);
+            for &(key, s_payload) in &batch[..n] {
+                if let Some(r_payload) = table.get(w, key) {
+                    local_matches += 1;
+                    local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+                }
             }
+            i += n;
         }
         *matches += local_matches;
         *checksum ^= local_sum;

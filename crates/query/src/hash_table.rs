@@ -82,24 +82,38 @@ impl HashTable {
         self.locks[(bucket % self.locks.len() as u64) as usize]
     }
 
-    /// Find the entry address for `key`, lock-free (probe path).
+    /// Find the entry address for `key`, lock-free (probe path). Each
+    /// chain entry is read whole (one 24-byte access, not one per field).
     pub fn find(&self, w: &mut Worker<'_>, key: u64) -> Option<VAddr> {
         w.compute(HASH_CYCLES);
         debug_assert_ne!(self.dir, 0, "init() must run before use");
         let bucket = self.bucket_of(key);
         let mut entry = w.read_u64(self.dir + bucket * 8);
         while entry != 0 {
-            if w.read_u64(entry) == key {
+            let (k, _payload, next) = w.read_u64_triple(entry);
+            if k == key {
                 return Some(entry);
             }
-            entry = w.read_u64(entry + 16);
+            entry = next;
         }
         None
     }
 
-    /// Read the payload of `key`, if present.
+    /// Read the payload of `key`, if present. The payload arrives with
+    /// the entry-at-once chain read — no second access per match.
     pub fn get(&self, w: &mut Worker<'_>, key: u64) -> Option<u64> {
-        self.find(w, key).map(|e| w.read_u64(e + 8))
+        w.compute(HASH_CYCLES);
+        debug_assert_ne!(self.dir, 0, "init() must run before use");
+        let bucket = self.bucket_of(key);
+        let mut entry = w.read_u64(self.dir + bucket * 8);
+        while entry != 0 {
+            let (k, payload, next) = w.read_u64_triple(entry);
+            if k == key {
+                return Some(payload);
+            }
+            entry = next;
+        }
+        None
     }
 
     /// Insert-or-update under the stripe lock: if `key` exists, its
@@ -121,16 +135,15 @@ impl HashTable {
         let head = w.read_u64(head_addr);
         let mut entry = head;
         while entry != 0 {
-            if w.read_u64(entry) == key {
+            let (k, _payload, next) = w.read_u64_triple(entry);
+            if k == key {
                 update(w, entry);
                 return entry;
             }
-            entry = w.read_u64(entry + 16);
+            entry = next;
         }
         let fresh = heap.alloc(w, ENTRY_BYTES);
-        w.write_u64(fresh, key);
-        w.write_u64(fresh + 8, initial);
-        w.write_u64(fresh + 16, head);
+        w.write_u64_run(fresh, &[key, initial, head]);
         w.write_u64(head_addr, fresh);
         fresh
     }
@@ -147,9 +160,9 @@ impl HashTable {
         for b in range {
             let mut entry = w.read_u64(self.dir + b * 8);
             while entry != 0 {
-                let key = w.read_u64(entry);
+                let (key, _payload, next) = w.read_u64_triple(entry);
                 f(w, key, entry);
-                entry = w.read_u64(entry + 16);
+                entry = next;
             }
         }
     }

@@ -108,12 +108,20 @@ pub fn try_run_inl_join_on(
     sim.try_parallel(threads, &mut join, |w, (index, matches, checksum)| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
-        for i in s_arr.partition(w.tid(), threads) {
-            let (key, s_payload) = s_arr.read(w, i);
-            if let Some(r_payload) = index.get(w, key) {
-                local_matches += 1;
-                local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+        // Tuple-at-once probe scan over the S relation.
+        let range = s_arr.partition(w.tid(), threads);
+        let mut batch = [(0u64, 0u64); 32];
+        let mut i = range.start;
+        while i < range.end {
+            let n = (range.end - i).min(batch.len());
+            s_arr.read_run(w, i, &mut batch[..n]);
+            for &(key, s_payload) in &batch[..n] {
+                if let Some(r_payload) = index.get(w, key) {
+                    local_matches += 1;
+                    local_sum ^= r_payload.wrapping_mul(31).wrapping_add(s_payload);
+                }
             }
+            i += n;
         }
         *matches += local_matches;
         *checksum ^= local_sum;

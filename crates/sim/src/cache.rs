@@ -36,6 +36,15 @@ impl Llc {
         }
     }
 
+    /// Prefetch the host cache line holding `line_addr`'s tag slot.
+    /// A pure latency hint: never reads or writes the tag, so it cannot
+    /// affect hit/miss outcomes.
+    #[inline]
+    pub fn prefetch(&self, line_addr: u64) {
+        let slot = (mix(line_addr) & self.mask) as usize;
+        crate::mix::prefetch(&self.tags[slot]);
+    }
+
     /// Invalidate everything (used by cold-run experiments).
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
@@ -48,11 +57,8 @@ impl Llc {
 }
 
 #[inline]
-fn mix(mut x: u64) -> u64 {
-    x ^= x >> 31;
-    x = x.wrapping_mul(0x7fb5_d329_728e_a185);
-    x ^= x >> 27;
-    x
+fn mix(x: u64) -> u64 {
+    crate::mix::xor_mul_shift(x, 31, 0x7fb5_d329_728e_a185, 27)
 }
 
 #[cfg(test)]

@@ -183,6 +183,11 @@ pub struct SimConfig {
     /// Deterministic tracing (None = off; the hot path stays free of
     /// recording work and cycle results are unchanged).
     pub trace: Option<TraceConfig>,
+    /// Run the original per-line reference model instead of the
+    /// page-granular fast path. Both produce bit-identical cycles,
+    /// counters, and trace artifacts; the reference path exists as the
+    /// differential-testing oracle (`NQP_REFERENCE=1` in the CLI).
+    pub reference_model: bool,
 }
 
 impl SimConfig {
@@ -202,6 +207,7 @@ impl SimConfig {
             fault_attempt: 0,
             trial_budget_cycles: None,
             trace: None,
+            reference_model: false,
         }
     }
 
@@ -276,6 +282,14 @@ impl SimConfig {
     /// Builder-style setter enabling deterministic tracing.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style setter selecting the per-line reference model (the
+    /// oracle the page-granular fast path is differentially tested
+    /// against). Off by default.
+    pub fn with_reference_model(mut self, on: bool) -> Self {
+        self.reference_model = on;
         self
     }
 }

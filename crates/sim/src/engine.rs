@@ -330,6 +330,27 @@ impl NumaSim {
 
         let total_cores = self.cfg.machine.total_hw_threads();
         let nodes = self.cfg.machine.topology.num_nodes();
+
+        // Integer DRAM-latency tables for this region, indexed by
+        // [running_node * nodes + home_node]: the f64 latency-factor
+        // chain (with fault-degradation multipliers folded in) is
+        // evaluated once per node pair instead of once per LLC miss.
+        // The expressions mirror the reference model's per-miss math
+        // operation for operation, so the values are bit-identical.
+        let mut lat_full = vec![0u64; nodes * nodes];
+        let mut lat_seq = vec![0u64; nodes * nodes];
+        for a in 0..nodes {
+            for h in 0..nodes {
+                let mut factor = self.cfg.machine.topology.latency_factor(a, h);
+                if !active.is_quiet() && h != a {
+                    factor *= active.path_latency_mult(&self.link_paths[a][h]);
+                }
+                let full = (self.cfg.machine.dram_latency_cycles as f64 * factor) as u64;
+                lat_full[a * nodes + h] = full;
+                lat_seq[a * nodes + h] = full / self.cfg.costs.mlp.max(1);
+            }
+        }
+
         let mut finished: Vec<ThreadOutcome2> = Vec::with_capacity(threads);
         if let Some(t) = self.trace.as_deref_mut() {
             t.push(
@@ -371,6 +392,13 @@ impl NumaSim {
                 link_lines: vec![0; self.num_links],
                 autonuma_countdown: AUTONUMA_SAMPLE_EVERY,
                 last_line: u64::MAX - 1,
+                uwalk: UWalk::EMPTY,
+                lat_full: &lat_full,
+                lat_seq: &lat_seq,
+                num_nodes: nodes,
+                reference: self.cfg.reference_model,
+                epoch_cur: 0,
+                epoch_valid_until: 0,
                 faults: &active,
                 faults_quiet: active.is_quiet(),
                 region,
@@ -709,6 +737,44 @@ struct ThreadOutcome {
     sched: ThreadSchedule,
 }
 
+/// One-entry translation memo (the "uWalk cache"): the last 4 KB page
+/// this worker resolved, so the other lines of that page skip the page
+/// table, the TLB model, and the AutoNUMA hint check. Sound because
+/// logical threads execute sequentially — nothing else mutates page
+/// state while a worker runs — and every skip it enables replaces an
+/// operation the reference model performs *without side effects*
+/// (`resolve_touch` on a faulted page is a pure read, a guaranteed TLB
+/// hit mutates nothing, `hint_fault_due` with a matching epoch mutates
+/// nothing), so skipping is bit-identical. Invalidated on unmap;
+/// `node` is resynced across AutoNUMA migration; `tlb_ok` is cleared
+/// whenever the TLBs are flushed (thread migration, preemption storm).
+#[derive(Clone, Copy)]
+struct UWalk {
+    /// 4 KB page index (`addr / SMALL_PAGE`); `u64::MAX` = empty.
+    page: u64,
+    /// The page's home node (kept in sync across AutoNUMA migration).
+    node: NodeId,
+    /// Whether the page lives in a huge (2 MB) frame.
+    huge: bool,
+    /// The page's TLB tag is known resident: a probe would hit without
+    /// mutating the TLB. Never set by `dma_lines` fills (kernel copies
+    /// bypass the TLBs), so the first demand touch still probes.
+    tlb_ok: bool,
+    /// Last AutoNUMA scan epoch synced into the page entry; `u16::MAX`
+    /// means "not synced" (valid epochs are 0..=255, hence the widening).
+    hint_epoch: u16,
+}
+
+impl UWalk {
+    const EMPTY: UWalk = UWalk {
+        page: u64::MAX,
+        node: 0,
+        huge: false,
+        tlb_ok: false,
+        hint_epoch: u16::MAX,
+    };
+}
+
 /// Handle through which workload code executes on one logical thread.
 pub struct Worker<'a> {
     cfg: &'a SimConfig,
@@ -735,6 +801,21 @@ pub struct Worker<'a> {
     autonuma_countdown: u64,
     /// Last line index touched, for the streaming detector.
     last_line: u64,
+    /// Page-granular fast-path memo (unused when `reference` is set).
+    uwalk: UWalk,
+    /// Per-region `[running * num_nodes + home]` DRAM latency for
+    /// dependent misses, fault degradation folded in.
+    lat_full: &'a [u64],
+    /// Same, divided by MLP for sequential (pipelined) misses.
+    lat_seq: &'a [u64],
+    /// Node count, the row stride of the latency tables.
+    num_nodes: usize,
+    /// Run the per-line reference model instead of the fast path.
+    reference: bool,
+    /// Cached AutoNUMA scan epoch (`(clock / period) & 0xFF`) ...
+    epoch_cur: u8,
+    /// ... valid until the thread clock reaches this cycle.
+    epoch_valid_until: u64,
     /// Faults active this region (quiet view when no plan is configured).
     faults: &'a ActiveFaults,
     /// Fast-path guard: nothing is degraded this region.
@@ -894,27 +975,85 @@ impl<'a> Worker<'a> {
         }
         self.clock += MMAP_SYSCALL_CYCLES;
         self.counters.kernel_cycles += MMAP_SYSCALL_CYCLES;
+        // The memoized page may be inside the released range; its entry
+        // is reset, so the memo must not outlive it.
+        self.uwalk = UWalk::EMPTY;
         if let Err(e) = self.memory.unmap(addr, bytes) {
             self.fail(e);
         }
     }
 
     /// Charge the cost of touching `[addr, addr+len)` without moving data.
+    ///
+    /// An empty touch is a no-op. (It used to be a `debug_assert!`, which
+    /// meant a release build computed `addr + len - 1` with `len == 0`,
+    /// wrapped, and walked on the order of 2^58 lines.)
     pub fn touch(&mut self, addr: VAddr, len: u64, access: Access) {
-        if self.fault.is_some() {
+        if self.fault.is_some() || len == 0 {
             return;
         }
-        debug_assert!(len > 0);
         let first = addr / LINE;
         let last = (addr + len - 1) / LINE;
+        if self.reference {
+            for line in first..=last {
+                self.touch_line(line * LINE, access);
+                if self.fault.is_some() {
+                    return;
+                }
+            }
+        } else {
+            self.touch_run(first, last, access);
+        }
+    }
+
+    /// Fast-path bulk touch of lines `first..=last`. The L1, writer
+    /// table, and LLC are still probed per line (they are cheap
+    /// direct-mapped array ops whose per-line state transitions the
+    /// model depends on), but all page-invariant work — fault charging,
+    /// TLB residency, AutoNUMA hint checks, home-node resolution, and
+    /// the DRAM latency arithmetic (precomputed integer tables, so the
+    /// sequential-MLP division never runs per line) — is amortised to
+    /// once per 4 KB page through the uWalk memo.
+    #[inline]
+    fn touch_run(&mut self, first: u64, last: u64, access: Access) {
+        // Software-pipeline the host-cache misses: the model structures a
+        // line needs (LLC tag slot, page-table entry, writer-table slot)
+        // live in multi-megabyte host arrays, and walking them serially
+        // costs one dependent miss after another. Prefetching the next
+        // line's slots while the current line is processed overlaps
+        // those misses without touching any model state.
+        self.prefetch_line(first * LINE, access);
         for line in first..=last {
-            self.touch_line(line * LINE, access);
+            if line < last {
+                self.prefetch_line((line + 1) * LINE, access);
+            }
+            self.touch_line_fast(line * LINE, access);
             if self.fault.is_some() {
                 return;
             }
         }
     }
 
+    /// Issue host prefetches for the model structures `touch_line_fast`
+    /// will index for `line_addr`. Purely a latency hint (see
+    /// [`crate::mix::prefetch`]); model state is never read or written.
+    #[inline]
+    fn prefetch_line(&self, line_addr: VAddr, access: Access) {
+        let line = line_addr / LINE;
+        self.caches[self.node].prefetch(line);
+        if access == Access::Write {
+            let slot = (mix_line(line) as usize) & (WRITER_TABLE_SLOTS - 1);
+            crate::mix::prefetch(&self.writer_table[slot]);
+        }
+        if self.uwalk.page != line_addr / SMALL_PAGE {
+            self.memory.prefetch_page(line_addr);
+        }
+    }
+
+    /// The per-line reference model (`SimConfig::reference_model`): the
+    /// oracle the page-granular fast path is differentially tested
+    /// against. [`Worker::touch_line_fast`] must stay bit-identical to
+    /// this function — edit them together.
     #[inline]
     fn touch_line(&mut self, line_addr: VAddr, access: Access) {
         let costs = &self.cfg.costs;
@@ -1068,6 +1207,216 @@ impl<'a> Worker<'a> {
         self.check_events();
     }
 
+    /// Page-granular fast path, bit-identical to [`Worker::touch_line`]
+    /// (see DESIGN.md §4e for the identity argument): page-invariant
+    /// work is memoized in the uWalk entry and DRAM latency comes from
+    /// the per-region integer tables. Every probe that mutates per-line
+    /// state (L1, writer table, LLC) still runs per line.
+    #[inline]
+    fn touch_line_fast(&mut self, line_addr: VAddr, access: Access) {
+        let costs = &self.cfg.costs;
+        self.clock += costs.touch_base_cycles;
+
+        // The writer-table probe is a random read into a multi-megabyte
+        // host array. Its value only matters when the line is stored
+        // (writes) or when an L1 hit must be checked for invalidation —
+        // an L1-missing read never consumes it, so skipping the pure
+        // read there is exact and saves the hottest host cache miss on
+        // read-dominated scans and probe chains.
+        let line = line_addr / LINE;
+        let l1_hit = self.l1.access(line);
+        if access == Access::Write {
+            let slot = (mix_line(line) as usize) & (WRITER_TABLE_SLOTS - 1);
+            if l1_hit {
+                let (wt_line, wt_tid) = self.writer_table[slot];
+                let invalidated = wt_line == line && wt_tid != self.tid as u32;
+                self.writer_table[slot] = (line, self.tid as u32);
+                if !invalidated {
+                    self.counters.l1_hits += 1;
+                    self.last_line = line;
+                    self.check_events();
+                    return;
+                }
+            } else {
+                // L1-miss write: the previous entry is never consumed, so
+                // store without the dependent load — the store retires
+                // asynchronously instead of stalling on a cache miss.
+                self.writer_table[slot] = (line, self.tid as u32);
+            }
+        } else if l1_hit {
+            let slot = (mix_line(line) as usize) & (WRITER_TABLE_SLOTS - 1);
+            let (wt_line, wt_tid) = self.writer_table[slot];
+            if !(wt_line == line && wt_tid != self.tid as u32) {
+                self.counters.l1_hits += 1;
+                self.last_line = line;
+                self.check_events();
+                return;
+            }
+        }
+
+        // uWalk memo: page resolution and fault charging once per page.
+        // A hit is pure to skip — the reference's `resolve_touch` on an
+        // already-faulted page only reads, and the fault could only have
+        // been charged at the fill below (or silently absorbed by a DMA
+        // resolve, which the reference also charges nothing for).
+        let page = line_addr / SMALL_PAGE;
+        if self.uwalk.page != page {
+            let res = match self.memory.resolve_touch(line_addr, self.node) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.fail(e);
+                    return;
+                }
+            };
+            if res.faulted {
+                let lines_per_page = SMALL_PAGE / LINE;
+                let cost = costs.fault_fixed_cycles
+                    + costs.fault_per_line_cycles * lines_per_page * res.fault_pages;
+                self.clock += cost;
+                self.counters.kernel_cycles += cost;
+                self.counters.page_faults += res.fault_pages;
+                if self.trace.is_some() {
+                    self.trace_event(TraceEvent::PageFault {
+                        node: res.node,
+                        pages: res.fault_pages,
+                    });
+                }
+            }
+            self.uwalk = UWalk {
+                page,
+                node: res.node,
+                huge: res.huge,
+                tlb_ok: false,
+                hint_epoch: u16::MAX,
+            };
+        }
+        let huge = self.uwalk.huge;
+
+        // TLB: with `tlb_ok` the tag is resident and the reference's
+        // probe would record a hit without mutating anything.
+        if self.uwalk.tlb_ok {
+            self.counters.tlb_hits += 1;
+        } else {
+            let tag = self.memory.tlb_tag(line_addr, huge);
+            let (hit, walk) = if huge {
+                (self.tlb2.access(tag), costs.walk_2m_cycles)
+            } else {
+                (self.tlb4.access(tag), costs.walk_4k_cycles)
+            };
+            if hit {
+                self.counters.tlb_hits += 1;
+            } else {
+                self.clock += walk;
+                if huge {
+                    self.counters.tlb_misses_2m += 1;
+                } else {
+                    self.counters.tlb_misses_4k += 1;
+                }
+            }
+            self.uwalk.tlb_ok = true;
+        }
+
+        // AutoNUMA sampling: the hint check runs only when the memoized
+        // epoch is stale (`hint_fault_due` with a matching epoch returns
+        // false without mutating, so the skip is exact).
+        let mut home = self.uwalk.node;
+        if self.cfg.autonuma {
+            let epoch = self.autonuma_epoch();
+            if self.uwalk.hint_epoch != epoch as u16 {
+                if self.memory.hint_fault_due(line_addr, epoch) {
+                    self.clock += costs.autonuma_hint_fault_cycles;
+                    self.counters.kernel_cycles += costs.autonuma_hint_fault_cycles;
+                    self.counters.page_faults += 1;
+                    self.dma_lines(line_addr, 4);
+                }
+                self.uwalk.hint_epoch = epoch as u16;
+            }
+            self.autonuma_countdown -= 1;
+            if self.autonuma_countdown == 0 {
+                self.autonuma_countdown = AUTONUMA_SAMPLE_EVERY;
+                let (migrated, blocked) = self.memory.autonuma_touch(
+                    line_addr,
+                    self.node,
+                    costs.autonuma_migrate_threshold,
+                    !self.faults.block_migrations,
+                );
+                if blocked {
+                    let cost = costs.page_migration_fixed_cycles / 2;
+                    self.clock += cost;
+                    self.counters.kernel_cycles += cost;
+                    self.counters.page_migration_failures += 1;
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::PageMigrationBlocked { node: home });
+                    }
+                }
+                if migrated > 0 {
+                    let cost = costs.page_migration_fixed_cycles;
+                    self.clock += cost;
+                    self.counters.kernel_cycles += cost;
+                    self.counters.page_migrations += migrated;
+                    if self.trace.is_some() {
+                        self.trace_event(TraceEvent::PageMigration {
+                            from_node: home,
+                            to_node: self.node,
+                            pages: migrated,
+                        });
+                    }
+                    // The home moves before the copy traffic is charged
+                    // (the reference's nested resolve sees the
+                    // post-migration node), so resync the memo first.
+                    self.uwalk.node = self.node;
+                    let lines_per_page = SMALL_PAGE / LINE;
+                    self.dma_lines(line_addr, lines_per_page * migrated.min(8));
+                    home = self.node;
+                }
+            }
+        }
+
+        // LLC of the node the thread currently runs on.
+        if self.caches[self.node].access(line) {
+            self.clock += self.caches[self.node].hit_cycles;
+            self.counters.cache_hits += 1;
+        } else {
+            self.counters.cache_misses += 1;
+            let idx = self.node * self.num_nodes + home;
+            let dram = if line == self.last_line + 1 {
+                // Sequential miss: prefetched/pipelined.
+                self.lat_seq[idx]
+            } else {
+                self.lat_full[idx]
+            };
+            self.clock += dram;
+            self.counters.dram_cycles += dram;
+            self.dram_lines_by_node[home] += 1;
+            if home == self.node {
+                self.counters.local_accesses += 1;
+            } else {
+                self.counters.remote_accesses += 1;
+                for &l in &self.link_paths[self.node][home] {
+                    self.link_lines[l as usize] += 1;
+                }
+            }
+        }
+
+        self.last_line = line;
+        self.check_events();
+    }
+
+    /// Current AutoNUMA scan epoch — the reference's per-line
+    /// `(clock / period) & 0xFF`, but paying the division only when the
+    /// thread clock crosses into a new period.
+    #[inline]
+    #[must_use]
+    fn autonuma_epoch(&mut self) -> u8 {
+        if self.clock >= self.epoch_valid_until {
+            let period = self.cfg.costs.autonuma_scan_period_cycles;
+            let q = self.clock / period;
+            self.epoch_cur = (q & 0xFF) as u8;
+            self.epoch_valid_until = q.saturating_add(1).saturating_mul(period);
+        }
+        self.epoch_cur
+    }
+
     /// Charge an uncached, streamed kernel copy of `lines` cache lines
     /// starting at `addr` (page-migration copies, khugepaged compaction):
     /// pipelined DRAM latency per line plus full controller/link demand,
@@ -1076,23 +1425,45 @@ impl<'a> Worker<'a> {
         if self.fault.is_some() {
             return;
         }
-        let res = match self.memory.resolve_touch(addr, self.node) {
-            Ok(r) => r,
-            Err(e) => {
-                self.fail(e);
-                return;
+        // Fast path: a uWalk hit implies the page is faulted, so the
+        // reference's resolve would be a pure read of the same node.
+        let home = if !self.reference && self.uwalk.page == addr / SMALL_PAGE {
+            self.uwalk.node
+        } else {
+            let res = match self.memory.resolve_touch(addr, self.node) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.fail(e);
+                    return;
+                }
+            };
+            if !self.reference {
+                // A DMA resolve fills the memo for subsequent demand
+                // touches but says nothing about TLB residency (kernel
+                // copies bypass the TLBs): `tlb_ok` stays false.
+                self.uwalk = UWalk {
+                    page: addr / SMALL_PAGE,
+                    node: res.node,
+                    huge: res.huge,
+                    tlb_ok: false,
+                    hint_epoch: u16::MAX,
+                };
             }
+            res.node
         };
-        let home = res.node;
-        let mut factor = self.cfg.machine.topology.latency_factor(self.node, home);
-        if !self.faults_quiet && home != self.node {
-            factor *= self
-                .faults
-                .path_latency_mult(&self.link_paths[self.node][home]);
-        }
-        let per_line = ((self.cfg.machine.dram_latency_cycles as f64 * factor) as u64
-            / self.cfg.costs.mlp.max(1))
-        .max(1);
+        let per_line = if self.reference {
+            let mut factor = self.cfg.machine.topology.latency_factor(self.node, home);
+            if !self.faults_quiet && home != self.node {
+                factor *= self
+                    .faults
+                    .path_latency_mult(&self.link_paths[self.node][home]);
+            }
+            ((self.cfg.machine.dram_latency_cycles as f64 * factor) as u64
+                / self.cfg.costs.mlp.max(1))
+            .max(1)
+        } else {
+            self.lat_seq[self.node * self.num_nodes + home].max(1)
+        };
         self.clock += per_line * lines;
         self.counters.dram_cycles += per_line * lines;
         self.dram_lines_by_node[home] += lines;
@@ -1167,6 +1538,73 @@ impl<'a> Worker<'a> {
         self.write_bytes(addr, &[value]);
     }
 
+    /// Read `out.len()` consecutive little-endian `u64`s with a single
+    /// ranged touch — the bulk path hot operators use for tuple-at-once
+    /// reads instead of one access charge per field. A poisoned worker
+    /// fills `out` with zeroes.
+    #[inline]
+    pub fn read_u64_run(&mut self, addr: VAddr, out: &mut [u64]) {
+        self.touch(addr, (out.len() as u64) * 8, Access::Read);
+        if self.fault.is_some() {
+            out.fill(0);
+            return;
+        }
+        let mut buf = [0u8; 8];
+        for (i, slot) in out.iter_mut().enumerate() {
+            self.memory.read_bytes(addr + (i as u64) * 8, &mut buf);
+            *slot = u64::from_le_bytes(buf);
+        }
+    }
+
+    /// Read two consecutive `u64`s (e.g. a 16-byte tuple) in one touch.
+    #[inline]
+    #[must_use]
+    pub fn read_u64_pair(&mut self, addr: VAddr) -> (u64, u64) {
+        let mut out = [0u64; 2];
+        self.read_u64_run(addr, &mut out);
+        (out[0], out[1])
+    }
+
+    /// Read three consecutive `u64`s (e.g. a 24-byte hash-table entry)
+    /// in one touch.
+    #[inline]
+    #[must_use]
+    pub fn read_u64_triple(&mut self, addr: VAddr) -> (u64, u64, u64) {
+        let mut out = [0u64; 3];
+        self.read_u64_run(addr, &mut out);
+        (out[0], out[1], out[2])
+    }
+
+    /// Write `values` as consecutive little-endian `u64`s with a single
+    /// ranged touch (e.g. initialising a fresh hash-table entry).
+    #[inline]
+    pub fn write_u64_run(&mut self, addr: VAddr, values: &[u64]) {
+        self.touch(addr, (values.len() as u64) * 8, Access::Write);
+        if self.fault.is_some() {
+            return;
+        }
+        for (i, v) in values.iter().enumerate() {
+            self.memory.write_bytes(addr + (i as u64) * 8, &v.to_le_bytes());
+        }
+    }
+
+    /// Read-modify-write one `u64` as a single write-intent access
+    /// (an in-place counter bump is one memory operation, not a read
+    /// charge plus a write charge). Returns the value written; a
+    /// poisoned worker returns 0 without calling `f`.
+    #[inline]
+    pub fn rmw_u64(&mut self, addr: VAddr, f: impl FnOnce(u64) -> u64) -> u64 {
+        self.touch(addr, 8, Access::Write);
+        if self.fault.is_some() {
+            return 0;
+        }
+        let mut buf = [0u8; 8];
+        self.memory.read_bytes(addr, &mut buf);
+        let v = f(u64::from_le_bytes(buf));
+        self.memory.write_bytes(addr, &v.to_le_bytes());
+        v
+    }
+
     /// Acquire a modelled lock whose critical section lasts `hold_cycles`.
     ///
     /// Charges only the uncontended acquisition cost (an atomic RMW) to
@@ -1220,6 +1658,9 @@ impl<'a> Worker<'a> {
             self.tlb4.flush();
             self.tlb2.flush();
             self.l1.flush();
+            // The memoized page/node/huge stay correct (migrating the
+            // thread moves no pages), but its TLB residency is gone.
+            self.uwalk.tlb_ok = false;
         }
         while self.clock >= self.next_preempt_at {
             // Preemption storm: an antagonist process steals the core for
@@ -1238,6 +1679,7 @@ impl<'a> Worker<'a> {
             self.tlb4.flush();
             self.tlb2.flush();
             self.l1.flush();
+            self.uwalk.tlb_ok = false;
         }
         if self.clock >= self.next_scan_at {
             self.clock += self.cfg.costs.autonuma_scan_cycles;
@@ -1277,11 +1719,8 @@ impl<'a> Worker<'a> {
 
 /// Mixer for the writer-table slot index.
 #[inline]
-fn mix_line(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^= x >> 27;
-    x
+fn mix_line(x: u64) -> u64 {
+    crate::mix::xor_mul_shift(x, 30, 0xbf58_476d_1ce4_e5b9, 27)
 }
 
 #[cfg(test)]
@@ -1764,6 +2203,102 @@ mod tests {
         assert!(
             degraded > healthy + healthy / 4,
             "degraded links must slow remote-heavy runs: {healthy} vs {degraded}"
+        );
+    }
+
+    #[test]
+    fn touch_with_len_zero_is_a_noop() {
+        // Regression: `addr + len - 1` used to wrap in release builds
+        // (the guard was only a debug_assert) and walk ~2^58 lines.
+        let mut sim = NumaSim::new(quiet_cfg(machines::machine_b()));
+        let mut addr = 0;
+        sim.serial(&mut addr, |w, addr| {
+            *addr = w.map_pages(SMALL_PAGE);
+            w.write_u64(*addr, 1);
+        });
+        let before = sim.counters();
+        let empty = sim.serial(&mut (), |_, _| {}).elapsed_cycles;
+        let elapsed = sim
+            .serial(&mut addr, |w, addr| {
+                w.touch(*addr, 0, Access::Read);
+                w.read_bytes(*addr, &mut []);
+                w.write_bytes(*addr, &[]);
+            })
+            .elapsed_cycles;
+        assert_eq!(elapsed, empty, "an empty touch must charge nothing");
+        assert_eq!(sim.counters(), before);
+    }
+
+    /// Differential harness: the same workload under the fast path and
+    /// the per-line reference model must agree on every cycle and
+    /// counter. The heavy mixed-workload sweep lives in
+    /// `tests/hotpath.rs`; this is the in-crate smoke version.
+    fn assert_paths_agree(cfg: SimConfig, threads: usize) {
+        let run = |reference: bool| {
+            let mut sim = NumaSim::new(cfg.clone().with_reference_model(reference));
+            let mut stats = Vec::new();
+            for round in 0..3u64 {
+                let s = sim.parallel(threads, &mut (), |w, _| {
+                    let a = w.map_pages(SMALL_PAGE * 32);
+                    for i in 0..(SMALL_PAGE * 32 / 64) {
+                        w.touch(a + i * 64, 64, Access::Write);
+                    }
+                    // Strided re-reads, cross-line and page-crossing
+                    // ranged touches, an unmap, and a DMA burst.
+                    for i in 0..512u64 {
+                        w.read_u64(a + (i * 4096 + round * 24) % (SMALL_PAGE * 31));
+                    }
+                    w.touch(a + SMALL_PAGE - 8, 4096, Access::Read);
+                    w.dma_lines(a + SMALL_PAGE, 16);
+                    w.unmap_pages(a, SMALL_PAGE * 32);
+                    let b = w.map_pages(SMALL_PAGE * 4);
+                    w.read_u64_run(b, &mut [0u64; 8]);
+                    w.rmw_u64(b + 64, |v| v + 1);
+                });
+                stats.push((s.elapsed_cycles, s.counters));
+            }
+            (sim.now_cycles(), sim.counters(), stats)
+        };
+        let fast = run(false);
+        let reference = run(true);
+        assert_eq!(fast.0, reference.0, "elapsed cycles diverge");
+        assert_eq!(fast.1, reference.1, "counters diverge");
+        assert_eq!(fast.2, reference.2, "per-region stats diverge");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_quiet() {
+        assert_paths_agree(quiet_cfg(machines::machine_b()), 4);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_os_default() {
+        // AutoNUMA on, THP on, unpinned threads: hint faults, epoch
+        // math, migrations, and TLB flushes all in play.
+        assert_paths_agree(SimConfig::os_default(machines::machine_b()), 4);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_under_faults() {
+        let plan = FaultPlan::new(9)
+            .with_event(
+                0,
+                u64::MAX,
+                crate::fault::FaultKind::LinkDegrade {
+                    link: 0,
+                    latency_x: 3.0,
+                    bandwidth_div: 2.0,
+                },
+            )
+            .with_event(
+                1,
+                u64::MAX,
+                crate::fault::FaultKind::PreemptionStorm { period_cycles: 40_000 },
+            )
+            .with_event(2, u64::MAX, crate::fault::FaultKind::MigrationFail);
+        assert_paths_agree(
+            SimConfig::os_default(machines::machine_b()).with_faults(plan),
+            4,
         );
     }
 }

@@ -338,13 +338,13 @@ impl ActiveFaults {
 
 /// 64-bit finalizer (splitmix-style) for fault decisions.
 #[inline]
-fn mix(mut x: u64) -> u64 {
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    x ^= x >> 33;
-    x
+fn mix(x: u64) -> u64 {
+    // Two chained rounds (the murmur3 finalizer): fault decisions need a
+    // stronger mix than set indexing because consecutive seeds differ in
+    // only a few low bits.
+    let x = crate::mix::xor_mul_shift(x, 33, 0xff51_afd7_ed55_8ccd, 33);
+    let x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
 }
 
 #[cfg(test)]

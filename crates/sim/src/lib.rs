@@ -44,6 +44,7 @@ mod fault;
 mod lock;
 mod mem;
 mod metrics;
+mod mix;
 mod sched;
 mod tlb;
 mod trace;
@@ -60,3 +61,4 @@ pub use tlb::Tlb;
 pub use trace::{
     EpochSample, PhaseSpan, TraceConfig, TraceEvent, TraceLog, TraceRecord, NO_TID,
 };
+

@@ -300,6 +300,15 @@ impl Memory {
     /// mapping (previously a `debug_assert!` that silently mis-resolved in
     /// release builds) and [`SimError::OutOfMemory`] when a deferred
     /// First-Touch assignment finds every node full.
+    /// Prefetch the host cache line holding `addr`'s page-table entry.
+    /// A pure latency hint; resolves nothing and mutates nothing.
+    #[inline]
+    pub fn prefetch_page(&self, addr: VAddr) {
+        if let Some(e) = self.pages.get((addr / SMALL_PAGE) as usize) {
+            crate::mix::prefetch(e);
+        }
+    }
+
     #[inline]
     pub fn resolve_touch(
         &mut self,

@@ -70,11 +70,8 @@ impl Tlb {
 /// slots (real TLBs index on low bits; mixing avoids pathological aliasing
 /// with our synthetic address layout while preserving determinism).
 #[inline]
-fn mix(mut x: u64) -> u64 {
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x ^= x >> 33;
-    x
+fn mix(x: u64) -> u64 {
+    crate::mix::xor_mul_shift(x, 33, 0xff51_afd7_ed55_8ccd, 33)
 }
 
 #[cfg(test)]

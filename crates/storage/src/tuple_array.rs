@@ -57,16 +57,29 @@ impl TupleArray {
         w.write_bytes(addr, &buf);
     }
 
-    /// Read tuple `i`.
+    /// Read tuple `i` — both fields in one ranged access.
     #[inline]
     pub fn read(&self, w: &mut Worker<'_>, i: usize) -> (u64, u64) {
-        let addr = self.addr_of(i);
-        let mut buf = [0u8; 16];
-        w.read_bytes(addr, &mut buf);
-        (
-            u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")),
-            u64::from_le_bytes(buf[8..].try_into().expect("8 bytes")),
-        )
+        w.read_u64_pair(self.addr_of(i))
+    }
+
+    /// Read tuples `[i, i + out.len())` as bulk ranged accesses (up to
+    /// 32 tuples per touch) instead of one access charge per tuple —
+    /// the tuple-at-once path the hot scan loops (aggregate build, join
+    /// probe) use to amortise per-call overhead.
+    pub fn read_run(&self, w: &mut Worker<'_>, i: usize, out: &mut [(u64, u64)]) {
+        debug_assert!(i as u64 + out.len() as u64 <= self.len);
+        const CHUNK: usize = 32;
+        let mut flat = [0u64; CHUNK * 2];
+        let mut done = 0;
+        while done < out.len() {
+            let n = (out.len() - done).min(CHUNK);
+            w.read_u64_run(self.addr_of(i + done), &mut flat[..n * 2]);
+            for t in 0..n {
+                out[done + t] = (flat[t * 2], flat[t * 2 + 1]);
+            }
+            done += n;
+        }
     }
 
     /// The contiguous index range this thread should process when `tid`

@@ -5,7 +5,11 @@
 #   - mean model cycles per headline config (deterministic: these two
 #     numbers must not move unless the simulator's cost model changes),
 #   - wall-clock overhead of --trace-dir on the same grid (host-time,
-#     machine-dependent: compare trends, not absolutes).
+#     machine-dependent: compare trends, not absolutes),
+#   - hot-path microbench (DESIGN.md §4e): W1/W3 access streams replayed
+#     through the simulator inner loop under the fast path and under
+#     NQP_REFERENCE=1, best-of-N wall-ns each, with the model cycles
+#     cross-checked for bit-identity before any speedup is published.
 #
 # Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
 set -euo pipefail
@@ -40,6 +44,42 @@ CONFIGS_JSON=$(awk -F': mean | cycles' '/: mean .* cycles/ {
   printf "%s    {\"name\": \"%s\", \"mean_cycles\": %s}", sep, $1, $2; sep=",\n"
 }' "$WORK/plain.txt")
 
+# Hot-path microbench: `nqp-cli hotpath` replays a deterministic
+# W1/W3-shaped access stream through Worker::touch (the simulator inner
+# loop) and prints `hotpath_ns=<best-of-reps> lines=... cycles=...`.
+# The access stream is identical under both models, so `cycles=` MUST
+# match — a mismatch means the fast path broke bit-identity, and the
+# bench fails rather than publish a speedup for a wrong simulator.
+# Wall-ns are host time; best-of-reps keeps them stable under host
+# noise. The W1 cell is the acceptance gate: >= 1.5x with the fast
+# path on (typical: ~1.7x W1, ~2x W3 on an otherwise idle host).
+hotpath_cell() { # <label> <args...> -> "fast_ns ref_ns cycles lines"
+  local label=$1; shift
+  local fast ref
+  fast=$("$CLI" hotpath "$@" | tail -1)
+  ref=$(NQP_REFERENCE=1 "$CLI" hotpath "$@" | tail -1)
+  local fast_cycles=${fast##*cycles=} ref_cycles=${ref##*cycles=}
+  if [ "$fast_cycles" != "$ref_cycles" ]; then
+    echo "bench.sh: $label model cycles diverge between fast ($fast_cycles) and reference ($ref_cycles)" >&2
+    exit 1
+  fi
+  local fast_ns ref_ns lines
+  fast_ns=$(sed -n 's/.*hotpath_ns=\([0-9]*\).*/\1/p' <<< "$fast")
+  ref_ns=$(sed -n 's/.*hotpath_ns=\([0-9]*\).*/\1/p' <<< "$ref")
+  lines=$(sed -n 's/.*lines=\([0-9]*\).*/\1/p' <<< "$fast")
+  echo "$fast_ns $ref_ns $fast_cycles $lines"
+}
+
+W1_ARGS=(w1 --machine B --threads 8 --n 4000000 --card 400000 --reps 3)
+W3_ARGS=(w3 --machine B --threads 8 --n 200000 --reps 3)
+read -r W1_FAST_NS W1_REF_NS W1_CYCLES W1_LINES <<< "$(hotpath_cell w1 "${W1_ARGS[@]}")"
+read -r W3_FAST_NS W3_REF_NS W3_CYCLES W3_LINES <<< "$(hotpath_cell w3 "${W3_ARGS[@]}")"
+W1_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W1_REF_NS / $W1_FAST_NS }")
+W3_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W3_REF_NS / $W3_FAST_NS }")
+if awk "BEGIN { exit !($W1_SPEEDUP < 1.5) }"; then
+  echo "bench.sh: WARNING: W1 hotpath speedup $W1_SPEEDUP below the 1.5x bar (noisy host?)" >&2
+fi
+
 cat > "$OUT" <<EOF
 {
   "schema": "nqp-bench-sweep-v1",
@@ -51,6 +91,24 @@ $CONFIGS_JSON
     "plain_wall_ns": $PLAIN_NS,
     "traced_wall_ns": $TRACED_NS,
     "delta_ns": $((TRACED_NS - PLAIN_NS))
+  },
+  "hotpath_speedup": {
+    "w1": {
+      "grid": "hotpath ${W1_ARGS[*]}",
+      "fast_wall_ns": $W1_FAST_NS,
+      "reference_wall_ns": $W1_REF_NS,
+      "speedup": $W1_SPEEDUP,
+      "model_cycles": $W1_CYCLES,
+      "lines_per_rep": $W1_LINES
+    },
+    "w3": {
+      "grid": "hotpath ${W3_ARGS[*]}",
+      "fast_wall_ns": $W3_FAST_NS,
+      "reference_wall_ns": $W3_REF_NS,
+      "speedup": $W3_SPEEDUP,
+      "model_cycles": $W3_CYCLES,
+      "lines_per_rep": $W3_LINES
+    }
   }
 }
 EOF

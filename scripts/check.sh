@@ -58,6 +58,17 @@ ARTIFACT=$(ls "$SMOKE/t1"/*.trace | head -1)
 "$CLI" trace "$ARTIFACT" --chrome "$SMOKE/t1.json" --report | grep -q "Performance counter stats"
 grep -q '"traceEvents"' "$SMOKE/t1.json"
 
+# Fast-path differential gate (DESIGN.md §4e): the page-granular fast
+# path must be bit-identical to the per-line reference model
+# (NQP_REFERENCE=1) — sweep stdout, CSV, and every trace artifact
+# byte-for-byte, on a grid that exercises fault injection, AutoNUMA,
+# THP, and node-offline evacuation.
+"$CLI" "${ARGS[@]}" --csv "$SMOKE/fast.csv" --trace-dir "$SMOKE/tfast" > "$SMOKE/fastpath.txt"
+NQP_REFERENCE=1 "$CLI" "${ARGS[@]}" --csv "$SMOKE/ref.csv" --trace-dir "$SMOKE/tref" > "$SMOKE/refpath.txt"
+diff "$SMOKE/fastpath.txt" "$SMOKE/refpath.txt"
+diff "$SMOKE/fast.csv" "$SMOKE/ref.csv"
+diff -r "$SMOKE/tfast" "$SMOKE/tref"
+
 # An empty grid must fail loudly, not exit 0 with no output.
 if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then
   echo "check.sh: empty sweep grid must exit nonzero" >&2

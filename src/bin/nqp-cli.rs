@@ -16,6 +16,7 @@
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
 //!                [--trace-dir DIR] [--trace-epoch CYCLES]
+//! nqp-cli hotpath w1|w3 [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
 //! nqp-cli trace FILE [--chrome OUT] [--csv OUT] [--report]
 //! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
 //! ```
@@ -56,7 +57,8 @@ use nqp::query::{
     WorkloadEnv,
 };
 use nqp::sim::{
-    Counters, FaultPlan, MemPolicy, SimError, SimResult, ThreadPlacement, TraceConfig, TraceLog,
+    Access, Counters, FaultPlan, MemPolicy, NumaSim, SimError, SimResult, ThreadPlacement,
+    TraceConfig, TraceLog,
 };
 use nqp::topology::{machines, MachineSpec};
 use nqp::trace::{artifact_name, Trace, TraceMeta};
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
         "workload" => cmd_workload(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "hotpath" => cmd_hotpath(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "tpch" => cmd_tpch(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -102,6 +105,8 @@ const USAGE: &str = "usage:
                 [--jobs N] [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
                 [--trace-dir DIR] [--trace-epoch CYCLES]
+  nqp-cli hotpath <w1|w3> [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
+                [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
   nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--report]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
@@ -216,6 +221,13 @@ fn config_from_flags(
     if let Some(b) = flags.get("trial-budget") {
         let cycles: u64 = b.parse().map_err(|_| format!("bad --trial-budget `{b}`"))?;
         cfg = cfg.with_trial_budget(cycles);
+    }
+    // NQP_REFERENCE=1 runs the per-line reference model instead of the
+    // page-granular fast path. Both produce bit-identical results (an
+    // invariant scripts/check.sh pins), so this is an env var rather
+    // than a grid flag: it must never change what a sweep reports.
+    if std::env::var("NQP_REFERENCE").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        cfg.sim = cfg.sim.with_reference_model(true);
     }
     Ok(cfg)
 }
@@ -350,6 +362,173 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let (d, _) = run_workload(which, &default, threads, &flags)?;
     let (t, _) = run_workload(which, &tuned, threads, &flags)?;
     println!("{which}: os-default {d} cycles, tuned {t} cycles -> {:.2}x", d as f64 / t as f64);
+    Ok(())
+}
+
+/// `hotpath`: a microbenchmark of the simulator's memory-hierarchy hot
+/// loop (`Worker::touch` and the page-granular fast path behind it),
+/// replaying a deterministic access stream shaped like a workload's
+/// inner loop — W1's scan + hash-scattered upserts, or W3's build +
+/// probe — without the host-side operator logic (hash walks, sorts,
+/// `Vec` traffic) that dilutes and noises full-workload timings.
+///
+/// The stream is identical regardless of `reference_model`, so running
+/// it twice — plain and under `NQP_REFERENCE=1` — times the fast path
+/// against the per-line oracle on the same simulated work; the final
+/// `cycles=` value must match between the two (scripts/bench.sh checks
+/// this). Prints wall-ns (best of `--reps`) plus a machine-readable
+/// `hotpath_ns=` line.
+fn cmd_hotpath(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos.first().map(String::as_str).unwrap_or("w1");
+    let machine = machine_arg(&flags)?;
+    let threads: usize = flags.get("threads").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let reps: usize = flags.get("reps").and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let cfg = config_from_flags(machine, &flags)?;
+    let model = if cfg.sim.reference_model { "reference" } else { "fast" };
+    let seed = cfg.sim.seed;
+
+    // Partition `count` items across `threads` like TupleArray::partition.
+    let slice = |count: u64, tid: usize| -> (u64, u64) {
+        let t = threads as u64;
+        (count * tid as u64 / t, count * (tid as u64 + 1) / t)
+    };
+    let lcg =
+        |x: u64| x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let page_up = |b: u64| b.div_ceil(4096) * 4096;
+
+    let mut sim = NumaSim::new(cfg.sim.clone());
+    let (best_ns, lines_per_rep, label) = match which {
+        "w1" => {
+            let n: u64 = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+            let card: u64 =
+                flags.get("card").and_then(|s| s.parse().ok()).unwrap_or(n / 10).max(1);
+            // Input tuples, hash directory, entry/chain heap — the three
+            // address spaces W1's build loop bounces between.
+            let mut bases = (0u64, 0u64, 0u64);
+            sim.try_serial(&mut bases, |w, b| {
+                b.0 = w.map_pages(page_up(n * 16));
+                b.1 = w.map_pages(page_up(card * 2 * 8));
+                b.2 = w.map_pages(page_up(n * 24));
+            })
+            .map_err(|e| e.to_string())?;
+            let (input, dir, heap) = bases;
+            let dir_slots = card * 2;
+            let mut best = u64::MAX;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                // Scan: the batched input read of the build loop
+                // (32 tuples = 512 B per ranged touch).
+                sim.try_parallel(threads, &mut (), |w, _| {
+                    let (start, end) = slice(n, w.tid());
+                    let mut i = start;
+                    while i < end {
+                        let k = (end - i).min(32);
+                        w.touch(input + i * 16, k * 16, Access::Read);
+                        i += k;
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+                // Build: per tuple one hashed directory read, one entry
+                // read, one entry write — W1's upsert + chain push shape.
+                sim.try_parallel(threads, &mut (), |w, _| {
+                    let (start, end) = slice(n, w.tid());
+                    let mut x = seed ^ (0x9e37 + w.tid() as u64);
+                    for _ in start..end {
+                        x = lcg(x);
+                        w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                        x = lcg(x);
+                        let e = heap + (x >> 33) % n * 24;
+                        w.touch(e, 24, Access::Read);
+                        w.touch(e + 8, 16, Access::Write);
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+                // Finalize: sequential entry walk + one chain hop each.
+                sim.try_parallel(threads, &mut (), |w, _| {
+                    let (start, end) = slice(n, w.tid());
+                    let mut x = seed ^ (0x51ed + w.tid() as u64);
+                    for i in start..end {
+                        w.touch(heap + i * 24, 24, Access::Read);
+                        x = lcg(x);
+                        w.touch(heap + (x >> 33) % n * 8, 8, Access::Read);
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+                best = best.min(t.elapsed().as_nanos() as u64);
+            }
+            // scan n/4 + build ~4n + finalize ~3n lines, roughly.
+            (best, n * 7 + n / 4, format!("w1 n={n} card={card}"))
+        }
+        "w3" => {
+            let r: u64 = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(200_000);
+            let s_len = r * 16;
+            let mut bases = (0u64, 0u64, 0u64, 0u64);
+            sim.try_serial(&mut bases, |w, b| {
+                b.0 = w.map_pages(page_up(r * 16));
+                b.1 = w.map_pages(page_up(s_len * 16));
+                b.2 = w.map_pages(page_up(r * 2 * 8));
+                b.3 = w.map_pages(page_up(r * 24));
+            })
+            .map_err(|e| e.to_string())?;
+            let (r_arr, s_arr, dir, heap) = bases;
+            let dir_slots = r * 2;
+            let mut best = u64::MAX;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                // Build: scan R, insert each tuple (directory + entry).
+                sim.try_parallel(threads, &mut (), |w, _| {
+                    let (start, end) = slice(r, w.tid());
+                    let mut x = seed ^ (0xb10c + w.tid() as u64);
+                    let mut i = start;
+                    while i < end {
+                        let k = (end - i).min(32);
+                        w.touch(r_arr + i * 16, k * 16, Access::Read);
+                        for _ in 0..k {
+                            x = lcg(x);
+                            w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                            x = lcg(x);
+                            w.touch(heap + (x >> 33) % r * 24, 24, Access::Write);
+                        }
+                        i += k;
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+                // Probe: scan S, look each tuple up (directory + entry).
+                sim.try_parallel(threads, &mut (), |w, _| {
+                    let (start, end) = slice(s_len, w.tid());
+                    let mut x = seed ^ (0x9406 + w.tid() as u64);
+                    let mut i = start;
+                    while i < end {
+                        let k = (end - i).min(32);
+                        w.touch(s_arr + i * 16, k * 16, Access::Read);
+                        for _ in 0..k {
+                            x = lcg(x);
+                            w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                            x = lcg(x);
+                            w.touch(heap + (x >> 33) % r * 24, 24, Access::Read);
+                        }
+                        i += k;
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+                best = best.min(t.elapsed().as_nanos() as u64);
+            }
+            (best, r * 5 + s_len * 4, format!("w3 r={r}"))
+        }
+        other => return Err(format!("hotpath needs w1 or w3, got `{other}`")),
+    };
+    let cycles = sim.now_cycles();
+    println!(
+        "hotpath {label} machine={} threads={threads} model={model} reps={reps}",
+        cfg.sim.machine.name
+    );
+    println!(
+        "  best {:.1} ms  (~{:.0} ns per simulated line)",
+        best_ns as f64 / 1e6,
+        best_ns as f64 / lines_per_rep as f64
+    );
+    println!("hotpath_ns={best_ns} lines={lines_per_rep} cycles={cycles}");
     Ok(())
 }
 
