@@ -100,13 +100,35 @@ impl JournalWriter {
     /// Append one trial record and fsync it — the write-ahead step that
     /// makes the cell durable.
     pub fn record(&mut self, rec: &TrialRecord) -> io::Result<()> {
+        self.append_kind("trial", &record_fields_json(rec))
+    }
+
+    /// Append one record of an arbitrary kind (e.g. `serve-cell`) with
+    /// caller-supplied JSON fields (no braces, no envelope), fsync'd.
+    /// The envelope (`v`, `kind`, `fp`) is owned here so every journal
+    /// line stays resumable and fingerprint-checked.
+    pub fn append_kind(&mut self, kind: &str, fields_json: &str) -> io::Result<()> {
         let line = format!(
-            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"trial\",\"fp\":\"{}\",{}}}\n",
+            "{{\"v\":{JOURNAL_VERSION},\"kind\":\"{}\",\"fp\":\"{}\",{}}}\n",
+            esc(kind),
             esc(&self.fingerprint),
-            record_fields_json(rec)
+            fields_json
         );
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()
+    }
+
+    /// Like [`JournalWriter::append_to`], but recovers records of *any*
+    /// kind as parsed objects instead of decoding trial records — the
+    /// resume path for journals owned by other crates (serve cells).
+    pub fn append_raw_to(path: &Path) -> io::Result<(Self, RawJournal)> {
+        let contents = read_journal_raw(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(contents.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        let writer =
+            JournalWriter { file, fingerprint: contents.fingerprint.clone() };
+        Ok((writer, contents))
     }
 }
 
@@ -203,6 +225,93 @@ pub fn read_journal(path: &Path) -> io::Result<JournalContents> {
     Ok(JournalContents { fingerprint, grid_desc, records, torn, valid_len })
 }
 
+/// A journal recovered without decoding records: each body line is the
+/// parsed object (envelope fields included), tagged with its `kind`.
+#[derive(Debug, Clone)]
+pub struct RawJournal {
+    /// The grid fingerprint from the header.
+    pub fingerprint: String,
+    /// The human-readable grid description from the header.
+    pub grid_desc: String,
+    /// Intact body records as `(kind, fields)`, in append order.
+    pub records: Vec<(String, Vec<(String, JVal)>)>,
+    /// A torn tail (crash mid-append) was discarded.
+    pub torn: bool,
+    /// File length in bytes up to the last intact record.
+    valid_len: u64,
+}
+
+/// Read a journal of arbitrary record kinds. Envelope validation (UTF-8
+/// lines, header first, version, per-line fingerprint match) and
+/// torn-tail semantics are identical to [`read_journal`]; record bodies
+/// are returned as parsed objects for the owning crate to decode.
+pub fn read_journal_raw(path: &Path) -> io::Result<RawJournal> {
+    let data = std::fs::read(path)?;
+    let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+
+    let mut lines: Vec<(usize, &str)> = Vec::new();
+    let mut torn = false;
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            let line = std::str::from_utf8(&data[start..i])
+                .map_err(|_| bad(format!("journal is not UTF-8 at byte {start}")))?;
+            lines.push((start, line));
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        torn = true;
+    }
+    let mut valid_len = start as u64;
+
+    let Some(&(_, header_line)) = lines.first() else {
+        return Err(bad("journal has no header line".to_string()));
+    };
+    let header = parse_json_obj(header_line)
+        .ok_or_else(|| bad("journal header is not valid JSON".to_string()))?;
+    if get_str(&header, "kind") != Some("header") {
+        return Err(bad("journal's first line is not a header".to_string()));
+    }
+    match get_num(&header, "v") {
+        Some(JOURNAL_VERSION) => {}
+        v => return Err(bad(format!("unsupported journal version {v:?}"))),
+    }
+    let fingerprint = get_str(&header, "fp")
+        .ok_or_else(|| bad("journal header has no fingerprint".to_string()))?
+        .to_string();
+    let grid_desc = get_str(&header, "grid").unwrap_or_default().to_string();
+
+    let mut records = Vec::new();
+    for (idx, &(offset, line)) in lines.iter().enumerate().skip(1) {
+        let last = idx == lines.len() - 1;
+        let parsed = parse_json_obj(line).and_then(|obj| {
+            if get_num(&obj, "v") != Some(JOURNAL_VERSION)
+                || get_str(&obj, "fp") != Some(fingerprint.as_str())
+            {
+                return None;
+            }
+            let kind = get_str(&obj, "kind")?.to_string();
+            Some((kind, obj))
+        });
+        match parsed {
+            Some(rec) => records.push(rec),
+            None if last => {
+                // An unparseable final line is a torn write too.
+                torn = true;
+                valid_len = offset as u64;
+            }
+            None => {
+                return Err(bad(format!(
+                    "corrupt journal record on line {}",
+                    idx + 1
+                )));
+            }
+        }
+    }
+    Ok(RawJournal { fingerprint, grid_desc, records, torn, valid_len })
+}
+
 /// The shared body of a trial-record JSON object (no braces, no journal
 /// envelope) — used by journal lines and `SweepReport::to_json`.
 #[must_use]
@@ -240,6 +349,10 @@ fn error_json(e: &SimError) -> String {
             "{{\"tag\":\"timeout\",\"budget_cycles\":{budget_cycles},\
              \"elapsed_cycles\":{elapsed_cycles}}}"
         ),
+        SimError::DeadlineExceeded { deadline_cycles, elapsed_cycles } => format!(
+            "{{\"tag\":\"deadline\",\"deadline_cycles\":{deadline_cycles},\
+             \"elapsed_cycles\":{elapsed_cycles}}}"
+        ),
         SimError::NodeOffline { node } => {
             format!("{{\"tag\":\"node-offline\",\"node\":{node}}}")
         }
@@ -263,6 +376,10 @@ fn error_from_obj(obj: &[(String, JVal)]) -> Option<SimError> {
         }),
         "timeout" => Some(SimError::Timeout {
             budget_cycles: num("budget_cycles")?,
+            elapsed_cycles: num("elapsed_cycles")?,
+        }),
+        "deadline" => Some(SimError::DeadlineExceeded {
+            deadline_cycles: num("deadline_cycles")?,
             elapsed_cycles: num("elapsed_cycles")?,
         }),
         "node-offline" => Some(SimError::NodeOffline { node: num("node")? as usize }),
@@ -293,8 +410,9 @@ fn record_from_obj(obj: &[(String, JVal)]) -> Option<TrialRecord> {
     })
 }
 
-/// JSON string escaping for the subset this module emits.
-fn esc(s: &str) -> String {
+/// JSON string escaping for the subset journal lines emit.
+#[must_use]
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -314,31 +432,47 @@ fn esc(s: &str) -> String {
 
 // ---- minimal JSON scanner ------------------------------------------
 //
-// Flat objects of strings / unsigned integers / bools / null, plus one
-// nested object level for the error field. Enough for the self-owned
-// journal schema; rejects everything else.
+// Objects of strings / unsigned integers / bools / null, shallow
+// arrays, and a few nesting levels. Enough for the self-owned journal
+// schemas (trial records here, serve cells in `nqp-serve`); rejects
+// everything else. Public so sibling crates can round-trip their own
+// journal lines without pulling in a JSON dependency (DESIGN.md §5).
 
+/// A parsed JSON value from the journal scanner.
 #[derive(Debug, Clone, PartialEq)]
-enum JVal {
+pub enum JVal {
+    /// A JSON string.
     Str(String),
+    /// An unsigned integer (the only number form journals emit).
     Num(u64),
+    /// `true` / `false`.
     Bool(bool),
+    /// `null`.
     Null,
+    /// An object, in source field order.
     Obj(Vec<(String, JVal)>),
+    /// An array.
+    Arr(Vec<JVal>),
 }
 
-fn get<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a JVal> {
+/// Field lookup in a parsed object.
+#[must_use]
+pub fn get<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a JVal> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
-fn get_str<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a str> {
+/// String-typed field lookup.
+#[must_use]
+pub fn get_str<'a>(obj: &'a [(String, JVal)], key: &str) -> Option<&'a str> {
     match get(obj, key)? {
         JVal::Str(s) => Some(s),
         _ => None,
     }
 }
 
-fn get_num(obj: &[(String, JVal)], key: &str) -> Option<u64> {
+/// Integer-typed field lookup.
+#[must_use]
+pub fn get_num(obj: &[(String, JVal)], key: &str) -> Option<u64> {
     match get(obj, key)? {
         JVal::Num(n) => Some(*n),
         _ => None,
@@ -347,7 +481,8 @@ fn get_num(obj: &[(String, JVal)], key: &str) -> Option<u64> {
 
 /// Parse one line as a JSON object; `None` on any syntax error or
 /// trailing garbage.
-fn parse_json_obj(line: &str) -> Option<Vec<(String, JVal)>> {
+#[must_use]
+pub fn parse_json_obj(line: &str) -> Option<Vec<(String, JVal)>> {
     let b = line.as_bytes();
     let mut i = 0usize;
     let v = parse_value(b, &mut i, 0)?;
@@ -374,12 +509,38 @@ fn parse_value(b: &[u8], i: &mut usize, depth: u32) -> Option<JVal> {
     skip_ws(b, i);
     match b.get(*i)? {
         b'{' => parse_obj(b, i, depth),
+        b'[' => parse_arr(b, i, depth),
         b'"' => parse_string(b, i).map(JVal::Str),
         b'0'..=b'9' => parse_num(b, i).map(JVal::Num),
         b't' => parse_lit(b, i, "true").then_some(JVal::Bool(true)),
         b'f' => parse_lit(b, i, "false").then_some(JVal::Bool(false)),
         b'n' => parse_lit(b, i, "null").then_some(JVal::Null),
         _ => None,
+    }
+}
+
+fn parse_arr(b: &[u8], i: &mut usize, depth: u32) -> Option<JVal> {
+    if b.get(*i) != Some(&b'[') {
+        return None;
+    }
+    *i += 1;
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Some(JVal::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, i, depth + 1)?);
+        skip_ws(b, i);
+        match b.get(*i)? {
+            b',' => *i += 1,
+            b']' => {
+                *i += 1;
+                return Some(JVal::Arr(items));
+            }
+            _ => return None,
+        }
     }
 }
 

@@ -76,7 +76,7 @@ impl Outcome {
     #[must_use]
     pub fn of_error(e: &SimError) -> Outcome {
         match e {
-            SimError::Timeout { .. } => Outcome::Timeout,
+            SimError::Timeout { .. } | SimError::DeadlineExceeded { .. } => Outcome::Timeout,
             SimError::OutOfMemory { .. } => Outcome::Oom,
             _ => Outcome::Faulted,
         }

@@ -1,0 +1,371 @@
+//! Seeded, deterministic arrival processes on the model clock.
+//!
+//! Three families, all parsed from the `--arrivals` spec grammar:
+//!
+//! ```text
+//! poisson:rate=R                     constant-rate Poisson stream
+//! burst:rate=R,x=M,on=A,off=B        two-state MMPP: baseline R for B
+//!                                    Mcycles, then R*M for A Mcycles
+//! diurnal:rate=R,x=M,period=P        piecewise-linear ramp R..R*M..R
+//!                                    over a period of P Mcycles
+//! ```
+//!
+//! `R` is the aggregate arrival rate in queries per Mcycle (up to three
+//! decimals, e.g. `rate=2.5`); `M` is an integer multiplier; `A`, `B`,
+//! `P` are durations in Mcycles.
+//!
+//! Inter-arrival gaps are exponential, sampled with von Neumann's
+//! comparison method — runs of decreasing uniforms — which needs only
+//! integer comparisons on raw 64-bit draws: no `ln`, no floats, and
+//! therefore bit-identical on every platform. Rate changes exploit the
+//! memoryless property: when a sampled gap crosses a segment boundary,
+//! the generator advances to the boundary and resamples at the new
+//! rate, which is distributionally exact and deterministic.
+
+use nqp_sim::{SimError, SimResult};
+
+/// One cycle-rate scale: rates are stored as milli-queries per Mcycle
+/// (`rate=2.5` → 2500).
+pub const MILLI: u64 = 1000;
+
+const MCYCLE: u64 = 1_000_000;
+
+/// A parsed `--arrivals` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalSpec {
+    /// Constant rate (milli-queries per Mcycle).
+    Poisson { rate_milli: u64 },
+    /// Two-state MMPP: `rate_milli` for `off_mcycles`, then
+    /// `rate_milli * mult` for `on_mcycles`, repeating.
+    Burst { rate_milli: u64, mult: u64, on_mcycles: u64, off_mcycles: u64 },
+    /// Piecewise-linear ramp between `rate_milli` and
+    /// `rate_milli * mult` over `period_mcycles` (8 equal slots).
+    Diurnal { rate_milli: u64, mult: u64, period_mcycles: u64 },
+}
+
+/// Parse a decimal with up to three fractional digits into milli-units
+/// (`"2.5"` → 2500). Shared by the rate grammar and the CLI's
+/// `--refill` flag.
+#[must_use]
+pub fn parse_milli(s: &str) -> Option<u64> {
+    let (int, frac) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if frac.len() > 3 || (int.is_empty() && frac.is_empty()) {
+        return None;
+    }
+    let int: u64 = if int.is_empty() { 0 } else { int.parse().ok()? };
+    let frac: u64 = if frac.is_empty() {
+        0
+    } else {
+        let padded = format!("{frac:0<3}");
+        padded.parse().ok()?
+    };
+    int.checked_mul(MILLI)?.checked_add(frac)
+}
+
+impl ArrivalSpec {
+    /// Parse the `--arrivals` grammar. Errors are typed
+    /// [`SimError::Harness`] so the CLI can render them.
+    pub fn parse(spec: &str) -> SimResult<ArrivalSpec> {
+        fn bad(why: &str) -> SimError {
+            SimError::Harness { what: format!("malformed --arrivals spec: {why}") }
+        }
+        let (kind, params) = match spec.split_once(':') {
+            Some((k, p)) => (k.trim(), p),
+            None => (spec.trim(), ""),
+        };
+        let mut kv = std::collections::HashMap::new();
+        for pair in params.split(',').filter(|p| !p.trim().is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| bad("expected key=value pairs"))?;
+            kv.insert(k.trim(), v.trim());
+        }
+        let rate_milli = match kv.get("rate") {
+            Some(v) => parse_milli(v).ok_or_else(|| bad("bad rate"))?,
+            None => return Err(bad("missing rate=R")),
+        };
+        let getu = |k: &str, default: u64| -> SimResult<u64> {
+            match kv.get(k) {
+                Some(v) => v.parse().map_err(|_| bad("bad integer param")),
+                None => Ok(default),
+            }
+        };
+        match kind {
+            "poisson" => Ok(ArrivalSpec::Poisson { rate_milli }),
+            "burst" => Ok(ArrivalSpec::Burst {
+                rate_milli,
+                mult: getu("x", 4)?.max(1),
+                on_mcycles: getu("on", 4)?.max(1),
+                off_mcycles: getu("off", 12)?.max(1),
+            }),
+            "diurnal" => Ok(ArrivalSpec::Diurnal {
+                rate_milli,
+                mult: getu("x", 2)?.max(1),
+                period_mcycles: getu("period", 32)?.max(8),
+            }),
+            other => Err(bad(&format!("unknown arrival kind `{other}`"))),
+        }
+    }
+
+    /// Canonical spec string (round-trips through [`ArrivalSpec::parse`]
+    /// up to parameter defaults).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let rate = |m: u64| {
+            if m.is_multiple_of(MILLI) {
+                format!("{}", m / MILLI)
+            } else {
+                format!("{}.{:03}", m / MILLI, m % MILLI)
+            }
+        };
+        match self {
+            ArrivalSpec::Poisson { rate_milli } => {
+                format!("poisson:rate={}", rate(*rate_milli))
+            }
+            ArrivalSpec::Burst { rate_milli, mult, on_mcycles, off_mcycles } => format!(
+                "burst:rate={},x={mult},on={on_mcycles},off={off_mcycles}",
+                rate(*rate_milli)
+            ),
+            ArrivalSpec::Diurnal { rate_milli, mult, period_mcycles } => format!(
+                "diurnal:rate={},x={mult},period={period_mcycles}",
+                rate(*rate_milli)
+            ),
+        }
+    }
+
+    /// Baseline rate in milli-queries per Mcycle.
+    #[must_use]
+    pub fn base_rate_milli(&self) -> u64 {
+        match self {
+            ArrivalSpec::Poisson { rate_milli }
+            | ArrivalSpec::Burst { rate_milli, .. }
+            | ArrivalSpec::Diurnal { rate_milli, .. } => *rate_milli,
+        }
+    }
+
+    /// Peak rate in milli-queries per Mcycle (baseline × multiplier).
+    #[must_use]
+    pub fn peak_rate_milli(&self) -> u64 {
+        match self {
+            ArrivalSpec::Poisson { rate_milli } => *rate_milli,
+            ArrivalSpec::Burst { rate_milli, mult, .. }
+            | ArrivalSpec::Diurnal { rate_milli, mult, .. } => {
+                rate_milli.saturating_mul(*mult)
+            }
+        }
+    }
+
+    /// The rate in force at cycle `t` and the cycle at which it next
+    /// changes (`u64::MAX` for a constant rate).
+    fn rate_segment(&self, t: u64) -> (u64, u64) {
+        match self {
+            ArrivalSpec::Poisson { rate_milli } => (*rate_milli, u64::MAX),
+            ArrivalSpec::Burst { rate_milli, mult, on_mcycles, off_mcycles } => {
+                let off = off_mcycles * MCYCLE;
+                let period = (on_mcycles + off_mcycles) * MCYCLE;
+                let phase = t % period;
+                let start = t - phase;
+                if phase < off {
+                    (*rate_milli, start + off)
+                } else {
+                    (rate_milli.saturating_mul(*mult), start + period)
+                }
+            }
+            ArrivalSpec::Diurnal { rate_milli, mult, period_mcycles } => {
+                // 8 equal slots per period, triangle weights 0..1000..0:
+                // slot 4 is the peak (rate × mult), slots 0 and 7 the
+                // trough (baseline).
+                const W: [u64; 8] = [0, 250, 500, 750, 1000, 750, 500, 250];
+                let period = period_mcycles * MCYCLE;
+                let slot_len = period / 8;
+                let phase = t % period;
+                let slot = (phase / slot_len).min(7) as usize;
+                let extra = rate_milli.saturating_mul(mult.saturating_sub(1));
+                let rate = rate_milli + extra.saturating_mul(W[slot]) / MILLI;
+                let seg_end = t - phase + slot_len * (slot as u64 + 1);
+                (rate, seg_end)
+            }
+        }
+    }
+}
+
+/// splitmix64: the workspace's standard seeded generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// A stream keyed by `(seed, stream)` — tenant streams and the
+    /// class-assignment stream are decorrelated by the stream id.
+    #[must_use]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        SplitMix { state: seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Sample Exp(1) as `(integer_part, fraction)` with the fraction a Q64
+/// fixed-point value, using von Neumann's comparison method: only u64
+/// comparisons, no floats, exact distribution.
+fn exp1(rng: &mut SplitMix) -> (u64, u64) {
+    let mut k = 0u64;
+    loop {
+        let u0 = rng.next_u64();
+        let mut prev = u0;
+        let mut n = 1u32;
+        loop {
+            let u = rng.next_u64();
+            if u < prev {
+                prev = u;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        if n % 2 == 1 {
+            return (k, u0);
+        }
+        k += 1;
+    }
+}
+
+/// Deterministic arrival-time generator for one spec + seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    spec: ArrivalSpec,
+    rng: SplitMix,
+    now: u64,
+}
+
+impl ArrivalGen {
+    /// A generator whose first arrival follows cycle 0.
+    #[must_use]
+    pub fn new(spec: ArrivalSpec, seed: u64, stream: u64) -> Self {
+        ArrivalGen { spec, rng: SplitMix::new(seed, stream), now: 0 }
+    }
+
+    /// The next arrival's absolute cycle, or `None` if the rate is zero
+    /// forever (a spec-validation failure upstream should prevent this).
+    pub fn next_arrival(&mut self) -> Option<u64> {
+        loop {
+            let (rate, seg_end) = self.spec.rate_segment(self.now);
+            if rate == 0 {
+                if seg_end == u64::MAX {
+                    return None;
+                }
+                self.now = seg_end;
+                continue;
+            }
+            // Mean inter-arrival gap in cycles: 1 Mcycle / (rate/1000).
+            let mean = (MCYCLE * MILLI / rate).max(1);
+            let (k, frac) = exp1(&mut self.rng);
+            let dt = k
+                .saturating_mul(mean)
+                .saturating_add(((frac as u128 * mean as u128) >> 64) as u64);
+            if self.now.saturating_add(dt) >= seg_end {
+                // Memoryless: restart the clock at the rate change.
+                self.now = seg_end;
+                continue;
+            }
+            self.now += dt;
+            return Some(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_round_trip() {
+        let p = ArrivalSpec::parse("poisson:rate=2.5").unwrap();
+        assert_eq!(p, ArrivalSpec::Poisson { rate_milli: 2500 });
+        assert_eq!(p.canonical(), "poisson:rate=2.500");
+        let b = ArrivalSpec::parse("burst:rate=20,x=4,on=4,off=12").unwrap();
+        assert_eq!(
+            b,
+            ArrivalSpec::Burst { rate_milli: 20_000, mult: 4, on_mcycles: 4, off_mcycles: 12 }
+        );
+        assert_eq!(ArrivalSpec::parse(&b.canonical()).unwrap(), b);
+        let d = ArrivalSpec::parse("diurnal:rate=8,x=3,period=64").unwrap();
+        assert_eq!(d.peak_rate_milli(), 24_000);
+        assert_eq!(ArrivalSpec::parse(&d.canonical()).unwrap(), d);
+    }
+
+    #[test]
+    fn malformed_specs_error_without_panicking() {
+        for bad in ["", "poisson", "poisson:x=2", "poisson:rate=abc", "wat:rate=1",
+                    "poisson:rate=1.2345", "burst:rate"] {
+            assert!(ArrivalSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_rate_scaled() {
+        let gen = |rate: &str| {
+            let spec = ArrivalSpec::parse(rate).unwrap();
+            let mut g = ArrivalGen::new(spec, 42, 0);
+            let mut v = Vec::new();
+            while let Some(t) = g.next_arrival() {
+                if t > 50_000_000 || v.len() >= 100_000 {
+                    break;
+                }
+                v.push(t);
+            }
+            v
+        };
+        let a = gen("poisson:rate=10");
+        let b = gen("poisson:rate=10");
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert!(!a.is_empty());
+        // 10/Mcycle over 50 Mcycles ≈ 500 arrivals; allow wide slack.
+        assert!(a.len() > 300 && a.len() < 800, "got {}", a.len());
+        let c = gen("poisson:rate=40");
+        assert!(
+            c.len() > 3 * a.len() && c.len() < 6 * a.len(),
+            "4x rate should mean ~4x arrivals ({} vs {})",
+            c.len(),
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrival times are monotone");
+    }
+
+    #[test]
+    fn burst_concentrates_arrivals_in_on_windows() {
+        let spec = ArrivalSpec::parse("burst:rate=10,x=8,on=4,off=12").unwrap();
+        let mut g = ArrivalGen::new(spec, 7, 1);
+        let (mut on, mut off) = (0u64, 0u64);
+        while let Some(t) = g.next_arrival() {
+            if t > 160_000_000 {
+                break;
+            }
+            if t % 16_000_000 >= 12_000_000 {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        // The on-window is 1/4 of the period at 8x the rate: roughly
+        // 2/3 of all arrivals land in it.
+        assert!(on > off, "burst windows must dominate: on={on} off={off}");
+    }
+
+    #[test]
+    fn zero_rate_poisson_yields_nothing() {
+        let mut g = ArrivalGen::new(ArrivalSpec::Poisson { rate_milli: 0 }, 1, 0);
+        assert_eq!(g.next_arrival(), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixed-bucket log-scale latency histogram — integer-only.
+//!
+//! Values below 16 get exact buckets; above that, each power-of-two
+//! octave is split into 8 sub-buckets (relative error ≤ 12.5%), the
+//! same shape HdrHistogram uses at 3 significant bits. Recording is a
+//! shift, a mask, and an add — no floats, no allocation after
+//! construction — so it sits on the serve hot path without perturbing
+//! determinism or speed.
+
+/// Buckets: 16 exact + 8 per octave for octaves 4..=63.
+const EXACT: usize = 16;
+const SUBS: usize = 8;
+const NBUCKETS: usize = EXACT + (64 - 4) * SUBS;
+
+/// Log-scale integer histogram of cycle counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; NBUCKETS], total: 0, max: 0 }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < EXACT as u64 {
+            v as usize
+        } else {
+            let o = 63 - v.leading_zeros() as usize; // o >= 4
+            let sub = ((v >> (o - 3)) & 7) as usize;
+            EXACT + (o - 4) * SUBS + sub
+        }
+    }
+
+    /// Upper bound (inclusive) of a bucket — the value reported for
+    /// quantiles that land in it.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < EXACT {
+            idx as u64
+        } else {
+            let o = (idx - EXACT) / SUBS + 4;
+            let sub = ((idx - EXACT) % SUBS) as u64;
+            (1u64 << o) + (sub + 1) * (1u64 << (o - 3)) - 1
+        }
+    }
+
+    /// Record one latency observation (in cycles).
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q_num/q_den` quantile as a bucket upper bound, clamped to
+    /// the recorded max. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q_num: u64, q_den: u64) -> u64 {
+        if self.total == 0 || q_den == 0 {
+            return 0;
+        }
+        // rank = ceil(total * q), at least 1.
+        let rank = ((self.total as u128 * q_num as u128).div_ceil(q_den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 in cycles.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// p95 in cycles.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(95, 100)
+    }
+
+    /// p99 in cycles.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// p99.9 in cycles.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(999, 1000)
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs — the journal form.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from journal form. `max` is stored alongside
+    /// because buckets only bound it.
+    #[must_use]
+    pub fn from_buckets(buckets: &[(usize, u64)], max: u64) -> Self {
+        let mut h = Self::new();
+        for &(i, c) in buckets {
+            if i < NBUCKETS {
+                h.counts[i] = c;
+                h.total += c;
+            }
+        }
+        h.max = max;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 16);
+        assert_eq!(h.quantile(1, 16), 0);
+        assert_eq!(h.quantile(8, 16), 7);
+        assert_eq!(h.quantile(16, 16), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every value maps to a bucket whose upper bound is >= it and
+        // within 12.5% relative error.
+        for v in [16u64, 17, 100, 1023, 1024, 65_535, 1_000_000, u64::MAX / 2] {
+            let idx = LatencyHistogram::bucket_of(v);
+            let upper = LatencyHistogram::bucket_upper(idx);
+            assert!(upper >= v, "upper({idx})={upper} < {v}");
+            assert!(upper - v <= v / 8 + 1, "error too large for {v}: {upper}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        // p50 ≈ 50_000, p99 ≈ 99_000; log buckets allow 12.5% slack.
+        let p50 = h.p50();
+        assert!((45_000..=57_000).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((90_000..=100_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), 100_000);
+        assert!(h.p999() <= h.max());
+    }
+
+    #[test]
+    fn journal_round_trip_preserves_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 900, 17_000, 250_000, 250_000, 1_000_000_000] {
+            h.record(v);
+        }
+        let back = LatencyHistogram::from_buckets(&h.nonzero_buckets(), h.max());
+        assert_eq!(back, h);
+        assert_eq!(back.p99(), h.p99());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Serve-run specification: everything a cell needs to be a pure
+//! function of its inputs.
+
+use crate::arrival::ArrivalSpec;
+use nqp_sim::{SimError, SimResult};
+
+/// Cycles per Mcycle — spec durations are given in Mcycles.
+pub const MCYCLE: u64 = 1_000_000;
+
+/// Calibrated cost profile for one query class under one engine
+/// configuration. Captured once from a real simulator run (per-phase
+/// cycles from the trace spans); the serve loop replays it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassProfile {
+    /// Query class name (e.g. `w1`).
+    pub name: String,
+    /// Per-phase `(label, cycles)` under healthy hardware.
+    pub healthy: Vec<(String, u64)>,
+    /// Per-phase costs while a node is offline (post-evacuation).
+    pub degraded: Vec<(String, u64)>,
+    /// Pages the engine evacuates when the outage hits mid-serve.
+    pub evacuated_pages: u64,
+}
+
+impl ClassProfile {
+    /// Total healthy service cycles.
+    #[must_use]
+    pub fn healthy_cycles(&self) -> u64 {
+        self.healthy.iter().map(|(_, c)| *c).sum()
+    }
+}
+
+/// A planned node outage inside the serve window, parsed from
+/// `--outage T1..T2:node=N` (times in Mcycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSpec {
+    /// Outage onset, Mcycles.
+    pub start_mcycles: u64,
+    /// Recovery, Mcycles.
+    pub end_mcycles: u64,
+    /// Which NUMA node goes dark.
+    pub node: usize,
+}
+
+impl OutageSpec {
+    /// Parse `T1..T2:node=N`.
+    pub fn parse(s: &str) -> SimResult<OutageSpec> {
+        let bad = || SimError::Harness {
+            what: format!("malformed --outage spec `{s}` (expected T1..T2:node=N, Mcycles)"),
+        };
+        let (range, node) = s.split_once(':').ok_or_else(bad)?;
+        let node = node.strip_prefix("node=").ok_or_else(bad)?;
+        let (t1, t2) = range.split_once("..").ok_or_else(bad)?;
+        let start_mcycles: u64 = t1.trim().parse().map_err(|_| bad())?;
+        let end_mcycles: u64 = t2.trim().parse().map_err(|_| bad())?;
+        let node: usize = node.trim().parse().map_err(|_| bad())?;
+        if end_mcycles <= start_mcycles {
+            return Err(bad());
+        }
+        Ok(OutageSpec { start_mcycles, end_mcycles, node })
+    }
+
+    /// Canonical form (round-trips through [`OutageSpec::parse`]).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!("{}..{}:node={}", self.start_mcycles, self.end_mcycles, self.node)
+    }
+}
+
+/// What happened to one session, end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Completed at full fidelity within its deadline.
+    Completed,
+    /// Completed at full fidelity but past its deadline (SLO miss).
+    Late,
+    /// Completed as a sampled (degraded) answer under ladder level 3.
+    Degraded,
+    /// Abandoned at a phase boundary after its deadline passed.
+    Timeout,
+    /// Rejected before admission (queue full).
+    ShedQueue,
+    /// Rejected because its tenant exceeded fair share under pressure.
+    ShedQuota,
+    /// Rejected by its tenant's open circuit breaker.
+    ShedBreaker,
+}
+
+impl ServeOutcome {
+    /// Short stable label used in traces and session dumps.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeOutcome::Completed => "completed",
+            ServeOutcome::Late => "late",
+            ServeOutcome::Degraded => "degraded",
+            ServeOutcome::Timeout => "timeout",
+            ServeOutcome::ShedQueue => "shed-queue",
+            ServeOutcome::ShedQuota => "shed-quota",
+            ServeOutcome::ShedBreaker => "shed-breaker",
+        }
+    }
+}
+
+/// Full specification of one serve run — the driver is a pure function
+/// of this struct plus the class profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// Number of simulated tenants.
+    pub tenants: usize,
+    /// Serve window length, Mcycles.
+    pub duration_mcycles: u64,
+    /// Aggregate arrival process across all tenants.
+    pub arrivals: ArrivalSpec,
+    /// Concurrent service lanes (engine admission width).
+    pub lanes: usize,
+    /// Bounded per-tenant queue capacity.
+    pub queue_cap: usize,
+    /// Token-bucket capacity per tenant (whole tokens).
+    pub bucket_cap: u64,
+    /// Token refill rate per tenant, milli-tokens per Mcycle.
+    pub refill_milli_per_mcycle: u64,
+    /// Per-query deadline, Mcycles from arrival. Also the SLO target.
+    pub deadline_mcycles: u64,
+    /// Consecutive rejections that trip a tenant's circuit breaker.
+    pub breaker_threshold: u64,
+    /// Telescoping-counter epoch length, Mcycles.
+    pub epoch_mcycles: u64,
+    /// Optional mid-serve node outage.
+    pub outage: Option<OutageSpec>,
+    /// Seed for arrivals and tenant/class assignment.
+    pub seed: u64,
+}
+
+impl ServeSpec {
+    /// Validation used by the CLI empty-spec gate: a spec that can
+    /// never produce work is an error, and one that would produce an
+    /// unbounded amount of it is too.
+    pub fn validate(&self) -> SimResult<()> {
+        let harness = |what: String| SimError::Harness { what };
+        if self.tenants == 0 {
+            return Err(harness("serve spec is empty: 0 tenants".into()));
+        }
+        if self.duration_mcycles == 0 {
+            return Err(harness("serve spec is empty: 0 duration".into()));
+        }
+        if self.arrivals.base_rate_milli() == 0 {
+            return Err(harness("serve spec is empty: arrival rate 0".into()));
+        }
+        if self.lanes == 0 || self.queue_cap == 0 {
+            return Err(harness("serve spec needs at least 1 lane and queue slot".into()));
+        }
+        if self.epoch_mcycles == 0 {
+            return Err(harness("serve epoch must be nonzero".into()));
+        }
+        // Expected arrivals at peak rate, capped to keep a typo from
+        // turning into a multi-minute spin.
+        let expected =
+            self.arrivals.peak_rate_milli() as u128 * self.duration_mcycles as u128 / 1000;
+        if expected > 4_000_000 {
+            return Err(harness(format!(
+                "serve spec would generate ~{expected} arrivals (cap 4000000); \
+                 lower the rate or duration"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One serve cell: a named engine configuration plus the spec it runs
+/// under. `run_cells` calibrates profiles per cell via a caller-supplied
+/// closure, so this crate never depends on the workload layer.
+#[derive(Debug, Clone)]
+pub struct CellInput {
+    /// Engine-configuration name (e.g. `tuned (+flags)`).
+    pub config: String,
+    /// The serve spec (usually shared across cells).
+    pub spec: ServeSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ServeSpec {
+        ServeSpec {
+            tenants: 4,
+            duration_mcycles: 10,
+            arrivals: ArrivalSpec::Poisson { rate_milli: 20_000 },
+            lanes: 2,
+            queue_cap: 8,
+            bucket_cap: 8,
+            refill_milli_per_mcycle: 4000,
+            deadline_mcycles: 5,
+            breaker_threshold: 8,
+            epoch_mcycles: 2,
+            outage: None,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn outage_spec_round_trips() {
+        let o = OutageSpec::parse("12..20:node=1").unwrap();
+        assert_eq!(o, OutageSpec { start_mcycles: 12, end_mcycles: 20, node: 1 });
+        assert_eq!(OutageSpec::parse(&o.canonical()).unwrap(), o);
+        for bad in ["", "12..20", "20..12:node=1", "12:node=1", "a..b:node=1"] {
+            assert!(OutageSpec::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_specs_fail_validation() {
+        assert!(spec().validate().is_ok());
+        let mut s = spec();
+        s.tenants = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.duration_mcycles = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.arrivals = ArrivalSpec::Poisson { rate_milli: 0 };
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.duration_mcycles = 1_000_000_000;
+        assert!(s.validate().is_err(), "runaway arrival counts are rejected");
+    }
+}

@@ -180,6 +180,13 @@ pub struct SimConfig {
     /// Per-trial cycle budget; a region that would push the simulated
     /// clock past it fails with `SimError::Timeout`. None = unlimited.
     pub trial_budget_cycles: Option<u64>,
+    /// Cooperative query deadline: once the simulated clock passes it,
+    /// the *next* region boundary fails with
+    /// `SimError::DeadlineExceeded` carrying the cycles burned so far.
+    /// Work inside a region always completes — cancellation is
+    /// cooperative, checked only between phases (the serve driver's
+    /// abandon-at-phase-boundary contract). None = no deadline.
+    pub deadline_cycles: Option<u64>,
     /// Deterministic tracing (None = off; the hot path stays free of
     /// recording work and cycle results are unchanged).
     pub trace: Option<TraceConfig>,
@@ -206,6 +213,7 @@ impl SimConfig {
             fault_plan: None,
             fault_attempt: 0,
             trial_budget_cycles: None,
+            deadline_cycles: None,
             trace: None,
             reference_model: false,
         }
@@ -276,6 +284,12 @@ impl SimConfig {
     /// Builder-style setter for the per-trial cycle budget.
     pub fn with_trial_budget(mut self, cycles: u64) -> Self {
         self.trial_budget_cycles = Some(cycles);
+        self
+    }
+
+    /// Builder-style setter for the cooperative query deadline.
+    pub fn with_deadline(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = Some(cycles);
         self
     }
 

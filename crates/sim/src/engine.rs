@@ -273,6 +273,29 @@ impl NumaSim {
         F: FnMut(&mut Worker<'_>, &mut S),
     {
         assert!(threads > 0, "a region needs at least one thread");
+        if let Some(deadline) = self.cfg.deadline_cycles {
+            // Cooperative cancellation: a query whose deadline has
+            // passed abandons *between* phases, never mid-region, and
+            // the cycles burned so far stay charged (`now_cycles` is
+            // not rolled back).
+            if self.now_cycles >= deadline {
+                let elapsed = self.now_cycles;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.push(
+                        elapsed,
+                        NO_TID,
+                        TraceEvent::DeadlineAbandon {
+                            deadline_cycles: deadline,
+                            elapsed_cycles: elapsed,
+                        },
+                    );
+                }
+                return Err(SimError::DeadlineExceeded {
+                    deadline_cycles: deadline,
+                    elapsed_cycles: elapsed,
+                });
+            }
+        }
         let region = self.region_idx;
         self.region_idx += 1;
         let quiet_plan = FaultPlan::default();
@@ -427,6 +450,32 @@ impl NumaSim {
             finished.push(outcome.stats);
         }
 
+        // Fault precedence: a blown trial budget dominates every other
+        // fault. A poisoned worker keeps charging cycles but records
+        // only its *first* fault, so a thread that faulted early and
+        // then sailed past the budget would otherwise report the fault
+        // — conflating a timeout with `Faulted` in sweep tables even
+        // though the watchdog would have killed the attempt either way.
+        if let Some(e) = finished
+            .iter()
+            .filter_map(|t| t.fault.as_ref())
+            .find(|e| matches!(e, SimError::Timeout { .. }))
+        {
+            return Err(e.clone());
+        }
+        if finished.iter().any(|t| t.fault.is_some()) {
+            if let Some(budget) = self.cfg.trial_budget_cycles {
+                let elapsed = self
+                    .now_cycles
+                    .saturating_add(finished.iter().map(|t| t.clock).max().unwrap_or(0));
+                if elapsed >= budget {
+                    return Err(SimError::Timeout {
+                        budget_cycles: budget,
+                        elapsed_cycles: elapsed,
+                    });
+                }
+            }
+        }
         if let Some(e) = finished.iter().find_map(|t| t.fault.clone()) {
             return Err(e);
         }
@@ -2108,6 +2157,63 @@ mod tests {
         let cfg = quiet_cfg(machines::machine_b()).with_trial_budget(50_000);
         let mut sim = NumaSim::new(cfg);
         assert!(sim.try_serial(&mut (), |w, _| w.compute(10_000)).is_ok());
+    }
+
+    #[test]
+    fn budget_timeout_dominates_earlier_faults() {
+        // The region error used to be the lowest-tid fault: when
+        // thread 0 caught an injected fault and thread 1 blew the
+        // trial budget, the trial reported `Faulted` — conflating a
+        // timeout the watchdog would have killed the attempt for
+        // anyway. Timeout must dominate.
+        let run = |budget: u64| {
+            let plan = FaultPlan::new(3).with_alloc_fail(0, 0, 1);
+            let cfg = quiet_cfg(machines::machine_b())
+                .with_faults(plan)
+                .with_trial_budget(budget);
+            let mut sim = NumaSim::new(cfg);
+            sim.try_parallel(2, &mut (), |w, _| {
+                if w.tid() == 0 {
+                    let a = w.map_pages(SMALL_PAGE); // injected fault fires here
+                    w.write_u64(a, 1);
+                } else {
+                    for _ in 0..100 {
+                        w.compute(10_000); // blows a 50k budget
+                    }
+                }
+            })
+            .unwrap_err()
+        };
+        let err = run(50_000);
+        assert!(matches!(err, SimError::Timeout { budget_cycles: 50_000, .. }), "{err}");
+        // Under an ample budget, the injected fault still wins.
+        let err = run(50_000_000);
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn deadline_abandons_at_region_boundary_charging_burned_cycles() {
+        let cfg = quiet_cfg(machines::machine_b()).with_deadline(10_000);
+        let mut sim = NumaSim::new(cfg);
+        // The first region runs to completion even though it crosses
+        // the deadline mid-region — cancellation is cooperative.
+        let stats = sim.try_serial(&mut (), |w, _| w.compute(25_000)).unwrap();
+        assert!(stats.elapsed_cycles >= 25_000);
+        let burned = sim.now_cycles();
+        // The next region boundary observes the passed deadline.
+        let err = sim.try_serial(&mut (), |w, _| w.compute(1)).unwrap_err();
+        match err {
+            SimError::DeadlineExceeded { deadline_cycles, elapsed_cycles } => {
+                assert_eq!(deadline_cycles, 10_000);
+                assert_eq!(elapsed_cycles, burned, "burned cycles stay charged");
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // A fresh sim with an ample deadline never trips.
+        let cfg = quiet_cfg(machines::machine_b()).with_deadline(10_000_000);
+        let mut sim = NumaSim::new(cfg);
+        assert!(sim.try_serial(&mut (), |w, _| w.compute(1_000)).is_ok());
+        assert!(sim.try_serial(&mut (), |w, _| w.compute(1_000)).is_ok());
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub enum SimError {
         /// Simulated cycles consumed when the budget tripped.
         elapsed_cycles: u64,
     },
+    /// The query's deadline passed and it abandoned cooperatively at a
+    /// region (phase) boundary. Unlike [`SimError::Timeout`] — the
+    /// watchdog killing a runaway trial — a deadline abandon is an
+    /// orderly exit: the cycles burned up to the boundary are reported
+    /// in `elapsed_cycles` so the caller can charge them.
+    DeadlineExceeded {
+        /// The configured deadline, in model cycles.
+        deadline_cycles: u64,
+        /// Simulated cycles already burned when the query abandoned.
+        elapsed_cycles: u64,
+    },
     /// A NUMA node (CPUs + memory controller) dropped out and the
     /// operation strictly required it: a `MemPolicy::Bind` to the dead
     /// node, or an attempt to take the *last* live node offline. Trials
@@ -82,6 +93,7 @@ impl SimError {
             SimError::InvalidMapping { .. } => "invalid-mapping",
             SimError::InjectedAllocFault { .. } => "alloc-fault",
             SimError::Timeout { .. } => "timeout",
+            SimError::DeadlineExceeded { .. } => "deadline",
             SimError::NodeOffline { .. } => "node-offline",
             SimError::Harness { .. } => "harness",
         }
@@ -105,6 +117,11 @@ impl fmt::Display for SimError {
             SimError::Timeout { budget_cycles, elapsed_cycles } => write!(
                 f,
                 "trial exceeded its cycle budget ({elapsed_cycles} of {budget_cycles} budgeted cycles)"
+            ),
+            SimError::DeadlineExceeded { deadline_cycles, elapsed_cycles } => write!(
+                f,
+                "query abandoned at a phase boundary: deadline {deadline_cycles} cycles passed \
+                 ({elapsed_cycles} burned)"
             ),
             SimError::NodeOffline { node } => {
                 write!(f, "node {node} is offline and the operation required it")
@@ -135,5 +152,9 @@ mod tests {
         assert!(s.contains("512") && s.contains("node 2"), "{s}");
         assert_eq!(e.tag(), "oom");
         assert_eq!(SimError::Timeout { budget_cycles: 5, elapsed_cycles: 9 }.tag(), "timeout");
+        let d = SimError::DeadlineExceeded { deadline_cycles: 5, elapsed_cycles: 9 };
+        assert_eq!(d.tag(), "deadline");
+        assert!(!d.is_transient(), "a passed deadline never clears on retry");
+        assert!(d.to_string().contains("9 burned"), "{d}");
     }
 }

@@ -85,6 +85,9 @@ pub enum TraceEvent {
     /// A thread spent `wait_cycles` blocked on contended locks over
     /// the region that just resolved.
     LockContention { wait_cycles: u64 },
+    /// The query's cooperative deadline passed; it abandoned at the
+    /// next region boundary having burned `elapsed_cycles`.
+    DeadlineAbandon { deadline_cycles: u64, elapsed_cycles: u64 },
 }
 
 /// A `TraceEvent` plus when and on which logical thread it happened.

@@ -447,6 +447,9 @@ fn event_text(e: &TraceEvent) -> String {
         TraceEvent::LockContention { wait_cycles } => {
             format!("kind=lock-contention wait={wait_cycles}")
         }
+        TraceEvent::DeadlineAbandon { deadline_cycles, elapsed_cycles } => {
+            format!("kind=deadline-abandon deadline={deadline_cycles} elapsed={elapsed_cycles}")
+        }
     }
 }
 
@@ -489,6 +492,10 @@ fn event_parse(kv: &Fields<'_>, lineno: usize) -> Result<TraceEvent, TraceError>
         "lock-contention" => {
             TraceEvent::LockContention { wait_cycles: kv.num("wait", lineno)? }
         }
+        "deadline-abandon" => TraceEvent::DeadlineAbandon {
+            deadline_cycles: kv.num("deadline", lineno)?,
+            elapsed_cycles: kv.num("elapsed", lineno)?,
+        },
         other => {
             return Err(TraceError::Parse {
                 line: lineno,

@@ -229,6 +229,10 @@ fn chrome_event(e: &TraceEvent) -> (&'static str, String) {
         TraceEvent::LockContention { wait_cycles } => {
             ("lock contention", format!("\"wait_cycles\":{wait_cycles}"))
         }
+        TraceEvent::DeadlineAbandon { deadline_cycles, elapsed_cycles } => (
+            "deadline abandon",
+            format!("\"deadline_cycles\":{deadline_cycles},\"elapsed_cycles\":{elapsed_cycles}"),
+        ),
     }
 }
 

@@ -12,6 +12,8 @@
 //! * [`Trace::to_timeline_csv`] — the epoch counter time-series as CSV;
 //! * [`Trace::perf_report`] — a `perf stat`-style text report that
 //!   reproduces the Table III counter comparison from recorded data.
+//! * [`sessions_to_chrome_json`] — per-session serve-mode spans (one
+//!   Perfetto track per service lane plus a queue-depth counter).
 //!
 //! Determinism contract: artifact content is a pure function of the
 //! recorded trace — no wall-clock timestamps, no hash-map iteration
@@ -21,6 +23,8 @@
 
 mod artifact;
 mod export;
+mod session;
 
 pub use artifact::{artifact_name, slug, Trace, TraceError, TraceMeta};
 pub use export::counters_report;
+pub use session::{sessions_to_chrome_json, SessionSpan};

@@ -80,10 +80,45 @@ if awk "BEGIN { exit !($W1_SPEEDUP < 1.5) }"; then
   echo "bench.sh: WARNING: W1 hotpath speedup $W1_SPEEDUP below the 1.5x bar (noisy host?)" >&2
 fi
 
+# Serve baseline (DESIGN.md §4f): a fixed open-loop burst grid; the
+# tail percentiles and shed counts are pure model-clock results, so
+# like mean_cycles they must not move unless the cost model, the
+# calibration, or the admission policy changes.
+SERVE_ARGS=(serve w1,w3 --machine B --threads 8 --duration 40 --seed 7
+            --arrivals "burst:rate=2.5,x=4")
+"$CLI" "${SERVE_ARGS[@]}" > "$WORK/serve.txt"
+# Table rows end in 9 numeric columns: p50 p95 p99 p99.9 slo shed t/o
+# degr maxq; the config name (may contain spaces) is everything before.
+# Drain lines supply arrivals for the shed rate.
+SERVE_JSON=$(awk '
+  /^config / { hdr = 1; next }
+  hdr && NF >= 10 && $NF ~ /^[0-9]+$/ {
+    name = $1; for (i = 2; i <= NF - 9; i++) name = name " " $i
+    p99[name] = $(NF - 6); shed[name] = $(NF - 3); order[n++] = name
+  }
+  /arrivals,/ {
+    line = $0; sub(/: [0-9]+ arrivals,.*/, "", line)
+    a = $0; sub(/.*: /, "", a); sub(/ arrivals,.*/, "", a)
+    arrivals[line] = a
+  }
+  END {
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      rate = arrivals[name] > 0 ? shed[name] / arrivals[name] : 0
+      printf "%s    {\"name\": \"%s\", \"serve_p99_cycles\": %s, \"shed\": %s, \"arrivals\": %s, \"shed_rate\": %.4f}", \
+        sep, name, p99[name], shed[name], arrivals[name], rate
+      sep = ",\n"
+    }
+  }' "$WORK/serve.txt")
+
 cat > "$OUT" <<EOF
 {
   "schema": "nqp-bench-sweep-v1",
   "grid": "${ARGS[*]}",
+  "serve_grid": "${SERVE_ARGS[*]}",
+  "serve": [
+$SERVE_JSON
+  ],
   "configs": [
 $CONFIGS_JSON
   ],

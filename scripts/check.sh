@@ -17,7 +17,7 @@ cargo test -q --offline
 # errors). The crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
-cargo clippy -p nqp-sim -p nqp-core -p nqp-trace --lib --offline
+cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve --lib --offline
 
 # Crash-safe resume smoke test: interrupt a journaled sweep after two
 # cells, resume it from the journal, and require the resumed table to
@@ -72,6 +72,31 @@ diff -r "$SMOKE/tfast" "$SMOKE/tref"
 # An empty grid must fail loudly, not exit 0 with no output.
 if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then
   echo "check.sh: empty sweep grid must exit nonzero" >&2
+  exit 1
+fi
+
+# Serve smoke (DESIGN.md §4f): run a short open-loop serve, kill it
+# after one config cell, resume from the journal, and require the
+# resumed report (stdout, CSV, JSON) to be byte-identical to the
+# uninterrupted run — same discipline as the sweep gates above.
+SARGS=(serve w1,w3 --machine B --threads 4 --duration 30 --seed 7
+       --arrivals "burst:rate=2,x=4")
+"$CLI" "${SARGS[@]}" --csv "$SMOKE/sa.csv" --json "$SMOKE/sa.json" > "$SMOKE/sfull.txt"
+"$CLI" "${SARGS[@]}" --journal "$SMOKE/sj.jsonl" --max-cells 1 > /dev/null 2> "$SMOKE/spart.err"
+grep -q "interrupted" "$SMOKE/spart.err"
+"$CLI" "${SARGS[@]}" --resume "$SMOKE/sj.jsonl" --csv "$SMOKE/sb.csv" \
+    --json "$SMOKE/sb.json" > "$SMOKE/sresumed.txt" 2> "$SMOKE/sresumed.err"
+grep -q "resuming: 1 of 2" "$SMOKE/sresumed.err"
+diff "$SMOKE/sfull.txt" "$SMOKE/sresumed.txt"
+diff "$SMOKE/sa.csv" "$SMOKE/sb.csv"
+diff "$SMOKE/sa.json" "$SMOKE/sb.json"
+
+# Parallel serve is byte-identical to serial, and an empty serve spec
+# fails loudly.
+"$CLI" "${SARGS[@]}" > "$SMOKE/sparallel.txt" --jobs 2
+diff "$SMOKE/sfull.txt" "$SMOKE/sparallel.txt"
+if "$CLI" serve w1 --machine B --tenants 0 > /dev/null 2>&1; then
+  echo "check.sh: empty serve spec must exit nonzero" >&2
   exit 1
 fi
 

@@ -60,8 +60,12 @@ use nqp::sim::{
     Access, Counters, FaultPlan, MemPolicy, NumaSim, SimError, SimResult, ThreadPlacement,
     TraceConfig, TraceLog,
 };
+use nqp::serve::{
+    arrival::parse_milli, run_cells, ArrivalSpec, CellInput, CellStats, ClassProfile,
+    OutageSpec, ServeSpec, Session,
+};
 use nqp::topology::{machines, MachineSpec};
-use nqp::trace::{artifact_name, Trace, TraceMeta};
+use nqp::trace::{artifact_name, sessions_to_chrome_json, slug, SessionSpan, Trace, TraceMeta};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -78,6 +82,7 @@ fn main() -> ExitCode {
         "workload" => cmd_workload(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "hotpath" => cmd_hotpath(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "tpch" => cmd_tpch(&args[1..]),
@@ -105,6 +110,13 @@ const USAGE: &str = "usage:
                 [--jobs N] [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
                 [--trace-dir DIR] [--trace-epoch CYCLES]
+  nqp-cli serve <w1|w2|w3|w4[,..]> [--tenants N] [--duration MCYCLES] [--arrivals SPEC]
+                [--lanes N] [--queue-cap N] [--tokens N] [--refill R] [--deadline MCYCLES]
+                [--breaker K] [--epoch MCYCLES] [--outage T1..T2:node=N]
+                [--configs both|os-default|tuned] [--jobs N]
+                [--journal PATH | --resume PATH] [--max-cells N]
+                [--csv FILE] [--json FILE] [--trace-dir DIR]
+                (arrivals: poisson:rate=R | burst:rate=R,x=M,on=A,off=B | diurnal:rate=R,x=M,period=P)
   nqp-cli hotpath <w1|w3> [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
                 [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
   nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--report]
@@ -802,6 +814,378 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("every trial failed for: {}", dead.join(", ")))
     }
+}
+
+fn serve_grid_descriptor(
+    which: &str,
+    machine_name: &str,
+    threads: usize,
+    spec: &ServeSpec,
+    flags: &HashMap<String, String>,
+) -> String {
+    // Spec-resolved values go in canonically (so defaults and explicit
+    // flags fingerprint identically); the remaining flags (n, card,
+    // index, configs, ...) go in raw, sorted, minus output-only flags.
+    let mut kv: Vec<(&str, &str)> = flags
+        .iter()
+        .filter(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "journal" | "resume" | "max-cells" | "csv" | "json" | "jobs"
+                    | "trace-dir" | "machine" | "threads" | "tenants" | "duration"
+                    | "arrivals" | "lanes" | "queue-cap" | "tokens" | "refill"
+                    | "deadline" | "breaker" | "epoch" | "outage" | "seed"
+            )
+        })
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    kv.sort_unstable();
+    let rest: Vec<String> = kv.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let outage =
+        spec.outage.map_or_else(|| "none".to_string(), |o| o.canonical());
+    format!(
+        "serve {which} machine={machine_name} threads={threads} tenants={} \
+         duration={} arrivals={} lanes={} queue-cap={} tokens={} refill={} \
+         deadline={} breaker={} epoch={} outage={outage} seed={} {}",
+        spec.tenants,
+        spec.duration_mcycles,
+        spec.arrivals.canonical(),
+        spec.lanes,
+        spec.queue_cap,
+        spec.bucket_cap,
+        spec.refill_milli_per_mcycle,
+        spec.deadline_mcycles,
+        spec.breaker_threshold,
+        spec.epoch_mcycles,
+        spec.seed,
+        rest.join(" ")
+    )
+}
+
+/// Calibrate per-phase cycle costs for one query class under one
+/// configuration by running the real engine once with tracing on:
+/// top-level spans (minus `load`, which serve sessions never pay)
+/// become the class's phase plan.
+fn profile_phases(trace: Option<TraceLog>, total_cycles: u64) -> Vec<(String, u64)> {
+    if let Some(log) = trace {
+        let spans: Vec<(String, u64)> = log
+            .spans()
+            .iter()
+            .filter(|s| s.depth == 0 && s.name != "load")
+            .map(|s| (s.name.clone(), (s.end_cycles - s.begin_cycles).max(1)))
+            .collect();
+        if !spans.is_empty() {
+            return spans;
+        }
+    }
+    vec![("run".to_string(), total_cycles.max(1))]
+}
+
+/// `serve`: open-loop multi-tenant serving against calibrated engine
+/// profiles — admission control, bounded queues, deadlines, load
+/// shedding, circuit breakers, and tail-latency SLO reporting.
+///
+/// One real engine run per (configuration, class, health) pair captures
+/// per-phase cycle costs; the serve loop is then a deterministic
+/// discrete-event simulation on the model clock, so the same spec and
+/// seed replay bit-identically — serial, under `--jobs N`, or resumed
+/// from a `--journal`. With `--outage T1..T2:node=N` the window runs
+/// against node-offline (evacuated) profiles and forces the shedding
+/// ladder to its degraded tier: the expected signature is shed load and
+/// degraded answers during the window, recovery after, never a wedged
+/// queue.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos
+        .first()
+        .ok_or("serve needs query classes, e.g. `w1` or `w1,w3`")?;
+    let classes: Vec<String> = which
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if classes.is_empty() {
+        return Err("serve needs at least one query class (w1, w2, w3, w4)".to_string());
+    }
+    let machine = machine_arg(&flags)?;
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(machine.total_hw_threads());
+    let getu = |key: &str, default: u64| -> Result<u64, String> {
+        match flags.get(key) {
+            Some(s) => s.parse().map_err(|_| format!("bad --{key} `{s}`")),
+            None => Ok(default),
+        }
+    };
+    let arrivals = ArrivalSpec::parse(
+        flags.get("arrivals").map(String::as_str).unwrap_or("poisson:rate=3"),
+    )
+    .map_err(|e| e.to_string())?;
+    let refill_raw = flags.get("refill").map(String::as_str).unwrap_or("4");
+    let refill_milli_per_mcycle = parse_milli(refill_raw)
+        .ok_or_else(|| format!("bad --refill `{refill_raw}` (tokens per Mcycle)"))?;
+    let outage = flags
+        .get("outage")
+        .map(|s| OutageSpec::parse(s))
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let spec = ServeSpec {
+        tenants: getu("tenants", 8)? as usize,
+        duration_mcycles: getu("duration", 50)?,
+        arrivals,
+        lanes: getu("lanes", 4)? as usize,
+        queue_cap: getu("queue-cap", 16)? as usize,
+        bucket_cap: getu("tokens", 8)?,
+        refill_milli_per_mcycle,
+        deadline_mcycles: getu("deadline", 5)?,
+        breaker_threshold: getu("breaker", 8)?,
+        epoch_mcycles: getu("epoch", 4)?,
+        outage,
+        seed: getu("seed", 42)?,
+    };
+    // An empty serve spec is a mis-specified run, not a vacuous
+    // success: fail loudly, like the empty sweep grid.
+    if let Err(e) = spec.validate() {
+        eprintln!("warning: {e} — nothing to serve");
+        return Err(
+            "empty serve spec (need tenants >= 1, duration >= 1, arrival rate > 0)"
+                .to_string(),
+        );
+    }
+    let jobs: usize = match flags.get("jobs") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --jobs `{s}` (need an integer >= 1)"))?,
+        None => 1,
+    };
+    let max_cells: Option<usize> = flags.get("max-cells").and_then(|s| s.parse().ok());
+    let trace_dir: Option<PathBuf> = flags.get("trace-dir").map(PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --trace-dir `{}`: {e}", dir.display()))?;
+    }
+    let record_sessions = trace_dir.is_some();
+
+    // Same two presets as `sweep`, selectable via --configs.
+    let all_configs = vec![
+        config_from_flags(machine.clone(), &flags)?.named("os-default (+flags)"),
+        {
+            let tuned = TuningConfig::tuned(machine.clone());
+            let mut cfg = config_from_flags(machine.clone(), &flags)?.named("tuned (+flags)");
+            cfg.sim = cfg
+                .sim
+                .with_threads(tuned.sim.thread_placement)
+                .with_policy(tuned.sim.mem_policy)
+                .with_autonuma(tuned.sim.autonuma)
+                .with_thp(tuned.sim.thp);
+            cfg.allocator = tuned.allocator;
+            cfg
+        },
+    ];
+    let configs: Vec<TuningConfig> =
+        match flags.get("configs").map(String::as_str).unwrap_or("both") {
+            "both" => all_configs,
+            "os-default" => vec![all_configs.into_iter().next().ok_or("no configs")?],
+            "tuned" => vec![all_configs.into_iter().nth(1).ok_or("no configs")?],
+            other => {
+                return Err(format!(
+                    "unknown --configs `{other}` (both, os-default, tuned)"
+                ))
+            }
+        };
+    let cells: Vec<CellInput> = configs
+        .iter()
+        .map(|c| CellInput { config: c.name.clone(), spec: spec.clone() })
+        .collect();
+
+    let grid_desc =
+        serve_grid_descriptor(which, &machine.name, threads, &spec, &flags);
+    let fp = grid_fingerprint(&grid_desc);
+
+    let mut adopted: HashMap<String, CellStats> = HashMap::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(path) = flags.get("resume") {
+        let (w, contents) = JournalWriter::append_raw_to(Path::new(path))
+            .map_err(|e| format!("cannot resume from `{path}`: {e}"))?;
+        if contents.fingerprint != fp {
+            return Err(format!(
+                "journal `{path}` records a different serve grid (its fingerprint \
+                 {} != requested {fp}); refusing to mix results\n  journal grid:   {}\n  requested grid: {grid_desc}",
+                contents.fingerprint, contents.grid_desc
+            ));
+        }
+        if contents.torn {
+            eprintln!(
+                "note: discarded a torn record at the end of `{path}` \
+                 (crash mid-append); that cell will re-run"
+            );
+        }
+        for (kind, obj) in &contents.records {
+            if kind == "serve-cell" {
+                if let Some(cell) = CellStats::from_obj(obj) {
+                    adopted.insert(cell.config.clone(), cell);
+                }
+            }
+        }
+        eprintln!(
+            "resuming: {} of {} cells already journaled in `{path}`",
+            adopted.len(),
+            cells.len()
+        );
+        writer = Some(w);
+    } else if let Some(path) = flags.get("journal") {
+        writer = Some(
+            JournalWriter::create(Path::new(path), &fp, &grid_desc)
+                .map_err(|e| format!("cannot create journal `{path}`: {e}"))?,
+        );
+    }
+
+    // Serve sessions are interactive-sized queries, not batch scans:
+    // default to much smaller inputs than `sweep` unless overridden, so
+    // per-query service time (~1 Mcycle) sits sensibly under the
+    // default 5 Mcycle deadline.
+    let mut plan_flags = flags.clone();
+    plan_flags.entry("n".to_string()).or_insert_with(|| "8000".to_string());
+    plan_flags.entry("card".to_string()).or_insert_with(|| "2000".to_string());
+    let plans: Vec<WorkloadPlan> = classes
+        .iter()
+        .map(|c| WorkloadPlan::parse(c, &plan_flags))
+        .collect::<Result<_, _>>()?;
+
+    let calibrate = |cell_idx: usize| -> SimResult<Vec<ClassProfile>> {
+        let cfg = &configs[cell_idx];
+        let mut profiles = Vec::new();
+        for (ci, plan) in plans.iter().enumerate() {
+            let mut healthy_cfg = cfg.clone();
+            healthy_cfg.sim = healthy_cfg.sim.with_trace(
+                TraceConfig::default().with_label(&format!("{} {}", cfg.name, classes[ci])),
+            );
+            let (cycles, _, trace) = plan.try_run(&healthy_cfg.env(threads))?;
+            let healthy = profile_phases(trace, cycles);
+            let (degraded, evacuated_pages) = if let Some(o) = spec.outage {
+                let mut dcfg = cfg.clone();
+                // Region 2 is the first region where workload pages
+                // have landed on remote nodes (0/1 are load/init), so
+                // the outage actually evacuates something.
+                let fault_spec = format!("offline@2:node={}", o.node);
+                let fault_plan = FaultPlan::parse(&fault_spec, dcfg.sim.seed)?;
+                dcfg = dcfg.with_faults(fault_plan);
+                dcfg.sim = dcfg.sim.with_trace(TraceConfig::default().with_label(
+                    &format!("{} {} offline", cfg.name, classes[ci]),
+                ));
+                let (dcycles, dcounters, dtrace) = plan.try_run(&dcfg.env(threads))?;
+                (profile_phases(dtrace, dcycles), dcounters.evacuated_pages)
+            } else {
+                (healthy.clone(), 0)
+            };
+            profiles.push(ClassProfile {
+                name: classes[ci].clone(),
+                healthy,
+                degraded,
+                evacuated_pages,
+            });
+        }
+        Ok(profiles)
+    };
+
+    let lanes = spec.lanes;
+    let mut sink = |stats: &CellStats,
+                    profiles: &[ClassProfile],
+                    sessions: &[Session]|
+     -> SimResult<()> {
+        let harness = |what: String| SimError::Harness { what };
+        if let Some(w) = writer.as_mut() {
+            w.append_kind("serve-cell", &stats.fields_json())
+                .map_err(|e| harness(format!("journal write failed: {e}")))?;
+        }
+        if let Some(dir) = &trace_dir {
+            let spans: Vec<SessionSpan> = sessions
+                .iter()
+                .map(|s| SessionSpan {
+                    lane: s.lane,
+                    tenant: s.tenant,
+                    class: profiles
+                        .get(s.class)
+                        .map_or_else(String::new, |p| p.name.clone()),
+                    arrival: s.arrival,
+                    start: s.start,
+                    end: s.end,
+                    outcome: s.outcome.label().to_string(),
+                    burned: s.burned,
+                })
+                .collect();
+            let depth: Vec<(u64, u64)> =
+                stats.epochs.iter().map(|e| (e.t_cycles, e.depth)).collect();
+            let json = sessions_to_chrome_json(
+                &format!("serve · {}", stats.config),
+                lanes,
+                &spans,
+                &depth,
+            );
+            let path = dir.join(format!("{}-sessions.json", slug(&stats.config)));
+            std::fs::write(&path, json).map_err(|e| {
+                harness(format!("cannot write sessions `{}`: {e}", path.display()))
+            })?;
+        }
+        Ok(())
+    };
+    let report = run_cells(
+        &cells,
+        &adopted,
+        jobs,
+        max_cells,
+        record_sessions,
+        &calibrate,
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "serve {which} on machine {} — {} tenants, {} Mcycles, arrivals {}, \
+         deadline {} Mcycles:",
+        machine.name,
+        spec.tenants,
+        spec.duration_mcycles,
+        spec.arrivals.canonical(),
+        spec.deadline_mcycles
+    );
+    print!("{}", report.table());
+    for c in &report.cells {
+        let t = c.totals();
+        println!(
+            "{}: {} arrivals, {} admitted, {} completed, drained at {} cycles, \
+             {} wasted cycles, {} pages evacuated",
+            c.config,
+            t.arrivals,
+            t.admitted,
+            t.completed,
+            c.end_cycles,
+            c.wasted_cycles,
+            c.evacuated_pages
+        );
+    }
+
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| format!("cannot write CSV to `{path}`: {e}"))?;
+    }
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write JSON to `{path}`: {e}"))?;
+    }
+
+    if report.interrupted {
+        eprintln!(
+            "note: serve interrupted by --max-cells after {} journaled cells; \
+             the table above is partial — finish with `--resume <journal>`",
+            report.cells.len()
+        );
+    }
+    Ok(())
 }
 
 /// `trace`: render or convert a recorded `.trace` artifact.

@@ -15,6 +15,8 @@
 //! * [`core`] — experiment runner and the Figure 10 decision advisor.
 //! * [`trace`] — deterministic trace artifacts and exporters (Chrome
 //!   `trace_event` JSON, CSV timelines, `perf stat`-style reports).
+//! * [`serve`] — open-loop multi-tenant serve driver: admission
+//!   control, deadlines, load shedding, tail-latency SLO reporting.
 
 pub use nqp_alloc as alloc;
 pub use nqp_core as core;
@@ -22,6 +24,7 @@ pub use nqp_datagen as datagen;
 pub use nqp_engines as engines;
 pub use nqp_indexes as indexes;
 pub use nqp_query as query;
+pub use nqp_serve as serve;
 pub use nqp_sim as sim;
 pub use nqp_storage as storage;
 pub use nqp_topology as topology;

@@ -272,3 +272,73 @@ fn degraded_records_round_trip_through_the_journal() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// Regression for the `--retries 0` + `--trial-budget` conflation: a
+/// blown budget is `Outcome::Timeout` with a structured timeout error,
+/// a hard fault is `Outcome::Faulted` — and both must survive the
+/// journal round trip *distinctly*, down to the CSV labels. Before the
+/// fix, a timeout recorded in one worker could be re-labelled as the
+/// faulting sibling's error on the way out.
+#[test]
+fn timeout_and_faulted_outcomes_round_trip_distinctly() {
+    use nqp::core::runner::SweepReport;
+
+    let trials = vec![
+        TrialRecord {
+            config: "budget-blown".into(),
+            trial: 0,
+            outcome: Outcome::Timeout,
+            cycles: None,
+            attempts: 1,
+            evacuated_pages: 0,
+            error: Some(SimError::Timeout { budget_cycles: 5_000_000, elapsed_cycles: 7_250_000 }),
+        },
+        TrialRecord {
+            config: "deadline-blown".into(),
+            trial: 0,
+            outcome: Outcome::Timeout,
+            cycles: None,
+            attempts: 1,
+            evacuated_pages: 0,
+            error: Some(SimError::DeadlineExceeded {
+                deadline_cycles: 4_000_000,
+                elapsed_cycles: 4_900_000,
+            }),
+        },
+        TrialRecord {
+            config: "hard-fault".into(),
+            trial: 0,
+            outcome: Outcome::Faulted,
+            cycles: None,
+            attempts: 3,
+            evacuated_pages: 0,
+            error: Some(SimError::NodeOffline { node: 1 }),
+        },
+    ];
+
+    let path = temp_journal("outcomes");
+    let fp = grid_fingerprint("outcome-grid");
+    let mut w = JournalWriter::create(&path, &fp, "outcome-grid").unwrap();
+    for t in &trials {
+        w.record(t).unwrap();
+    }
+    drop(w);
+
+    let back = read_journal(&path).unwrap();
+    assert!(!back.torn);
+    assert_eq!(back.records, trials, "records round-trip exactly");
+    assert_eq!(back.records[0].outcome, Outcome::Timeout);
+    assert_eq!(back.records[2].outcome, Outcome::Faulted);
+    assert_ne!(
+        back.records[0].error, back.records[2].error,
+        "the timeout's structured error must not be replaced by the fault's"
+    );
+
+    // The rendered CSV keeps the outcomes distinguishable.
+    let report = SweepReport { trials: back.records, interrupted: false };
+    let csv = report.to_csv();
+    assert!(csv.contains("budget-blown,0,timeout,"), "{csv}");
+    assert!(csv.contains("deadline-blown,0,timeout,"), "{csv}");
+    assert!(csv.contains("hard-fault,0,faulted,"), "{csv}");
+    std::fs::remove_file(&path).ok();
+}
