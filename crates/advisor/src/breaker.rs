@@ -1,0 +1,160 @@
+//! The controller's fault circuit breaker.
+//!
+//! Re-tuning through a fault storm is worse than not tuning at all:
+//! counters polluted by evacuations and preemption storms would drive
+//! the controller toward configurations chosen for a machine that no
+//! longer exists. The breaker freezes tuning the epoch a disturbance
+//! is observed and re-arms only after a run of stable epochs, counting
+//! re-arms saturatingly so even a pathological flap history cannot
+//! wrap the counter.
+//!
+//! The breaker is deliberately time-free: it counts *epochs*, not
+//! cycles, so its behaviour is a pure function of the observation
+//! sequence — the determinism contract of the whole controller. A
+//! storm of zero length (freeze immediately followed by quiet
+//! observations) re-arms like any other: freezing never wedges.
+
+/// Freeze/re-arm state machine, driven by one observation per epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    frozen: bool,
+    /// Consecutive quiet epochs observed while frozen.
+    stable: u64,
+    /// Quiet epochs required before a frozen breaker re-arms.
+    rearm_after: u64,
+    /// Times the breaker has re-armed, saturating at `u32::MAX`.
+    rearm_count: u32,
+}
+
+impl CircuitBreaker {
+    /// A breaker that re-arms after `rearm_after` consecutive quiet
+    /// epochs. `0` means the first quiet observation re-arms.
+    #[must_use]
+    pub fn new(rearm_after: u64) -> Self {
+        CircuitBreaker { frozen: false, stable: 0, rearm_after, rearm_count: 0 }
+    }
+
+    /// Trip the breaker: tuning freezes and the stability run resets.
+    /// Idempotent while already frozen.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        self.stable = 0;
+    }
+
+    /// Feed one epoch's observation. `quiet` means no fault activity,
+    /// no evacuation, no node loss this epoch. Returns `true` exactly
+    /// when this observation re-armed the breaker.
+    pub fn observe(&mut self, quiet: bool) -> bool {
+        if !self.frozen {
+            return false;
+        }
+        if !quiet {
+            self.stable = 0;
+            return false;
+        }
+        self.stable += 1;
+        if self.stable >= self.rearm_after {
+            self.frozen = false;
+            self.stable = 0;
+            self.rearm_count = self.rearm_count.saturating_add(1);
+            return true;
+        }
+        false
+    }
+
+    /// Whether tuning is currently frozen.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Consecutive quiet epochs observed so far while frozen.
+    #[must_use]
+    pub fn stable_epochs(&self) -> u64 {
+        self.stable
+    }
+
+    /// Quiet epochs required before a frozen breaker re-arms.
+    #[must_use]
+    pub fn rearm_after(&self) -> u64 {
+        self.rearm_after
+    }
+
+    /// How many times the breaker has re-armed (saturating).
+    #[must_use]
+    pub fn rearm_count(&self) -> u32 {
+        self.rearm_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freezes_and_rearms_after_stable_epochs() {
+        let mut b = CircuitBreaker::new(2);
+        assert!(!b.is_frozen());
+        assert!(!b.observe(true), "observing while armed is a no-op");
+        b.freeze();
+        assert!(b.is_frozen());
+        assert!(!b.observe(true));
+        assert_eq!(b.stable_epochs(), 1);
+        assert!(b.observe(true), "second quiet epoch re-arms");
+        assert!(!b.is_frozen());
+        assert_eq!(b.rearm_count(), 1);
+    }
+
+    #[test]
+    fn noisy_epoch_resets_the_stability_run() {
+        let mut b = CircuitBreaker::new(2);
+        b.freeze();
+        assert!(!b.observe(true));
+        assert!(!b.observe(false), "fault recurrence resets the run");
+        assert_eq!(b.stable_epochs(), 0);
+        assert!(!b.observe(true));
+        assert!(b.observe(true));
+        assert_eq!(b.rearm_count(), 1);
+    }
+
+    #[test]
+    fn zero_length_fault_storm_still_rearms() {
+        // Regression: a storm that freezes the breaker and is gone by
+        // the very next observation must not wedge the controller —
+        // the breaker re-arms from quiet epochs alone.
+        let mut b = CircuitBreaker::new(2);
+        b.freeze();
+        assert!(b.is_frozen(), "frozen even though the storm was empty");
+        assert!(!b.observe(true));
+        assert!(b.observe(true), "re-armed without ever observing the fault");
+        assert_eq!(b.rearm_count(), 1);
+
+        // rearm_after = 0: the first quiet observation re-arms.
+        let mut b = CircuitBreaker::new(0);
+        b.freeze();
+        assert!(b.observe(true));
+        assert_eq!(b.rearm_count(), 1);
+    }
+
+    #[test]
+    fn repeated_freezes_while_frozen_are_idempotent() {
+        let mut b = CircuitBreaker::new(1);
+        b.freeze();
+        assert!(!b.observe(false));
+        b.freeze();
+        b.freeze();
+        assert!(b.observe(true));
+        assert_eq!(b.rearm_count(), 1);
+    }
+
+    #[test]
+    fn rearm_count_saturates() {
+        let mut b = CircuitBreaker { frozen: false, stable: 0, rearm_after: 0, rearm_count: u32::MAX - 1 };
+        b.freeze();
+        assert!(b.observe(true));
+        assert_eq!(b.rearm_count(), u32::MAX);
+        b.freeze();
+        assert!(b.observe(true), "still re-arms at the counter ceiling");
+        assert_eq!(b.rearm_count(), u32::MAX, "count saturates instead of wrapping");
+    }
+}

@@ -1,0 +1,34 @@
+// Harness-path code must surface faults, never panic on them: unwrap()
+// and expect() are denied outside tests (enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! NUMA tuning advisors: static and online.
+//!
+//! Two advisors share this crate because they share one brain:
+//!
+//! * [`flowchart`] is the paper's Figure 10 decision flowchart — ask
+//!   six questions about a workload, get a [`TuningPlan`]. It advises
+//!   **once, up front**, which is exactly what the paper evaluates and
+//!   exactly what breaks when the workload shifts phases mid-run.
+//! * [`controller`] is the **online** advisor: an epoch-driven runtime
+//!   controller ([`OnlineController`]) that watches the live counter
+//!   deltas at every region boundary and re-tunes the running engine —
+//!   re-homing pages, re-placing threads, flipping the placement
+//!   policy, toggling AutoNUMA — using the *same flowchart* as its
+//!   candidate generator. The robustness discipline around those knob
+//!   turns is the point: decision hysteresis, a bounded per-epoch
+//!   migration budget, guarded trial-and-rollback with per-knob
+//!   quarantine, and a [`CircuitBreaker`] that freezes tuning through
+//!   fault storms and re-arms after stable epochs.
+//!
+//! Every controller decision is a pure function of model-cycle state
+//! (the [`nqp_sim::EpochView`] handed to the region hook), so serial,
+//! parallel, and killed-then-resumed sweeps see byte-identical
+//! decision sequences, and tracing on/off cannot change them.
+
+pub mod breaker;
+pub mod controller;
+pub mod flowchart;
+
+pub use breaker::CircuitBreaker;
+pub use controller::{ControllerConfig, Knob, OnlineController};
+pub use flowchart::{advise, TuningPlan, WorkloadProfile};

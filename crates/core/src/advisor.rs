@@ -1,213 +1,11 @@
-//! The application-agnostic decision flowchart of Figure 10, as code.
+//! The Figure 10 decision flowchart, re-exported from [`nqp_advisor`].
 //!
-//! The flowchart walks a practitioner through the paper's findings:
-//! affinitize threads (Sparse unless bandwidth-rich), disable AutoNUMA
-//! and THP if you can, optimise the memory placement (Interleave), and
-//! override the allocator for allocation-heavy workloads (tbbmalloc, or
-//! jemalloc when memory is tight).
+//! The flowchart moved into its own crate when the **online** advisor
+//! arrived (the epoch-driven [`nqp_advisor::OnlineController`] uses the
+//! same flowchart as its candidate generator, and lives below `core` in
+//! the dependency order so the simulator hook can be installed without
+//! a cycle). This module keeps the historical
+//! `nqp_core::advisor::{advise, WorkloadProfile, TuningPlan}` paths
+//! working.
 
-use nqp_alloc::AllocatorKind;
-use nqp_sim::{MemPolicy, SimConfig, ThreadPlacement};
-
-/// Answers to the flowchart's questions, describing a workload and its
-/// operating environment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WorkloadProfile {
-    /// "Is thread placement managed?" — does the application already pin
-    /// its threads?
-    pub threads_managed: bool,
-    /// "Bound by memory bandwidth?" — does the workload saturate memory
-    /// controllers (scans, joins) rather than sharing caches?
-    pub memory_bandwidth_bound: bool,
-    /// "Superuser access?" — can the operator toggle kernel switches?
-    pub superuser: bool,
-    /// "Memory placement defined?" — does the application already place
-    /// its memory explicitly?
-    pub memory_placement_defined: bool,
-    /// "Allocation-heavy workload?" — many dynamic allocations during
-    /// execution (holistic aggregation, hash-join builds)?
-    pub allocation_heavy: bool,
-    /// "Free memory is constrained?" — is allocator memory overhead a
-    /// concern?
-    pub free_memory_constrained: bool,
-}
-
-impl WorkloadProfile {
-    /// The profile of the paper's standalone query workloads on a
-    /// dedicated machine: nothing managed, bandwidth-bound, root access.
-    pub fn analytics_default() -> Self {
-        WorkloadProfile {
-            threads_managed: false,
-            memory_bandwidth_bound: true,
-            superuser: true,
-            memory_placement_defined: false,
-            allocation_heavy: true,
-            free_memory_constrained: false,
-        }
-    }
-}
-
-/// The flowchart's output: an ordered set of recommendations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TuningPlan {
-    /// Affinitize threads with this strategy (None = leave as managed).
-    pub thread_placement: Option<ThreadPlacement>,
-    /// Disable the AutoNUMA balancer (requires superuser).
-    pub disable_autonuma: bool,
-    /// Disable Transparent Hugepages (requires superuser).
-    pub disable_thp: bool,
-    /// Apply this memory placement policy (None = leave as defined).
-    pub mem_policy: Option<MemPolicy>,
-    /// Preload this allocator (None = keep the system default).
-    pub allocator: Option<AllocatorKind>,
-}
-
-/// Walk the Figure 10 flowchart.
-pub fn advise(p: &WorkloadProfile) -> TuningPlan {
-    // Start: is thread placement managed? If not, affinitize; the
-    // strategy depends on whether bandwidth or sharing dominates.
-    let thread_placement = if p.threads_managed {
-        None
-    } else if p.memory_bandwidth_bound {
-        Some(ThreadPlacement::Sparse)
-    } else {
-        Some(ThreadPlacement::Dense)
-    };
-    // Superuser? Disable AutoNUMA and THP.
-    let (disable_autonuma, disable_thp) = (p.superuser, p.superuser);
-    // Memory placement defined? If not, optimise it (Interleave).
-    let mem_policy = if p.memory_placement_defined {
-        None
-    } else {
-        Some(MemPolicy::Interleave)
-    };
-    // Allocation-heavy? Evaluate and override the allocator: jemalloc
-    // when free memory is constrained, tbbmalloc otherwise.
-    let allocator = if !p.allocation_heavy {
-        None
-    } else if p.free_memory_constrained {
-        Some(AllocatorKind::Jemalloc)
-    } else {
-        Some(AllocatorKind::Tbbmalloc)
-    };
-    TuningPlan { thread_placement, disable_autonuma, disable_thp, mem_policy, allocator }
-}
-
-impl TuningPlan {
-    /// Apply the plan's OS-level pieces to a simulator configuration
-    /// (the model equivalent of `numactl` + sysctl + `LD_PRELOAD`).
-    pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
-        if let Some(tp) = self.thread_placement {
-            cfg.thread_placement = tp;
-        }
-        if self.disable_autonuma {
-            cfg.autonuma = false;
-        }
-        if self.disable_thp {
-            cfg.thp = false;
-        }
-        if let Some(mp) = self.mem_policy {
-            cfg.mem_policy = mp;
-        }
-        cfg
-    }
-
-    /// The allocator to preload, defaulting to the system's ptmalloc.
-    pub fn allocator_or_default(&self) -> AllocatorKind {
-        self.allocator.unwrap_or(AllocatorKind::Ptmalloc)
-    }
-
-    /// Human-readable summary, one action per line.
-    pub fn describe(&self) -> String {
-        let mut out = Vec::new();
-        match self.thread_placement {
-            Some(tp) => out.push(format!("affinitize threads ({})", tp.label())),
-            None => out.push("keep application thread placement".into()),
-        }
-        if self.disable_autonuma {
-            out.push("disable AutoNUMA".into());
-        }
-        if self.disable_thp {
-            out.push("disable Transparent Hugepages".into());
-        }
-        match self.mem_policy {
-            Some(mp) => out.push(format!("set memory placement ({})", mp.label())),
-            None => out.push("keep application memory placement".into()),
-        }
-        match self.allocator {
-            Some(a) => out.push(format!("preload {}", a.label())),
-            None => out.push("keep default allocator".into()),
-        }
-        out.join("\n")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bandwidth_bound_gets_sparse() {
-        let p = WorkloadProfile::analytics_default();
-        let plan = advise(&p);
-        assert_eq!(plan.thread_placement, Some(ThreadPlacement::Sparse));
-        assert_eq!(plan.mem_policy, Some(MemPolicy::Interleave));
-        assert_eq!(plan.allocator, Some(AllocatorKind::Tbbmalloc));
-        assert!(plan.disable_autonuma && plan.disable_thp);
-    }
-
-    #[test]
-    fn cache_bound_gets_dense() {
-        let p = WorkloadProfile { memory_bandwidth_bound: false, ..WorkloadProfile::analytics_default() };
-        assert_eq!(advise(&p).thread_placement, Some(ThreadPlacement::Dense));
-    }
-
-    #[test]
-    fn managed_threads_are_left_alone() {
-        let p = WorkloadProfile { threads_managed: true, ..WorkloadProfile::analytics_default() };
-        assert_eq!(advise(&p).thread_placement, None);
-    }
-
-    #[test]
-    fn no_superuser_means_no_kernel_toggles() {
-        let p = WorkloadProfile { superuser: false, ..WorkloadProfile::analytics_default() };
-        let plan = advise(&p);
-        assert!(!plan.disable_autonuma && !plan.disable_thp);
-        // But the placement policy can still mitigate (the paper's note).
-        assert_eq!(plan.mem_policy, Some(MemPolicy::Interleave));
-    }
-
-    #[test]
-    fn constrained_memory_prefers_jemalloc() {
-        let p = WorkloadProfile { free_memory_constrained: true, ..WorkloadProfile::analytics_default() };
-        assert_eq!(advise(&p).allocator, Some(AllocatorKind::Jemalloc));
-    }
-
-    #[test]
-    fn allocation_light_keeps_default_allocator() {
-        let p = WorkloadProfile { allocation_heavy: false, ..WorkloadProfile::analytics_default() };
-        let plan = advise(&p);
-        assert_eq!(plan.allocator, None);
-        assert_eq!(plan.allocator_or_default(), AllocatorKind::Ptmalloc);
-    }
-
-    #[test]
-    fn apply_produces_the_tuned_config() {
-        use nqp_topology::machines;
-        let plan = advise(&WorkloadProfile::analytics_default());
-        let cfg = plan.apply(SimConfig::os_default(machines::machine_a()));
-        let tuned = SimConfig::tuned(machines::machine_a());
-        assert_eq!(cfg.thread_placement, tuned.thread_placement);
-        assert_eq!(cfg.mem_policy, tuned.mem_policy);
-        assert_eq!(cfg.autonuma, tuned.autonuma);
-        assert_eq!(cfg.thp, tuned.thp);
-    }
-
-    #[test]
-    fn describe_mentions_every_decision() {
-        let text = advise(&WorkloadProfile::analytics_default()).describe();
-        for needle in ["sparse", "AutoNUMA", "Hugepages", "interleave", "tbbmalloc"] {
-            assert!(text.contains(needle), "missing {needle} in:\n{text}");
-        }
-    }
-}
+pub use nqp_advisor::flowchart::*;

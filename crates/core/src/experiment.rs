@@ -1,10 +1,24 @@
 //! The experiment runner behind every table and figure: named tuning
 //! configurations, sweep helpers, and speedup arithmetic.
 
+use nqp_advisor::{ControllerConfig, OnlineController};
 use nqp_alloc::AllocatorKind;
 use nqp_query::WorkloadEnv;
-use nqp_sim::{MemPolicy, SimConfig, ThreadPlacement};
+use nqp_sim::{MemPolicy, SimConfig, ThreadPlacement, TuneFactory};
 use nqp_topology::MachineSpec;
+
+/// Whether a configuration's knobs are fixed for the whole trial (the
+/// paper's setting, and the default) or re-tuned mid-trial by the
+/// epoch-driven online controller.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum AdvisorMode {
+    /// Knobs are set once, up front.
+    #[default]
+    Static,
+    /// An [`OnlineController`] runs at every region boundary; every
+    /// decision and migration it makes is charged in model cycles.
+    Online(ControllerConfig),
+}
 
 /// One point in the Table IV parameter space, with a display name.
 #[derive(Debug, Clone)]
@@ -15,6 +29,8 @@ pub struct TuningConfig {
     pub sim: SimConfig,
     /// The preloaded allocator.
     pub allocator: AllocatorKind,
+    /// Static knobs or online re-tuning.
+    pub advisor: AdvisorMode,
 }
 
 impl TuningConfig {
@@ -25,6 +41,7 @@ impl TuningConfig {
             name: "os-default".into(),
             sim: SimConfig::os_default(machine),
             allocator: AllocatorKind::Ptmalloc,
+            advisor: AdvisorMode::Static,
         }
     }
 
@@ -34,6 +51,7 @@ impl TuningConfig {
             name: "tuned".into(),
             sim: SimConfig::tuned(machine),
             allocator: AllocatorKind::Tbbmalloc,
+            advisor: AdvisorMode::Static,
         }
     }
 
@@ -88,9 +106,25 @@ impl TuningConfig {
         self
     }
 
+    /// Builder-style advisor mode: `AdvisorMode::Online` installs the
+    /// epoch-driven controller on every environment this configuration
+    /// builds (one fresh controller per trial attempt, so retries and
+    /// resumed sweeps see identical decision sequences).
+    pub fn with_advisor(mut self, advisor: AdvisorMode) -> Self {
+        self.advisor = advisor;
+        self
+    }
+
     /// Convert to the workload environment the W1–W4 runners take.
     pub fn env(&self, threads: usize) -> WorkloadEnv {
-        WorkloadEnv { sim: self.sim.clone(), allocator: self.allocator, threads }
+        let mut sim = self.sim.clone();
+        if let AdvisorMode::Online(cc) = &self.advisor {
+            let cc = cc.clone();
+            sim = sim.with_tune(TuneFactory::new(move || {
+                Box::new(OnlineController::new(cc.clone()))
+            }));
+        }
+        WorkloadEnv { sim, allocator: self.allocator, threads }
     }
 }
 

@@ -359,6 +359,12 @@ fn error_json(e: &SimError) -> String {
         SimError::Harness { what } => {
             format!("{{\"tag\":\"harness\",\"what\":\"{}\"}}", esc(what))
         }
+        SimError::BadSpec { flag, token, why } => format!(
+            "{{\"tag\":\"bad-spec\",\"flag\":\"{}\",\"token\":\"{}\",\"why\":\"{}\"}}",
+            esc(flag),
+            esc(token),
+            esc(why)
+        ),
     }
 }
 
@@ -384,6 +390,11 @@ fn error_from_obj(obj: &[(String, JVal)]) -> Option<SimError> {
         }),
         "node-offline" => Some(SimError::NodeOffline { node: num("node")? as usize }),
         "harness" => Some(SimError::Harness { what: get_str(obj, "what")?.to_string() }),
+        "bad-spec" => Some(SimError::BadSpec {
+            flag: get_str(obj, "flag")?.to_string(),
+            token: get_str(obj, "token")?.to_string(),
+            why: get_str(obj, "why")?.to_string(),
+        }),
         _ => None,
     }
 }

@@ -33,7 +33,7 @@ pub mod runner;
 
 pub use advisor::{advise, TuningPlan, WorkloadProfile};
 pub use executor::sweep_parallel;
-pub use experiment::{speedup, ExperimentResult, TuningConfig};
+pub use experiment::{speedup, AdvisorMode, ExperimentResult, TuningConfig};
 pub use journal::{
     grid_fingerprint, read_journal, JournalContents, JournalWriter, JOURNAL_VERSION,
 };

@@ -134,6 +134,19 @@ impl RetryPolicy {
         RetryPolicy { max_retries: 0, backoff_base_cycles: 0 }
     }
 
+    /// Retries allowed after the first attempt.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Base backoff charge (doubled per retry by
+    /// [`RetryPolicy::backoff_cycles`]).
+    #[must_use]
+    pub fn backoff_base_cycles(&self) -> u64 {
+        self.backoff_base_cycles
+    }
+
     /// Backoff cycles charged before retry `attempt`, saturating at
     /// `u64::MAX` once the doubling schedule would overflow the shift.
     /// With `--retries 64`+ and a persistent transient fault, the naive

@@ -10,6 +10,11 @@
 //! * **W4** index nested-loop join — the same data probed through a
 //!   pre-built in-memory index (ART / Masstree / B+tree / Skip List).
 //!
+//! Plus one workload the paper does not have: the **phase-shift** run
+//! ([`run_phase_shift`]), a build-heavy→probe-heavy sequence designed
+//! so that no single static placement wins — the benchmark for the
+//! online advisor in `nqp-advisor`.
+//!
 //! Each workload is a function of a [`WorkloadEnv`] (machine + OS knobs +
 //! allocator + thread count) and returns cycle counts plus a checksum
 //! that tests verify against a host-side reference.
@@ -18,6 +23,7 @@ mod aggregate;
 mod hash_join;
 mod hash_table;
 mod inl_join;
+mod phase_shift;
 mod runner;
 
 pub use aggregate::{
@@ -29,5 +35,8 @@ pub use hash_join::{
     JoinConfig, JoinOutcome,
 };
 pub use hash_table::HashTable;
+pub use phase_shift::{
+    run_phase_shift, try_run_phase_shift, PhaseShiftConfig, PhaseShiftOutcome,
+};
 pub use inl_join::{run_inl_join, run_inl_join_on, try_run_inl_join, try_run_inl_join_on, InlConfig, InlOutcome};
 pub use runner::{load_tuples, try_load_tuples, WorkloadEnv};

@@ -67,10 +67,16 @@ pub fn parse_milli(s: &str) -> Option<u64> {
 
 impl ArrivalSpec {
     /// Parse the `--arrivals` grammar. Errors are typed
-    /// [`SimError::Harness`] so the CLI can render them.
+    /// [`SimError::BadSpec`] carrying the offending token verbatim, so
+    /// the CLI error names exactly what to fix — truncated and garbage
+    /// input never panics.
     pub fn parse(spec: &str) -> SimResult<ArrivalSpec> {
-        fn bad(why: &str) -> SimError {
-            SimError::Harness { what: format!("malformed --arrivals spec: {why}") }
+        fn bad(token: &str, why: &str) -> SimError {
+            SimError::BadSpec {
+                flag: "--arrivals".to_string(),
+                token: token.to_string(),
+                why: why.to_string(),
+            }
         }
         let (kind, params) = match spec.split_once(':') {
             Some((k, p)) => (k.trim(), p),
@@ -80,16 +86,18 @@ impl ArrivalSpec {
         for pair in params.split(',').filter(|p| !p.trim().is_empty()) {
             let (k, v) = pair
                 .split_once('=')
-                .ok_or_else(|| bad("expected key=value pairs"))?;
+                .ok_or_else(|| bad(pair, "expected a key=value pair"))?;
             kv.insert(k.trim(), v.trim());
         }
         let rate_milli = match kv.get("rate") {
-            Some(v) => parse_milli(v).ok_or_else(|| bad("bad rate"))?,
-            None => return Err(bad("missing rate=R")),
+            Some(v) => {
+                parse_milli(v).ok_or_else(|| bad(v, "bad rate (up to three decimals)"))?
+            }
+            None => return Err(bad(spec, "missing rate=R")),
         };
         let getu = |k: &str, default: u64| -> SimResult<u64> {
             match kv.get(k) {
-                Some(v) => v.parse().map_err(|_| bad("bad integer param")),
+                Some(v) => v.parse().map_err(|_| bad(v, "bad integer parameter")),
                 None => Ok(default),
             }
         };
@@ -106,7 +114,9 @@ impl ArrivalSpec {
                 mult: getu("x", 2)?.max(1),
                 period_mcycles: getu("period", 32)?.max(8),
             }),
-            other => Err(bad(&format!("unknown arrival kind `{other}`"))),
+            other => {
+                Err(bad(other, "unknown arrival kind (poisson, burst, diurnal)"))
+            }
         }
     }
 
@@ -311,6 +321,24 @@ mod tests {
                     "poisson:rate=1.2345", "burst:rate"] {
             assert!(ArrivalSpec::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offending_token() {
+        let token = |spec: &str| match ArrivalSpec::parse(spec) {
+            Err(SimError::BadSpec { flag, token, .. }) => {
+                assert_eq!(flag, "--arrivals", "{spec:?}");
+                token
+            }
+            other => panic!("{spec:?} should be a BadSpec error, got {other:?}"),
+        };
+        assert_eq!(token("poisson:rate=abc"), "abc");
+        assert_eq!(token("poisson:rate=1.2345"), "1.2345");
+        assert_eq!(token("burst:rate"), "rate");
+        assert_eq!(token("burst:rate=2,x=huge"), "huge");
+        assert_eq!(token("wat:rate=1"), "wat");
+        assert_eq!(token("poisson"), "poisson");
+        assert_eq!(token(""), "");
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use arrival::{ArrivalGen, ArrivalSpec};
 pub use driver::{run_cells, run_serve};
 pub use histogram::LatencyHistogram;
 pub use report::{CellStats, EpochRow, ServeReport, Session, TenantStats};
-pub use spec::{CellInput, ClassProfile, OutageSpec, ServeOutcome, ServeSpec};
+pub use spec::{CellInput, ClassProfile, OutageSpec, ServeAdvisor, ServeOutcome, ServeSpec};

@@ -60,6 +60,9 @@ pub struct EpochRow {
     pub shed: u64,
     /// Deadline timeouts this epoch.
     pub timeouts: u64,
+    /// Full-fidelity in-deadline completions this epoch — the SLO
+    /// numerator, windowed so recovery can be measured per epoch.
+    pub slo_ok: u64,
     /// Total queued sessions at the tick (gauge).
     pub depth: u64,
     /// Shedding-ladder level at the tick (gauge).
@@ -97,6 +100,16 @@ pub struct CellStats {
     pub end_cycles: u64,
     /// Pages evacuated by the mid-serve outage (0 without one).
     pub evacuated_pages: u64,
+    /// Model-clock cycle at which the online advisor re-homed the
+    /// evacuated pages after the outage (0 = never re-tuned; a static
+    /// advisor keeps the placement residue for the rest of the run).
+    pub retune_cycles: u64,
+    /// SLO attainment (permille of arrivals) over epochs ending at or
+    /// before the outage started.
+    pub slo_pre_permille: u64,
+    /// SLO attainment over epochs after recovery — after the advisor's
+    /// re-tune if one happened, else after the outage window closed.
+    pub slo_post_permille: u64,
     /// Cycles burned by queries that later abandoned their deadline.
     pub wasted_cycles: u64,
     /// High-water mark of total queued sessions.
@@ -139,6 +152,13 @@ impl CellStats {
         t.slo_ok * 1000 / t.arrivals
     }
 
+    /// How far post-recovery SLO attainment sits below the pre-outage
+    /// baseline, in permille (0 = fully recovered).
+    #[must_use]
+    pub fn recovery_gap_permille(&self) -> u64 {
+        self.slo_pre_permille.saturating_sub(self.slo_post_permille)
+    }
+
     /// The journal / JSON field body for this cell (no braces).
     #[must_use]
     pub fn fields_json(&self) -> String {
@@ -171,13 +191,14 @@ impl CellStats {
             .iter()
             .map(|e| {
                 format!(
-                    "[{},{},{},{},{},{},{},{}]",
+                    "[{},{},{},{},{},{},{},{},{}]",
                     e.t_cycles,
                     e.arrivals,
                     e.admitted,
                     e.completed,
                     e.shed,
                     e.timeouts,
+                    e.slo_ok,
                     e.depth,
                     e.level
                 )
@@ -185,11 +206,16 @@ impl CellStats {
             .collect();
         format!(
             "\"config\":\"{}\",\"end_cycles\":{},\"evacuated_pages\":{},\
+             \"retune_cycles\":{},\"slo_pre_permille\":{},\
+             \"slo_post_permille\":{},\
              \"wasted_cycles\":{},\"max_depth\":{},\"hist_max\":{},\
              \"hist\":[{}],\"tenants\":[{}],\"epochs\":[{}]",
             esc(&self.config),
             self.end_cycles,
             self.evacuated_pages,
+            self.retune_cycles,
+            self.slo_pre_permille,
+            self.slo_post_permille,
             self.wasted_cycles,
             self.max_depth,
             self.hist.max(),
@@ -249,7 +275,7 @@ impl CellStats {
         let mut epochs = Vec::new();
         for item in arr("epochs")? {
             let n = nums(&item)?;
-            if n.len() != 8 {
+            if n.len() != 9 {
                 return None;
             }
             epochs.push(EpochRow {
@@ -259,14 +285,18 @@ impl CellStats {
                 completed: n[3],
                 shed: n[4],
                 timeouts: n[5],
-                depth: n[6],
-                level: n[7],
+                slo_ok: n[6],
+                depth: n[7],
+                level: n[8],
             });
         }
         Some(CellStats {
             config: get_str(obj, "config")?.to_string(),
             end_cycles: get_num(obj, "end_cycles")?,
             evacuated_pages: get_num(obj, "evacuated_pages")?,
+            retune_cycles: get_num(obj, "retune_cycles")?,
+            slo_pre_permille: get_num(obj, "slo_pre_permille")?,
+            slo_post_permille: get_num(obj, "slo_post_permille")?,
             wasted_cycles: get_num(obj, "wasted_cycles")?,
             max_depth: get_num(obj, "max_depth")?,
             hist: LatencyHistogram::from_buckets(&buckets, hist_max),
@@ -375,6 +405,9 @@ mod tests {
             config: "tuned (+flags)".to_string(),
             end_cycles: 51_234_567,
             evacuated_pages: 128,
+            retune_cycles: 36_000_000,
+            slo_pre_permille: 940,
+            slo_post_permille: 910,
             wasted_cycles: 420_000,
             max_depth: 17,
             hist,
@@ -400,6 +433,7 @@ mod tests {
                     completed: 40,
                     shed: 5,
                     timeouts: 2,
+                    slo_ok: 38,
                     depth: 3,
                     level: 1,
                 },
@@ -443,5 +477,6 @@ mod tests {
         assert_eq!(t.arrivals, 100);
         assert_eq!(t.shed(), 10);
         assert_eq!(c.slo_permille(), 700);
+        assert_eq!(c.recovery_gap_permille(), 30);
     }
 }

@@ -43,19 +43,30 @@ pub struct OutageSpec {
 }
 
 impl OutageSpec {
-    /// Parse `T1..T2:node=N`.
+    /// Parse `T1..T2:node=N`. Errors are typed [`SimError::BadSpec`]
+    /// carrying the offending token verbatim, so the CLI error names
+    /// exactly what to fix — truncated and garbage input never panics.
     pub fn parse(s: &str) -> SimResult<OutageSpec> {
-        let bad = || SimError::Harness {
-            what: format!("malformed --outage spec `{s}` (expected T1..T2:node=N, Mcycles)"),
+        let bad = |token: &str, why: &str| SimError::BadSpec {
+            flag: "--outage".to_string(),
+            token: token.to_string(),
+            why: format!("{why} (expected T1..T2:node=N, Mcycles)"),
         };
-        let (range, node) = s.split_once(':').ok_or_else(bad)?;
-        let node = node.strip_prefix("node=").ok_or_else(bad)?;
-        let (t1, t2) = range.split_once("..").ok_or_else(bad)?;
-        let start_mcycles: u64 = t1.trim().parse().map_err(|_| bad())?;
-        let end_mcycles: u64 = t2.trim().parse().map_err(|_| bad())?;
-        let node: usize = node.trim().parse().map_err(|_| bad())?;
+        let (range, node) =
+            s.split_once(':').ok_or_else(|| bad(s, "missing `:node=N`"))?;
+        let node = node
+            .strip_prefix("node=")
+            .ok_or_else(|| bad(node, "expected `node=N`"))?;
+        let (t1, t2) = range
+            .split_once("..")
+            .ok_or_else(|| bad(range, "expected a `T1..T2` window"))?;
+        let start_mcycles: u64 =
+            t1.trim().parse().map_err(|_| bad(t1, "bad window start"))?;
+        let end_mcycles: u64 =
+            t2.trim().parse().map_err(|_| bad(t2, "bad window end"))?;
+        let node: usize = node.trim().parse().map_err(|_| bad(node, "bad node id"))?;
         if end_mcycles <= start_mcycles {
-            return Err(bad());
+            return Err(bad(range, "the window must end after it starts"));
         }
         Ok(OutageSpec { start_mcycles, end_mcycles, node })
     }
@@ -64,6 +75,75 @@ impl OutageSpec {
     #[must_use]
     pub fn canonical(&self) -> String {
         format!("{}..{}:node={}", self.start_mcycles, self.end_mcycles, self.node)
+    }
+}
+
+/// Engine-side runtime advisor for a serve run, parsed from
+/// `--advisor static|online[:rearm=N]`.
+///
+/// A mid-serve outage evacuates the dark node's pages onto the
+/// survivors; when the node returns, nothing moves them back. Under
+/// [`ServeAdvisor::Static`] that placement residue persists — service
+/// keeps paying the degraded per-phase costs for the rest of the run.
+/// Under [`ServeAdvisor::Online`] the epoch-driven controller's fault
+/// circuit breaker ([`nqp_advisor::CircuitBreaker`]) freezes during
+/// the outage, re-arms after `rearm_after` consecutive quiet epochs,
+/// and the re-arm epoch re-homes the evacuated pages — healthy costs
+/// resume from the next dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeAdvisor {
+    /// No runtime re-tuning: outage placement residue persists.
+    #[default]
+    Static,
+    /// Guarded re-tuning behind the fault circuit breaker.
+    Online {
+        /// Quiet epochs required after the outage before the breaker
+        /// re-arms and the re-home runs.
+        rearm_after: u64,
+    },
+}
+
+impl ServeAdvisor {
+    /// Parse `static` or `online[:rearm=N]`. Errors are typed
+    /// [`SimError::BadSpec`] naming the offending token.
+    pub fn parse(s: &str) -> SimResult<ServeAdvisor> {
+        let bad = |token: &str, why: &str| SimError::BadSpec {
+            flag: "--advisor".to_string(),
+            token: token.to_string(),
+            why: format!("{why} (expected static or online[:rearm=N])"),
+        };
+        let (kind, rest) = match s.split_once(':') {
+            Some((k, r)) => (k.trim(), Some(r)),
+            None => (s.trim(), None),
+        };
+        match kind {
+            "static" => match rest {
+                Some(r) => Err(bad(r, "static takes no parameters")),
+                None => Ok(ServeAdvisor::Static),
+            },
+            "online" => {
+                let rearm_after = match rest {
+                    Some(r) => {
+                        let v = r
+                            .strip_prefix("rearm=")
+                            .ok_or_else(|| bad(r, "unknown parameter"))?;
+                        v.trim().parse().map_err(|_| bad(v, "bad rearm count"))?
+                    }
+                    None => 2,
+                };
+                Ok(ServeAdvisor::Online { rearm_after })
+            }
+            other => Err(bad(other, "unknown advisor mode")),
+        }
+    }
+
+    /// Canonical form (round-trips through [`ServeAdvisor::parse`]).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            ServeAdvisor::Static => "static".to_string(),
+            ServeAdvisor::Online { rearm_after } => format!("online:rearm={rearm_after}"),
+        }
     }
 }
 
@@ -128,6 +208,8 @@ pub struct ServeSpec {
     pub epoch_mcycles: u64,
     /// Optional mid-serve node outage.
     pub outage: Option<OutageSpec>,
+    /// Runtime advisor mode (outage recovery behaviour).
+    pub advisor: ServeAdvisor,
     /// Seed for arrivals and tenant/class assignment.
     pub seed: u64,
 }
@@ -195,6 +277,7 @@ mod tests {
             breaker_threshold: 8,
             epoch_mcycles: 2,
             outage: None,
+            advisor: ServeAdvisor::default(),
             seed: 42,
         }
     }
@@ -206,6 +289,54 @@ mod tests {
         assert_eq!(OutageSpec::parse(&o.canonical()).unwrap(), o);
         for bad in ["", "12..20", "20..12:node=1", "12:node=1", "a..b:node=1"] {
             assert!(OutageSpec::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    /// Satellite gate: truncated and garbage `--outage` input yields a
+    /// typed error naming the offending token — never a panic.
+    #[test]
+    fn outage_errors_name_the_offending_token() {
+        let token = |s: &str| match OutageSpec::parse(s).unwrap_err() {
+            SimError::BadSpec { flag, token, .. } => {
+                assert_eq!(flag, "--outage");
+                token
+            }
+            other => panic!("expected BadSpec, got {other}"),
+        };
+        assert_eq!(token("12..20"), "12..20", "missing node clause");
+        assert_eq!(token("12..20:core=1"), "core=1", "wrong clause keyword");
+        assert_eq!(token("12..junk:node=1"), "junk", "garbage window end");
+        assert_eq!(token("oops..20:node=1"), "oops", "garbage window start");
+        assert_eq!(token("12..20:node=x"), "x", "garbage node id");
+        assert_eq!(token("20..12:node=1"), "20..12", "inverted window");
+        assert_eq!(token(""), "", "empty spec is truncated input, not a panic");
+    }
+
+    #[test]
+    fn advisor_spec_round_trips_and_rejects_garbage() {
+        assert_eq!(ServeAdvisor::parse("static").unwrap(), ServeAdvisor::Static);
+        assert_eq!(
+            ServeAdvisor::parse("online").unwrap(),
+            ServeAdvisor::Online { rearm_after: 2 }
+        );
+        let o = ServeAdvisor::parse("online:rearm=5").unwrap();
+        assert_eq!(o, ServeAdvisor::Online { rearm_after: 5 });
+        assert_eq!(ServeAdvisor::parse(&o.canonical()).unwrap(), o);
+        assert_eq!(ServeAdvisor::Static.canonical(), "static");
+        for (bad, tok) in [
+            ("offline", "offline"),
+            ("online:rearm=x", "x"),
+            ("online:x=2", "x=2"),
+            ("static:rearm=2", "rearm=2"),
+            ("", ""),
+        ] {
+            match ServeAdvisor::parse(bad).unwrap_err() {
+                SimError::BadSpec { flag, token, .. } => {
+                    assert_eq!(flag, "--advisor");
+                    assert_eq!(token, tok, "{bad:?}");
+                }
+                other => panic!("expected BadSpec for {bad:?}, got {other}"),
+            }
         }
     }
 

@@ -195,6 +195,10 @@ pub struct SimConfig {
     /// counters, and trace artifacts; the reference path exists as the
     /// differential-testing oracle (`NQP_REFERENCE=1` in the CLI).
     pub reference_model: bool,
+    /// Constructor for a runtime-tuning hook ([`crate::RegionHook`]);
+    /// each `NumaSim::new` builds a fresh instance. None = no online
+    /// controller (the default — region resolution is unchanged).
+    pub tune: Option<crate::tune::TuneFactory>,
 }
 
 impl SimConfig {
@@ -216,6 +220,7 @@ impl SimConfig {
             deadline_cycles: None,
             trace: None,
             reference_model: false,
+            tune: None,
         }
     }
 
@@ -304,6 +309,13 @@ impl SimConfig {
     /// against). Off by default.
     pub fn with_reference_model(mut self, on: bool) -> Self {
         self.reference_model = on;
+        self
+    }
+
+    /// Builder-style setter installing a runtime-tuning hook factory
+    /// (the online advisor's entry point).
+    pub fn with_tune(mut self, factory: crate::tune::TuneFactory) -> Self {
+        self.tune = Some(factory);
         self
     }
 }

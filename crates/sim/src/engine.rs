@@ -33,6 +33,7 @@ use crate::metrics::{Bottleneck, Counters, RegionStats};
 use crate::sched::{plan_region, ThreadSchedule};
 use crate::tlb::Tlb;
 use crate::trace::{TraceEvent, TraceLog, NO_TID};
+use crate::tune::{EpochView, RegionHook, TuneAction};
 use nqp_topology::{CoreId, NodeId};
 
 /// Read or write; counted identically by the current cost model but kept
@@ -86,6 +87,19 @@ pub struct NumaSim {
     /// set — the pay-for-what-you-use switch: every hook is one branch
     /// on this Option and hooks never charge cycles).
     trace: Option<Box<TraceLog>>,
+    /// Runtime-tuning hook (None unless `SimConfig::tune` is set).
+    /// Called after every region resolves; its actions are applied and
+    /// charged before the next region runs.
+    hook: Option<HookBox>,
+}
+
+/// Debug-opaque container for the installed tuning hook.
+struct HookBox(Box<dyn RegionHook + Send>);
+
+impl std::fmt::Debug for HookBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RegionHook(..)")
+    }
 }
 
 impl NumaSim {
@@ -117,9 +131,11 @@ impl NumaSim {
             .collect();
         let memory = Memory::new(machine);
         let trace = cfg.trace.as_ref().map(|tc| Box::new(TraceLog::new(tc.clone())));
+        let hook = cfg.tune.as_ref().map(|f| HookBox(f.build()));
         NumaSim {
             memory,
             trace,
+            hook,
             caches,
             tlbs: Vec::new(),
             l1s: Vec::new(),
@@ -479,7 +495,9 @@ impl NumaSim {
         if let Some(e) = finished.iter().find_map(|t| t.fault.clone()) {
             return Err(e);
         }
-        Ok(self.resolve(region, finished, total_cores, &active))
+        let stats = self.resolve(region, finished, total_cores, &active);
+        self.run_hook(region, &stats, &active)?;
+        Ok(stats)
     }
 
     /// Run a single logical thread (setup phases, coordinators).
@@ -527,6 +545,106 @@ impl NumaSim {
                     TraceEvent::NodeOffline { node, evacuated_pages: moved },
                 );
             }
+        }
+        if let Some(budget) = self.cfg.trial_budget_cycles {
+            if self.now_cycles >= budget {
+                return Err(SimError::Timeout {
+                    budget_cycles: budget,
+                    elapsed_cycles: self.now_cycles,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Install a runtime-tuning hook on a live simulator (tests and
+    /// ad-hoc drivers; sweeps install one via [`SimConfig::with_tune`],
+    /// which builds a fresh hook per `NumaSim::new`).
+    pub fn install_hook(&mut self, hook: Box<dyn RegionHook + Send>) {
+        self.hook = Some(HookBox(hook));
+    }
+
+    /// Run the installed tuning hook against the region that just
+    /// resolved and apply its actions. The hook sees only model-cycle
+    /// state (an [`EpochView`]), so its decision sequence is a
+    /// deterministic function of the simulated execution; every action
+    /// it returns is applied *and charged* here, before the next region
+    /// runs — the one point where the machine is quiescent (the same
+    /// boundary node-offline evacuation uses), so no cache, TLB, or
+    /// walk-memo invalidation is needed.
+    fn run_hook(
+        &mut self,
+        region: u64,
+        stats: &RegionStats,
+        active: &ActiveFaults,
+    ) -> SimResult<()> {
+        let Some(mut hook) = self.hook.take() else { return Ok(()) };
+        let view = EpochView {
+            region,
+            now_cycles: self.now_cycles,
+            elapsed_cycles: stats.elapsed_cycles,
+            counters: self.counters,
+            node_used_pages: self.memory.node_used_pages(),
+            mem_policy: self.cfg.mem_policy,
+            thread_placement: self.cfg.thread_placement,
+            autonuma: self.cfg.autonuma,
+            threads: stats.threads,
+            fault_active: !active.is_quiet(),
+        };
+        let actions = hook.0.on_region_end(&view);
+        self.hook = Some(hook);
+        for action in actions {
+            self.apply_action(region, stats.threads, action)?;
+        }
+        Ok(())
+    }
+
+    /// Apply one hook action, charge its model-cycle cost, and record
+    /// it as a trace event. Page moves are charged at the same
+    /// `CostParams` rates as kernel migrations, and — like node-offline
+    /// evacuation — the charge can blow the trial budget.
+    fn apply_action(&mut self, region: u64, threads: usize, action: TuneAction) -> SimResult<()> {
+        let decision = match action {
+            TuneAction::SetMemPolicy(policy) => {
+                self.cfg.mem_policy = policy;
+                format!("policy={}", policy.label())
+            }
+            TuneAction::SetThreadPlacement(placement) => {
+                if placement != self.cfg.thread_placement {
+                    self.cfg.thread_placement = placement;
+                    // Every seat can move when the placement regime
+                    // changes: charge one migration per logical thread.
+                    let cost = self.cfg.costs.thread_migration_cycles * threads as u64;
+                    self.now_cycles += cost;
+                    self.counters.kernel_cycles += cost;
+                    self.counters.thread_migrations += threads as u64;
+                }
+                format!("placement={}", placement.label())
+            }
+            TuneAction::SetAutonuma(on) => {
+                self.cfg.autonuma = on;
+                format!("autonuma={}", if on { "on" } else { "off" })
+            }
+            TuneAction::RehomePages { policy, max_pages } => {
+                let moved = self.memory.rehome_pages(policy, max_pages);
+                if moved > 0 {
+                    let costs = &self.cfg.costs;
+                    let cost = costs.page_migration_fixed_cycles
+                        + costs.page_migration_per_line_cycles * (SMALL_PAGE / LINE) * moved;
+                    self.now_cycles += cost;
+                    self.counters.kernel_cycles += cost;
+                    self.counters.page_migrations += moved;
+                }
+                format!("rehome={}:moved={moved}", policy.label())
+            }
+            TuneAction::Note(token) => token,
+        };
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(
+                self.now_cycles,
+                NO_TID,
+                TraceEvent::AdvisorDecision { region, decision },
+            );
         }
         if let Some(budget) = self.cfg.trial_budget_cycles {
             if self.now_cycles >= budget {

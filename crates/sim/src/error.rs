@@ -76,6 +76,17 @@ pub enum SimError {
         /// What went wrong.
         what: String,
     },
+    /// A user-facing spec string (`--faults`, `--outage`, `--arrivals`)
+    /// failed to parse. Carries the flag, the offending token verbatim,
+    /// and the reason, so the CLI error names exactly what to fix.
+    BadSpec {
+        /// The flag whose value was malformed (e.g. `--faults`).
+        flag: String,
+        /// The offending token, verbatim from the input.
+        token: String,
+        /// Why the token was rejected.
+        why: String,
+    },
 }
 
 impl SimError {
@@ -96,6 +107,7 @@ impl SimError {
             SimError::DeadlineExceeded { .. } => "deadline",
             SimError::NodeOffline { .. } => "node-offline",
             SimError::Harness { .. } => "harness",
+            SimError::BadSpec { .. } => "bad-spec",
         }
     }
 }
@@ -127,6 +139,9 @@ impl fmt::Display for SimError {
                 write!(f, "node {node} is offline and the operation required it")
             }
             SimError::Harness { what } => write!(f, "harness invariant failed: {what}"),
+            SimError::BadSpec { flag, token, why } => {
+                write!(f, "malformed {flag} spec: {why} at `{token}`")
+            }
         }
     }
 }

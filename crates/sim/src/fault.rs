@@ -192,8 +192,12 @@ impl FaultPlan {
     /// Example: `alloc@2:attempts=1;link@0..9:link=0,lat=2.5,bw=4` or
     /// `offline@6:node=1` (node 1 dies at region 6 and stays dead).
     pub fn parse(spec: &str, seed: u64) -> SimResult<FaultPlan> {
-        fn bad(why: &'static str) -> SimError {
-            SimError::Harness { what: format!("malformed --faults spec: {why}") }
+        fn bad(token: &str, why: &str) -> SimError {
+            SimError::BadSpec {
+                flag: "--faults".to_string(),
+                token: token.to_string(),
+                why: why.to_string(),
+            }
         }
         let mut plan = FaultPlan::new(seed);
         for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
@@ -203,33 +207,34 @@ impl FaultPlan {
                 None => (part, None),
             };
             let (kind_name, window) =
-                head.split_once('@').ok_or_else(|| bad("missing @window"))?;
+                head.split_once('@').ok_or_else(|| bad(part, "missing @window"))?;
             let (from, to) = match window.split_once("..") {
                 Some((a, b)) => (
-                    a.parse().map_err(|_| bad("bad window start"))?,
-                    b.parse().map_err(|_| bad("bad window end"))?,
+                    a.parse().map_err(|_| bad(a, "bad window start"))?,
+                    b.parse().map_err(|_| bad(b, "bad window end"))?,
                 ),
                 None => {
-                    let r = window.parse().map_err(|_| bad("bad window"))?;
+                    let r = window.parse().map_err(|_| bad(window, "bad window"))?;
                     (r, r)
                 }
             };
             let mut kv = std::collections::HashMap::new();
             if let Some(params) = params {
                 for pair in params.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair.split_once('=').ok_or_else(|| bad("bad key=value"))?;
+                    let (k, v) =
+                        pair.split_once('=').ok_or_else(|| bad(pair, "expected key=value"))?;
                     kv.insert(k.trim().to_string(), v.trim().to_string());
                 }
             }
             let getf = |k: &str, default: f64| -> SimResult<f64> {
                 match kv.get(k) {
-                    Some(v) => v.parse().map_err(|_| bad("bad float param")),
+                    Some(v) => v.parse().map_err(|_| bad(v, "expected a float")),
                     None => Ok(default),
                 }
             };
             let getu = |k: &str, default: u64| -> SimResult<u64> {
                 match kv.get(k) {
-                    Some(v) => v.parse().map_err(|_| bad("bad integer param")),
+                    Some(v) => v.parse().map_err(|_| bad(v, "expected an integer")),
                     None => Ok(default),
                 }
             };
@@ -248,7 +253,12 @@ impl FaultPlan {
                     period_cycles: getu("period", 100_000)?.max(1),
                 },
                 "offline" => FaultKind::NodeOffline { node: getu("node", 0)? as usize },
-                _ => return Err(bad("unknown fault kind")),
+                other => {
+                    return Err(bad(
+                        other,
+                        "unknown fault kind (expected alloc, link, migfail, preempt, or offline)",
+                    ))
+                }
             };
             plan.events.push(FaultEvent { from_region: from, to_region: to, kind });
         }
@@ -460,5 +470,33 @@ mod tests {
             assert!(FaultPlan::parse(bad, 0).is_err(), "{bad} should not parse");
         }
         assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offending_token() {
+        // (spec, the token the typed error must carry verbatim)
+        for (spec, token) in [
+            ("alloc", "alloc"),                 // missing @window entirely
+            ("alloc@x", "x"),                   // garbage window
+            ("alloc@1..z", "z"),                // truncated range end
+            ("wat@1", "wat"),                   // unknown kind
+            ("link@1:lat", "lat"),              // key with no value
+            ("link@1:lat=fast", "fast"),        // non-float value
+            ("offline@1:node=one", "one"),      // non-integer value
+        ] {
+            match FaultPlan::parse(spec, 0) {
+                Err(SimError::BadSpec { flag, token: t, .. }) => {
+                    assert_eq!(flag, "--faults", "{spec}");
+                    assert_eq!(t, token, "{spec}");
+                }
+                other => panic!("{spec}: expected BadSpec, got {other:?}"),
+            }
+            // The rendered message names the flag and the token, and the
+            // tag is stable for tables.
+            let e = FaultPlan::parse(spec, 0).unwrap_err();
+            assert_eq!(e.tag(), "bad-spec");
+            let msg = e.to_string();
+            assert!(msg.contains("--faults") && msg.contains(token), "{msg}");
+        }
     }
 }

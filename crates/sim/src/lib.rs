@@ -48,6 +48,7 @@ mod mix;
 mod sched;
 mod tlb;
 mod trace;
+mod tune;
 
 pub use cache::Llc;
 pub use config::{CostParams, MemPolicy, SimConfig, ThreadPlacement};
@@ -61,4 +62,5 @@ pub use tlb::Tlb;
 pub use trace::{
     EpochSample, PhaseSpan, TraceConfig, TraceEvent, TraceLog, TraceRecord, NO_TID,
 };
+pub use tune::{EpochView, RegionHook, TuneAction, TuneFactory};
 

@@ -526,6 +526,81 @@ impl Memory {
         Ok(moved)
     }
 
+    /// Rearrange already-resident pages to match `policy`, moving at
+    /// most `max_pages` 4 KB pages (the online advisor's bounded
+    /// per-epoch migration budget). Walks the page table in address
+    /// order like [`Memory::set_node_offline`], moving huge frames as
+    /// whole units and resetting their AutoNUMA reference state.
+    ///
+    /// * `Interleave` deals units round-robin across live nodes with a
+    ///   fresh cursor (the `map`-time cursor is left untouched so
+    ///   placements of *new* mappings are unaffected).
+    /// * `Preferred`/`Bind` target the named node, skipping units it
+    ///   cannot hold — re-homing is advisory, never an OOM.
+    /// * `FirstTouch`/`Localalloc` are no-ops: nothing records who
+    ///   would have touched first.
+    ///
+    /// Returns the number of 4 KB pages moved; the engine charges them
+    /// as kernel migration traffic.
+    pub fn rehome_pages(&mut self, policy: MemPolicy, max_pages: u64) -> u64 {
+        let live: Vec<NodeId> =
+            (0..self.num_nodes).filter(|&n| !self.offline[n]).collect();
+        if live.is_empty() {
+            return 0;
+        }
+        let mut cursor = 0usize;
+        let mut moved = 0u64;
+        let mut p = 0usize;
+        while p < self.pages.len() && moved < max_pages {
+            let e = self.pages[p];
+            // Only faulted-in pages move: an assigned-but-untouched page
+            // has no contents to copy, and charging a copy for it would
+            // overstate the re-tune's cost.
+            if !(e.mapped && e.faulted && e.node != NO_NODE) {
+                p += 1;
+                continue;
+            }
+            // Huge mappings are 2 MB-aligned, so a frame's first page is
+            // always reached before its tail: move the whole unit.
+            let (start, unit) = if e.huge {
+                let start = p - p % PAGES_PER_HUGE as usize;
+                (start, PAGES_PER_HUGE as usize)
+            } else {
+                (p, 1)
+            };
+            p = start + unit;
+            let target = match policy {
+                MemPolicy::Interleave => {
+                    // Advance the cursor for every unit, moved or not,
+                    // so the dealt pattern is a stable function of the
+                    // address-order walk.
+                    let t = live[cursor % live.len()];
+                    cursor += 1;
+                    t
+                }
+                MemPolicy::Preferred(n) | MemPolicy::Bind(n) => n,
+                MemPolicy::FirstTouch | MemPolicy::Localalloc => return moved,
+            };
+            if target >= self.num_nodes
+                || self.offline[target]
+                || e.node as usize == target
+                || moved + unit as u64 > max_pages
+                || self.node_used_pages[target] + unit as u64 > self.node_capacity_pages
+            {
+                continue;
+            }
+            self.node_used_pages[e.node as usize] -= unit as u64;
+            self.node_used_pages[target] += unit as u64;
+            for q in start..start + unit {
+                self.pages[q].node = target as u8;
+                self.pages[q].remote_hits = 0;
+                self.pages[q].last_remote = NO_NODE;
+            }
+            moved += unit as u64;
+        }
+        moved
+    }
+
     /// The TLB tag for `addr`: huge frames translate at 2 MB granularity.
     #[inline]
     pub fn tlb_tag(&self, addr: VAddr, huge: bool) -> u64 {

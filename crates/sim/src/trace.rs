@@ -88,6 +88,11 @@ pub enum TraceEvent {
     /// The query's cooperative deadline passed; it abandoned at the
     /// next region boundary having burned `elapsed_cycles`.
     DeadlineAbandon { deadline_cycles: u64, elapsed_cycles: u64 },
+    /// The online advisor acted at the end of `region`: a knob turn
+    /// (`policy=…`, `autonuma=…`, `rehome=…:moved=…`) or a state
+    /// transition (`freeze`, `rearm:…`, `rollback:…`, `commit:…`).
+    /// The decision token is a single word with no spaces.
+    AdvisorDecision { region: u64, decision: String },
 }
 
 /// A `TraceEvent` plus when and on which logical thread it happened.

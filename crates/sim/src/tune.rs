@@ -1,0 +1,159 @@
+//! Mid-run tuning: the epoch hook a runtime controller plugs into.
+//!
+//! The simulator's unit of time attribution is the parallel region; a
+//! region boundary is the only point where the machine is quiescent
+//! (no worker holds caches or schedules mid-flight), so it is the only
+//! point where re-tuning is safe without invalidation machinery — the
+//! same reason `NodeOffline` evacuation applies between regions. A
+//! [`RegionHook`] installed on [`crate::NumaSim`] is called after every
+//! region resolves, sees an [`EpochView`] of pure model-cycle state
+//! (cycles, cumulative counters, page residency), and returns
+//! [`TuneAction`]s the engine applies and *charges* before the next
+//! region runs. Hooks receive no wall-clock, no RNG, and no trace
+//! state, so a controller's decisions are a deterministic function of
+//! the simulated execution: serial, `--jobs N`, and killed-then-resumed
+//! sweeps see byte-identical decision sequences, and tracing on/off
+//! cannot change them.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::config::{MemPolicy, ThreadPlacement};
+use crate::metrics::Counters;
+
+/// What a controller sees at a region boundary: model-cycle state only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochView<'a> {
+    /// Index of the region that just resolved.
+    pub region: u64,
+    /// Simulated clock after the region resolved.
+    pub now_cycles: u64,
+    /// Model cycles the region itself took.
+    pub elapsed_cycles: u64,
+    /// Cumulative counters since simulator construction (the same
+    /// telescoping anchor nqp-trace samples from: a controller keeps
+    /// its previous snapshot and differences the two, so its epoch
+    /// deltas agree bit-for-bit with the trace's `EpochSample`s).
+    pub counters: Counters,
+    /// Pages currently resident on each node.
+    pub node_used_pages: &'a [u64],
+    /// The memory policy future placements will use.
+    pub mem_policy: MemPolicy,
+    /// The thread placement future regions will be scheduled with.
+    pub thread_placement: ThreadPlacement,
+    /// Whether AutoNUMA is currently on.
+    pub autonuma: bool,
+    /// Logical threads the region ran.
+    pub threads: usize,
+    /// Whether any injected fault was active over the region (storms,
+    /// link degradation, node outages). Controllers should freeze
+    /// rather than tune through a fault window.
+    pub fault_active: bool,
+}
+
+/// One knob turn a controller asks the engine to apply. Every action
+/// is charged in model cycles by the engine (page moves at the same
+/// `CostParams` rates as kernel migrations), so a controller that
+/// tunes too eagerly pays for it in the results it is judged on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneAction {
+    /// Flip the placement policy for *future* mappings and touches.
+    SetMemPolicy(MemPolicy),
+    /// Re-place threads: future regions are scheduled under this
+    /// placement. Charged as one thread migration per logical thread
+    /// of the region that just ran (every seat can move).
+    SetThreadPlacement(ThreadPlacement),
+    /// Toggle AutoNUMA from the next region on.
+    SetAutonuma(bool),
+    /// Migrate already-placed pages so residency matches `policy`,
+    /// moving at most `max_pages` 4 KB pages (the per-epoch migration
+    /// budget). Huge frames move whole. `FirstTouch`/`Localalloc`
+    /// targets are no-ops — there is no record of who would have
+    /// touched first.
+    RehomePages {
+        /// Placement the resident pages should be rearranged to match.
+        policy: MemPolicy,
+        /// Budget in 4 KB pages; a frame that would exceed it stays.
+        max_pages: u64,
+    },
+    /// Record a controller state transition (freeze, re-arm, rollback,
+    /// commit) as a trace event without touching any knob. Free.
+    Note(String),
+}
+
+/// A controller observing region boundaries on one `NumaSim`.
+pub trait RegionHook {
+    /// Called after each region resolves; returns the actions to apply
+    /// (and charge) before the next region runs.
+    fn on_region_end(&mut self, view: &EpochView<'_>) -> Vec<TuneAction>;
+}
+
+/// Clonable constructor for a [`RegionHook`], carried on
+/// [`crate::SimConfig`]. Each `NumaSim::new` builds a *fresh* hook, so
+/// a cloned config replayed for a retry or a resumed sweep cell starts
+/// the controller from the same initial state — the determinism
+/// contract would break if controller state leaked between trials.
+#[derive(Clone)]
+pub struct TuneFactory(Arc<dyn Fn() -> Box<dyn RegionHook + Send> + Send + Sync>);
+
+impl TuneFactory {
+    /// Wrap a constructor closure.
+    pub fn new<F>(make: F) -> Self
+    where
+        F: Fn() -> Box<dyn RegionHook + Send> + Send + Sync + 'static,
+    {
+        TuneFactory(Arc::new(make))
+    }
+
+    /// Build a fresh hook instance.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn RegionHook + Send> {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for TuneFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TuneFactory(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingHook(u64);
+    impl RegionHook for CountingHook {
+        fn on_region_end(&mut self, _view: &EpochView<'_>) -> Vec<TuneAction> {
+            self.0 += 1;
+            vec![TuneAction::Note(format!("epoch-{}", self.0))]
+        }
+    }
+
+    #[test]
+    fn factory_builds_fresh_hooks() {
+        let factory = TuneFactory::new(|| Box::new(CountingHook(0)));
+        let view = EpochView {
+            region: 0,
+            now_cycles: 0,
+            elapsed_cycles: 0,
+            counters: Counters::default(),
+            node_used_pages: &[],
+            mem_policy: MemPolicy::FirstTouch,
+            thread_placement: ThreadPlacement::None,
+            autonuma: false,
+            threads: 1,
+            fault_active: false,
+        };
+        let mut a = factory.build();
+        a.on_region_end(&view);
+        let actions = a.on_region_end(&view);
+        assert_eq!(actions, vec![TuneAction::Note("epoch-2".to_string())]);
+        // A second build starts over: no state leaks through the factory.
+        let mut b = factory.build();
+        assert_eq!(
+            b.on_region_end(&view),
+            vec![TuneAction::Note("epoch-1".to_string())]
+        );
+    }
+}

@@ -109,6 +109,31 @@ pub fn uma_single_node() -> MachineSpec {
     }
 }
 
+/// A small 4-node NUMA testbed: a scaled-down machine whose LLC and
+/// memory-controller bandwidth are tiny, so cache-capacity misses,
+/// remote-latency penalties, and controller rooflines all appear at
+/// test-sized working sets (hundreds of KB instead of tens of MB).
+/// Used by the phase-shift workload tests and the online-advisor
+/// gates; not a paper machine.
+pub fn numa_small() -> MachineSpec {
+    MachineSpec {
+        name: "S".into(),
+        cpu_model: "4x Scaled Testbed".into(),
+        cpu_mhz: 2000,
+        topology: fully_connected(4, vec![1.0, 2.0])
+            .expect("testbed topology is statically valid"),
+        threads_per_node: 2,
+        cores_per_node: 2,
+        llc: CacheSpec { size_bytes: 64 * KB, line_bytes: 64, hit_cycles: 40 },
+        tlb_4k: TlbSpec { l1_entries: 32, l2_entries: 256 },
+        tlb_2m: TlbSpec { l1_entries: 8, l2_entries: 0 },
+        mem_per_node_bytes: 64 * MB,
+        dram_latency_cycles: 300,
+        controller_lines_per_cycle: 0.004,
+        link_lines_per_cycle: 0.012,
+    }
+}
+
 /// All three paper machines, in Table II order.
 pub fn paper_machines() -> Vec<MachineSpec> {
     vec![machine_a(), machine_b(), machine_c()]
@@ -122,6 +147,7 @@ pub fn by_name(name: &str) -> Option<MachineSpec> {
         "B" => Some(machine_b()),
         "C" => Some(machine_c()),
         "UMA" => Some(uma_single_node()),
+        "S" => Some(numa_small()),
         _ => None,
     }
 }

@@ -450,6 +450,9 @@ fn event_text(e: &TraceEvent) -> String {
         TraceEvent::DeadlineAbandon { deadline_cycles, elapsed_cycles } => {
             format!("kind=deadline-abandon deadline={deadline_cycles} elapsed={elapsed_cycles}")
         }
+        TraceEvent::AdvisorDecision { region, decision } => {
+            format!("kind=advisor region={region} decision={}", esc(decision))
+        }
     }
 }
 
@@ -495,6 +498,10 @@ fn event_parse(kv: &Fields<'_>, lineno: usize) -> Result<TraceEvent, TraceError>
         "deadline-abandon" => TraceEvent::DeadlineAbandon {
             deadline_cycles: kv.num("deadline", lineno)?,
             elapsed_cycles: kv.num("elapsed", lineno)?,
+        },
+        "advisor" => TraceEvent::AdvisorDecision {
+            region: kv.num("region", lineno)?,
+            decision: kv.text("decision", lineno)?,
         },
         other => {
             return Err(TraceError::Parse {
@@ -558,6 +565,14 @@ mod tests {
                 TraceRecord { at: 90, tid: 5, event: TraceEvent::ThreadMigration { from_core: 3, to_core: 11 } },
                 TraceRecord { at: 99, tid: 0, event: TraceEvent::LockContention { wait_cycles: 77 } },
                 TraceRecord { at: 100, tid: NO_TID, event: TraceEvent::NodeOffline { node: 1, evacuated_pages: 64 } },
+                TraceRecord {
+                    at: 120,
+                    tid: NO_TID,
+                    event: TraceEvent::AdvisorDecision {
+                        region: 2,
+                        decision: "rehome=interleave:moved=64".into(),
+                    },
+                },
             ],
         }
     }

@@ -114,6 +114,21 @@ impl Trace {
         out
     }
 
+    /// The online-controller decision timeline as CSV: one row per
+    /// `AdvisorDecision` instant event, in record order. Decision
+    /// tokens are single words (no spaces or commas, by the trace
+    /// format's convention), so no quoting is needed.
+    #[must_use]
+    pub fn to_decisions_csv(&self) -> String {
+        let mut out = String::from("at_cycles,region,decision\n");
+        for r in &self.events {
+            if let TraceEvent::AdvisorDecision { region, decision } = &r.event {
+                out.push_str(&format!("{},{region},{decision}\n", r.at));
+            }
+        }
+        out
+    }
+
     /// The `perf stat`-style report, computed **from the recorded
     /// time-series** (the telescoping sum of epoch samples), not from
     /// the stored totals — so the report proves the recording is
@@ -232,6 +247,10 @@ fn chrome_event(e: &TraceEvent) -> (&'static str, String) {
         TraceEvent::DeadlineAbandon { deadline_cycles, elapsed_cycles } => (
             "deadline abandon",
             format!("\"deadline_cycles\":{deadline_cycles},\"elapsed_cycles\":{elapsed_cycles}"),
+        ),
+        TraceEvent::AdvisorDecision { region, decision } => (
+            "advisor decision",
+            format!("\"region\":{region},\"decision\":\"{}\"", esc_json(decision)),
         ),
     }
 }

@@ -9,7 +9,10 @@
 #   - hot-path microbench (DESIGN.md §4e): W1/W3 access streams replayed
 #     through the simulator inner loop under the fast path and under
 #     NQP_REFERENCE=1, best-of-N wall-ns each, with the model cycles
-#     cross-checked for bit-identity before any speedup is published.
+#     cross-checked for bit-identity before any speedup is published,
+#   - online-advisor gain (DESIGN.md §4g): phase-shift sweep on the
+#     scaled testbed, online mean vs the best static mean (model
+#     cycles, deterministic).
 #
 # Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
 set -euo pipefail
@@ -111,6 +114,27 @@ SERVE_JSON=$(awk '
     }
   }' "$WORK/serve.txt")
 
+# Online-advisor gain (DESIGN.md §4g): the phase-shift workload on the
+# scaled testbed, static placements vs the epoch-driven controller and
+# the AutoNUMA contender. Mean cycles are pure model-clock numbers; the
+# gain is online over the best static mean and must stay above 1.0 —
+# these move only with a declared cost-model or controller change.
+ADV_ARGS=(sweep wshift --machine S --threads 4 --trials 2
+          --advisor online,autonuma)
+"$CLI" "${ADV_ARGS[@]}" > "$WORK/advisor.txt"
+adv_mean() { # <exact config name> -> mean cycles (names contain regex
+  awk -F': mean | cycles' -v n="$1" '$1 == n { print $2 }' "$WORK/advisor.txt"
+}          # metacharacters, so match on the split field, never a regex)
+OS_MEAN=$(adv_mean "os-default (+flags)")
+TUNED_MEAN=$(adv_mean "tuned (+flags)")
+ONLINE_MEAN=$(adv_mean "online (+flags)")
+AUTONUMA_MEAN=$(adv_mean "autonuma (+flags)")
+BEST_STATIC=$(( OS_MEAN < TUNED_MEAN ? OS_MEAN : TUNED_MEAN ))
+ADVISOR_GAIN=$(awk "BEGIN { printf \"%.3f\", $BEST_STATIC / $ONLINE_MEAN }")
+if awk "BEGIN { exit !($ADVISOR_GAIN < 1.0) }"; then
+  echo "bench.sh: WARNING: online advisor gain $ADVISOR_GAIN fell below 1.0" >&2
+fi
+
 cat > "$OUT" <<EOF
 {
   "schema": "nqp-bench-sweep-v1",
@@ -122,6 +146,14 @@ $SERVE_JSON
   "configs": [
 $CONFIGS_JSON
   ],
+  "online_advisor_gain": {
+    "grid": "${ADV_ARGS[*]}",
+    "os_default_mean_cycles": $OS_MEAN,
+    "tuned_mean_cycles": $TUNED_MEAN,
+    "autonuma_mean_cycles": $AUTONUMA_MEAN,
+    "online_mean_cycles": $ONLINE_MEAN,
+    "gain_vs_best_static": $ADVISOR_GAIN
+  },
   "trace_overhead": {
     "plain_wall_ns": $PLAIN_NS,
     "traced_wall_ns": $TRACED_NS,

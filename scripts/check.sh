@@ -17,7 +17,7 @@ cargo test -q --offline
 # errors). The crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
-cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve --lib --offline
+cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve -p nqp-advisor --lib --offline
 
 # Crash-safe resume smoke test: interrupt a journaled sweep after two
 # cells, resume it from the journal, and require the resumed table to
@@ -99,5 +99,45 @@ if "$CLI" serve w1 --machine B --tenants 0 > /dev/null 2>&1; then
   echo "check.sh: empty serve spec must exit nonzero" >&2
   exit 1
 fi
+
+# Online-advisor smoke (DESIGN.md §4g): the phase-shift sweep with the
+# epoch-driven controller and the AutoNUMA contender must be
+# byte-identical serial vs --jobs, and resume from a killed journal to
+# the same bytes — the controller re-tunes mid-trial, so this pins that
+# its decisions are a pure function of model-cycle state.
+AARGS=(sweep wshift --machine S --threads 4 --trials 2
+       --advisor online,autonuma)
+"$CLI" "${AARGS[@]}" > "$SMOKE/afull.txt"
+"$CLI" "${AARGS[@]}" --jobs 3 > "$SMOKE/ajobs.txt"
+diff "$SMOKE/afull.txt" "$SMOKE/ajobs.txt"
+"$CLI" "${AARGS[@]}" --journal "$SMOKE/aj.jsonl" --max-cells 3 > /dev/null 2> "$SMOKE/apart.err"
+grep -q "interrupted" "$SMOKE/apart.err"
+"$CLI" "${AARGS[@]}" --resume "$SMOKE/aj.jsonl" > "$SMOKE/aresumed.txt" 2> /dev/null
+diff "$SMOKE/afull.txt" "$SMOKE/aresumed.txt"
+
+# Malformed runtime specs must exit nonzero with a typed error naming
+# the offending token — never a panic, never a silent default.
+for bad in '--outage 12..junk:node=1' '--arrivals poisson:rate=wat' \
+           '--advisor offline'; do
+  # shellcheck disable=SC2086
+  if "$CLI" serve w1 --machine B --duration 10 $bad > /dev/null 2> "$SMOKE/bad.err"; then
+    echo "check.sh: \`serve $bad\` must exit nonzero" >&2
+    exit 1
+  fi
+  grep -q "malformed" "$SMOKE/bad.err"
+done
+("$CLI" serve w1 --machine B --duration 10 --outage "12..junk:node=1" 2>&1 || true) \
+  | grep -q '`junk`'
+
+# Serve outage recovery smoke: with --advisor online the run reports a
+# re-tune cycle after the outage window; kill-and-resume must still be
+# byte-identical with the advisor in the loop.
+SOARGS=(serve w1,w3 --machine B --threads 4 --duration 40 --seed 7
+        --arrivals "burst:rate=2,x=4" --outage "12..20:node=1" --advisor online)
+"$CLI" "${SOARGS[@]}" > "$SMOKE/sofull.txt"
+grep -q "re-tuned at" "$SMOKE/sofull.txt"
+"$CLI" "${SOARGS[@]}" --journal "$SMOKE/soj.jsonl" --max-cells 1 > /dev/null 2>&1
+"$CLI" "${SOARGS[@]}" --resume "$SMOKE/soj.jsonl" > "$SMOKE/soresumed.txt" 2> /dev/null
+diff "$SMOKE/sofull.txt" "$SMOKE/soresumed.txt"
 
 echo "check.sh: all gates passed"

@@ -10,14 +10,15 @@
 //!                [--thp on|off] [--n N] [--card N] [--index NAME] [--seed N]
 //!                [--faults SPEC] [--trial-budget CYCLES]
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
-//! nqp-cli sweep w1|w2|w3|w4 [--trials N] [--retries N] [--faults SPEC]
-//!                [--trial-budget CYCLES] [--machine A|B|C] [--jobs N]
+//! nqp-cli sweep w1|w2|w3|w4|wshift [--trials N] [--retries N] [--faults SPEC]
+//!                [--trial-budget CYCLES] [--machine A|B|C|S] [--jobs N]
+//!                [--advisor online[,autonuma]]
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
 //!                [--trace-dir DIR] [--trace-epoch CYCLES]
 //! nqp-cli hotpath w1|w3 [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
-//! nqp-cli trace FILE [--chrome OUT] [--csv OUT] [--report]
+//! nqp-cli trace FILE [--chrome OUT] [--csv OUT] [--decisions OUT] [--report]
 //! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
 //! ```
 //!
@@ -40,6 +41,7 @@
 //! per-config quota of `ceil(budget / configs)` so admission never
 //! depends on scheduling order).
 
+use nqp::advisor::ControllerConfig;
 use nqp::alloc::AllocatorKind;
 use nqp::core::advisor::{advise, WorkloadProfile};
 use nqp::core::journal::{grid_fingerprint, JournalWriter};
@@ -47,14 +49,14 @@ use nqp::core::executor::sweep_parallel;
 use nqp::core::runner::{
     sweep_supervised, RetryPolicy, SupervisorPolicy, TrialMeasurement, TrialRecord,
 };
-use nqp::core::TuningConfig;
+use nqp::core::{AdvisorMode, TuningConfig};
 use nqp::datagen::tpch::TpchData;
 use nqp::datagen::{generate, JoinDataset};
 use nqp::engines::{query_name, DbSystem, SystemKind};
 use nqp::indexes::IndexKind;
 use nqp::query::{
-    try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on, AggConfig, AggKind,
-    WorkloadEnv,
+    try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on,
+    try_run_phase_shift, AggConfig, AggKind, PhaseShiftConfig, WorkloadEnv,
 };
 use nqp::sim::{
     Access, Counters, FaultPlan, MemPolicy, NumaSim, SimError, SimResult, ThreadPlacement,
@@ -62,7 +64,7 @@ use nqp::sim::{
 };
 use nqp::serve::{
     arrival::parse_milli, run_cells, ArrivalSpec, CellInput, CellStats, ClassProfile,
-    OutageSpec, ServeSpec, Session,
+    OutageSpec, ServeAdvisor, ServeSpec, Session,
 };
 use nqp::topology::{machines, MachineSpec};
 use nqp::trace::{artifact_name, sessions_to_chrome_json, slug, SessionSpan, Trace, TraceMeta};
@@ -106,20 +108,22 @@ const USAGE: &str = "usage:
   nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed] [--alloc-light] [--mem-tight]
   nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
-  nqp-cli sweep <w1|w2|w3|w4> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
-                [--jobs N] [--journal PATH | --resume PATH] [--max-cells N] [--watchdog CYCLES]
+  nqp-cli sweep <w1|w2|w3|w4|wshift> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
+                [--advisor online[,autonuma]] [--jobs N] [--journal PATH | --resume PATH]
+                [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
                 [--trace-dir DIR] [--trace-epoch CYCLES]
   nqp-cli serve <w1|w2|w3|w4[,..]> [--tenants N] [--duration MCYCLES] [--arrivals SPEC]
                 [--lanes N] [--queue-cap N] [--tokens N] [--refill R] [--deadline MCYCLES]
                 [--breaker K] [--epoch MCYCLES] [--outage T1..T2:node=N]
+                [--advisor static|online[:rearm=N]]
                 [--configs both|os-default|tuned] [--jobs N]
                 [--journal PATH | --resume PATH] [--max-cells N]
                 [--csv FILE] [--json FILE] [--trace-dir DIR]
                 (arrivals: poisson:rate=R | burst:rate=R,x=M,on=A,off=B | diurnal:rate=R,x=M,period=P)
   nqp-cli hotpath <w1|w3> [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
                 [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
-  nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--report]
+  nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--decisions OUT.csv] [--report]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
   (see `nqp-cli workload --help` equivalents in the README)";
 
@@ -147,7 +151,8 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
 
 fn machine_arg(flags: &HashMap<String, String>) -> Result<MachineSpec, String> {
     let name = flags.get("machine").map(String::as_str).unwrap_or("A");
-    machines::by_name(name).ok_or_else(|| format!("unknown machine `{name}` (A, B, C, UMA)"))
+    machines::by_name(name)
+        .ok_or_else(|| format!("unknown machine `{name}` (A, B, C, S, UMA)"))
 }
 
 fn cmd_machines() -> Result<(), String> {
@@ -262,6 +267,7 @@ enum WorkloadPlan {
     Agg { acfg: AggConfig, records: Vec<nqp::datagen::Record> },
     Hash { data: JoinDataset },
     Inl { index: IndexKind, data: JoinDataset },
+    Shift { cfg: PhaseShiftConfig },
 }
 
 impl WorkloadPlan {
@@ -302,7 +308,19 @@ impl WorkloadPlan {
                 };
                 Ok(WorkloadPlan::Inl { index, data: JoinDataset::generate(r, seed) })
             }
-            other => Err(format!("unknown workload `{other}` (w1, w2, w3, w4)")),
+            "wshift" => {
+                // The build phase scans thread-private partitions; the
+                // probe phase hammers one node's shared table — no
+                // static placement wins both, which is the workload the
+                // online advisor exists for.
+                let mut cfg = PhaseShiftConfig::small(seed);
+                if let Some(n) = flags.get("n").and_then(|s| s.parse().ok()) {
+                    cfg.shared_n = n;
+                    cfg.private_n = n * 2;
+                }
+                Ok(WorkloadPlan::Shift { cfg })
+            }
+            other => Err(format!("unknown workload `{other}` (w1, w2, w3, w4, wshift)")),
         }
     }
 
@@ -323,6 +341,10 @@ impl WorkloadPlan {
             WorkloadPlan::Inl { index, data } => {
                 let out = try_run_inl_join_on(env, *index, data)?;
                 Ok((out.build_cycles + out.join_cycles, out.counters, out.trace))
+            }
+            WorkloadPlan::Shift { cfg } => {
+                let out = try_run_phase_shift(env, cfg)?;
+                Ok((out.exec_cycles, out.counters, out.trace))
             }
         }
     }
@@ -595,7 +617,7 @@ fn grid_descriptor(
 /// exit) only when every trial of some configuration failed.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let which = pos.first().ok_or("sweep needs w1|w2|w3|w4")?;
+    let which = pos.first().ok_or("sweep needs w1|w2|w3|w4|wshift")?;
     let machine = machine_arg(&flags)?;
     let threads: usize = flags
         .get("threads")
@@ -639,7 +661,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .named("os-default (+flags)"),
         {
             let tuned = TuningConfig::tuned(machine.clone());
-            let mut cfg = config_from_flags(machine, &flags)?.named("tuned (+flags)");
+            let mut cfg =
+                config_from_flags(machine.clone(), &flags)?.named("tuned (+flags)");
             cfg.sim = cfg
                 .sim
                 .with_threads(tuned.sim.thread_placement)
@@ -650,6 +673,38 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             cfg
         },
     ];
+    // `--advisor online[,autonuma]` appends runtime-adaptive contenders:
+    // both start from the tuned preset pinned to FirstTouch (the
+    // placement the phase shift punishes), then either the epoch-driven
+    // controller or the kernel's AutoNUMA model gets to fix it mid-run.
+    if let Some(list) = flags.get("advisor") {
+        for entry in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let tuned = TuningConfig::tuned(machine.clone());
+            let mut cfg = config_from_flags(machine.clone(), &flags)?;
+            cfg.sim = cfg
+                .sim
+                .with_threads(tuned.sim.thread_placement)
+                .with_policy(MemPolicy::FirstTouch)
+                .with_thp(tuned.sim.thp);
+            cfg.allocator = tuned.allocator;
+            configs.push(match entry {
+                "online" => {
+                    cfg.sim = cfg.sim.with_autonuma(false);
+                    cfg.named("online (+flags)")
+                        .with_advisor(AdvisorMode::Online(ControllerConfig::default()))
+                }
+                "autonuma" => {
+                    cfg.sim = cfg.sim.with_autonuma(true);
+                    cfg.named("autonuma (+flags)")
+                }
+                other => {
+                    return Err(format!(
+                        "unknown --advisor entry `{other}` (online, autonuma)"
+                    ))
+                }
+            });
+        }
+    }
     if trace_dir.is_some() {
         // Tracing is pay-for-what-you-use: the hooks charge no cycles,
         // so enabling it here cannot perturb the sweep's results. The
@@ -834,7 +889,7 @@ fn serve_grid_descriptor(
                 "journal" | "resume" | "max-cells" | "csv" | "json" | "jobs"
                     | "trace-dir" | "machine" | "threads" | "tenants" | "duration"
                     | "arrivals" | "lanes" | "queue-cap" | "tokens" | "refill"
-                    | "deadline" | "breaker" | "epoch" | "outage" | "seed"
+                    | "deadline" | "breaker" | "epoch" | "outage" | "advisor" | "seed"
             )
         })
         .map(|(k, v)| (k.as_str(), v.as_str()))
@@ -843,10 +898,16 @@ fn serve_grid_descriptor(
     let rest: Vec<String> = kv.iter().map(|(k, v)| format!("{k}={v}")).collect();
     let outage =
         spec.outage.map_or_else(|| "none".to_string(), |o| o.canonical());
+    // `advisor` is appended only when non-default, so every pre-existing
+    // static journal still fingerprints (and resumes) identically.
+    let advisor = match spec.advisor {
+        ServeAdvisor::Static => String::new(),
+        other => format!(" advisor={}", other.canonical()),
+    };
     format!(
         "serve {which} machine={machine_name} threads={threads} tenants={} \
          duration={} arrivals={} lanes={} queue-cap={} tokens={} refill={} \
-         deadline={} breaker={} epoch={} outage={outage} seed={} {}",
+         deadline={} breaker={} epoch={} outage={outage} seed={}{advisor} {}",
         spec.tenants,
         spec.duration_mcycles,
         spec.arrivals.canonical(),
@@ -931,6 +992,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|s| OutageSpec::parse(s))
         .transpose()
         .map_err(|e| e.to_string())?;
+    let advisor = match flags.get("advisor") {
+        Some(s) => ServeAdvisor::parse(s).map_err(|e| e.to_string())?,
+        None => ServeAdvisor::default(),
+    };
     let spec = ServeSpec {
         tenants: getu("tenants", 8)? as usize,
         duration_mcycles: getu("duration", 50)?,
@@ -943,6 +1008,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         breaker_threshold: getu("breaker", 8)?,
         epoch_mcycles: getu("epoch", 4)?,
         outage,
+        advisor,
         seed: getu("seed", 42)?,
     };
     // An empty serve spec is a mis-specified run, not a vacuous
@@ -1167,6 +1233,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             c.wasted_cycles,
             c.evacuated_pages
         );
+        if spec.outage.is_some() {
+            let pct = |p: u64| format!("{}.{}%", p / 10, p % 10);
+            let recovery = if c.retune_cycles > 0 {
+                format!("re-tuned at {} cycles", c.retune_cycles)
+            } else {
+                "never re-tuned (placement residue persists)".to_string()
+            };
+            println!(
+                "{}: slo pre-outage {}, post-recovery {} (gap {} permille) — {recovery}",
+                c.config,
+                pct(c.slo_pre_permille),
+                pct(c.slo_post_permille),
+                c.recovery_gap_permille()
+            );
+        }
     }
 
     if let Some(path) = flags.get("csv") {
@@ -1211,6 +1292,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         std::fs::write(out, trace.to_timeline_csv())
             .map_err(|e| format!("cannot write timeline CSV to `{out}`: {e}"))?;
         println!("wrote epoch timeline CSV to {out}");
+        converted = true;
+    }
+    if let Some(out) = flags.get("decisions") {
+        std::fs::write(out, trace.to_decisions_csv())
+            .map_err(|e| format!("cannot write decisions CSV to `{out}`: {e}"))?;
+        println!("wrote advisor decisions CSV to {out}");
         converted = true;
     }
     if !converted || flags.contains_key("report") {

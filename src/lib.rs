@@ -12,12 +12,15 @@
 //! * [`indexes`] — ART, Masstree-style, B+tree, and skip-list indexes.
 //! * [`query`] — aggregation and join workloads (W1–W4).
 //! * [`engines`] — the mini relational engine and TPC-H Q1–Q22 (W5).
+//! * [`advisor`] — the Figure 10 flowchart and the epoch-driven online
+//!   controller (guarded re-tuning, rollback, fault circuit breaker).
 //! * [`core`] — experiment runner and the Figure 10 decision advisor.
 //! * [`trace`] — deterministic trace artifacts and exporters (Chrome
 //!   `trace_event` JSON, CSV timelines, `perf stat`-style reports).
 //! * [`serve`] — open-loop multi-tenant serve driver: admission
 //!   control, deadlines, load shedding, tail-latency SLO reporting.
 
+pub use nqp_advisor as advisor;
 pub use nqp_alloc as alloc;
 pub use nqp_core as core;
 pub use nqp_datagen as datagen;

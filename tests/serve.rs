@@ -6,8 +6,8 @@
 
 use nqp::core::journal::{grid_fingerprint, read_journal_raw, JournalWriter};
 use nqp::serve::{
-    run_cells, ArrivalSpec, CellInput, CellStats, ClassProfile, OutageSpec, ServeReport,
-    ServeSpec,
+    run_cells, ArrivalSpec, CellInput, CellStats, ClassProfile, OutageSpec, ServeAdvisor,
+    ServeReport, ServeSpec,
 };
 use nqp::sim::SimResult;
 use std::collections::HashMap;
@@ -58,6 +58,7 @@ fn spec(rate_milli: u64, outage: Option<OutageSpec>) -> ServeSpec {
         breaker_threshold: 6,
         epoch_mcycles: 4,
         outage,
+        advisor: ServeAdvisor::default(),
         seed: 1234,
     }
 }
