@@ -57,7 +57,12 @@ impl IndexKind {
 }
 
 /// A `u64 → u64` ordered index in simulated memory.
-pub trait Index {
+///
+/// `Send + Sync` is required so probe phases can share a built index
+/// read-only across sharded host threads; implementors are plain
+/// simulated-heap handles (addresses and counters), so the bounds are
+/// structural, not a concurrency claim about `insert`.
+pub trait Index: Send + Sync {
     /// Which structure this is.
     fn kind(&self) -> IndexKind;
 

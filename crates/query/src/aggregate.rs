@@ -187,11 +187,13 @@ pub fn try_run_aggregation_on(
     })?);
     sim.phase_end();
 
-    // Parallel finalize: walk buckets, produce (key, aggregate).
-    let mut results: Vec<(u64, u64, u64)> = Vec::new(); // (tid, key, agg)
-    let mut fin = (state.0, state.1, Vec::new());
+    // Parallel finalize: walk buckets, produce (key, aggregate). The
+    // walk is read-only against the shared table, so it shards across
+    // host threads (`SimConfig::shards`); the per-worker result vectors
+    // come back in ascending-tid order, matching the serial append.
+    let (table, _heap) = state;
     sim.phase_begin("agg:finalize");
-    regions.push(sim.try_parallel(threads, &mut fin, |w, (table, _heap, out)| {
+    let (stats, locals) = sim.try_parallel_sharded(threads, &table, |w, table| {
         let range = table.bucket_partition(w.tid(), threads);
         let mut local: Vec<(u64, u64, u64)> = Vec::new();
         let tid = w.tid() as u64;
@@ -210,10 +212,11 @@ pub fn try_run_aggregation_on(
             };
             local.push((tid, key, agg));
         });
-        out.extend(local);
-    })?);
+        local
+    })?;
+    regions.push(stats);
     sim.phase_end();
-    results.append(&mut fin.2);
+    let results: Vec<(u64, u64, u64)> = locals.into_iter().flatten().collect();
 
     let exec_cycles = sim.now_cycles() - load_cycles;
     let mut checksum = 0u64;

@@ -86,7 +86,9 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
     })?;
     let (r_arr, s_arr) =
         arrays.ok_or(SimError::Harness { what: "join relations were not mapped".to_string() })?;
-    sim.try_parallel(threads, &mut (), |w, _| {
+    // Disjoint per-thread partitions: shards across host threads with
+    // deterministic epoch merges.
+    sim.try_parallel_sharded(threads, &(), |w, ()| {
         for i in r_arr.partition(w.tid(), threads) {
             r_arr.write(w, i, data.r[i].key, data.r[i].payload);
         }
@@ -119,10 +121,13 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
     sim.phase_end();
     let build_cycles = sim.now_cycles() - load_cycles;
 
-    // Probe: lock-free lookups, accumulate per-thread then combine.
-    let mut probe = (state.0, state.1, 0u64, 0u64); // (+matches, +checksum)
+    // Probe: lock-free lookups against the now-frozen table, so the
+    // phase shards across host threads; per-worker (matches, checksum)
+    // pairs fold in tid order (sum and XOR are order-independent
+    // anyway, but the fold order is pinned for byte-identity).
+    let (table, _heap) = state;
     sim.phase_begin("join:probe");
-    sim.try_parallel(threads, &mut probe, |w, (table, _, matches, checksum)| {
+    let (_, locals) = sim.try_parallel_sharded(threads, &table, |w, table| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
         // Tuple-at-once probe scan: the probe side streams through bulk
@@ -141,18 +146,19 @@ pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<
             }
             i += n;
         }
-        *matches += local_matches;
-        *checksum ^= local_sum;
+        (local_matches, local_sum)
     })?;
     sim.phase_end();
     let probe_cycles = sim.now_cycles() - load_cycles - build_cycles;
+    let matches = locals.iter().map(|&(m, _)| m).sum();
+    let checksum = locals.iter().fold(0u64, |acc, &(_, c)| acc ^ c);
 
     Ok(JoinOutcome {
         build_cycles,
         probe_cycles,
         load_cycles,
-        matches: probe.2,
-        checksum: probe.3,
+        matches,
+        checksum,
         counters: sim.counters() - counters_before,
         trace: sim.take_trace(),
     })

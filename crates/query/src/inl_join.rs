@@ -80,7 +80,9 @@ pub fn try_run_inl_join_on(
         *s_arr = Some(TupleArray::new(w, data.s.len()));
     })?;
     let s_arr = s_arr.ok_or(SimError::Harness { what: "probe relation was not mapped".to_string() })?;
-    sim.try_parallel(threads, &mut (), |w, _| {
+    // Disjoint per-thread partitions: shards across host threads with
+    // deterministic epoch merges.
+    sim.try_parallel_sharded(threads, &(), |w, ()| {
         for i in s_arr.partition(w.tid(), threads) {
             s_arr.write(w, i, data.s[i].key, data.s[i].payload);
         }
@@ -102,10 +104,12 @@ pub fn try_run_inl_join_on(
     sim.phase_end();
     let build_cycles = sim.now_cycles() - start;
 
-    // Parallel join: read-only index probes.
-    let mut join = (state.0, 0u64, 0u64);
+    // Parallel join: read-only probes against the now-frozen index, so
+    // the phase shards across host threads; per-worker (matches,
+    // checksum) pairs fold in tid order.
+    let (index, _heap) = state;
     sim.phase_begin("inl:join");
-    sim.try_parallel(threads, &mut join, |w, (index, matches, checksum)| {
+    let (_, locals) = sim.try_parallel_sharded(threads, &index, |w, index| {
         let mut local_matches = 0u64;
         let mut local_sum = 0u64;
         // Tuple-at-once probe scan over the S relation.
@@ -123,17 +127,18 @@ pub fn try_run_inl_join_on(
             }
             i += n;
         }
-        *matches += local_matches;
-        *checksum ^= local_sum;
+        (local_matches, local_sum)
     })?;
     sim.phase_end();
     let join_cycles = sim.now_cycles() - start - build_cycles;
+    let matches = locals.iter().map(|&(m, _)| m).sum();
+    let checksum = locals.iter().fold(0u64, |acc, &(_, c)| acc ^ c);
 
     Ok(InlOutcome {
         build_cycles,
         join_cycles,
-        matches: join.1,
-        checksum: join.2,
+        matches,
+        checksum,
         counters: sim.counters() - counters_start,
         trace: sim.take_trace(),
     })

@@ -78,7 +78,10 @@ pub fn try_load_tuples(
         *arr = Some(TupleArray::new(w, records.len().max(1)));
     })?;
     let arr = arr.ok_or(SimError::Harness { what: "tuple array was not mapped".to_string() })?;
-    sim.try_parallel(threads, &mut (), |w, _| {
+    // The fill writes disjoint per-thread partitions, so it shards
+    // across host threads (`SimConfig::shards`) with deterministic
+    // epoch merges — byte-identical results at any shard count.
+    sim.try_parallel_sharded(threads, &(), |w, ()| {
         for i in arr.partition(w.tid(), threads) {
             arr.write(w, i, records[i].key, records[i].val);
         }

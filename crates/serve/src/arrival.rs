@@ -30,6 +30,12 @@ pub const MILLI: u64 = 1000;
 
 const MCYCLE: u64 = 1_000_000;
 
+/// Largest duration (in Mcycles) a spec parameter may carry: anything
+/// bigger overflows u64 once scaled to cycles. `u64::MAX / MCYCLE`
+/// ≈ 1.8e13 Mcycles — far beyond any simulated run, so the bound only
+/// rejects nonsense input, never real workloads.
+pub const MAX_MCYCLES: u64 = u64::MAX / MCYCLE;
+
 /// A parsed `--arrivals` spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArrivalSpec {
@@ -101,7 +107,7 @@ impl ArrivalSpec {
                 None => Ok(default),
             }
         };
-        match kind {
+        let parsed = match kind {
             "poisson" => Ok(ArrivalSpec::Poisson { rate_milli }),
             "burst" => Ok(ArrivalSpec::Burst {
                 rate_milli,
@@ -116,6 +122,70 @@ impl ArrivalSpec {
             }),
             other => {
                 Err(bad(other, "unknown arrival kind (poisson, burst, diurnal)"))
+            }
+        }?;
+        parsed.validate()?;
+        Ok(parsed)
+    }
+
+    /// Check the duration invariants `rate_segment` relies on: burst
+    /// and diurnal windows must be nonzero and small enough to scale to
+    /// cycles without overflowing u64 (`on=18446744073709551615` used
+    /// to panic in debug builds and wrap to a garbage period in
+    /// release). Called by [`ArrivalSpec::parse`] and by
+    /// [`ArrivalGen::new`], so directly constructed specs are covered
+    /// too. Errors are typed [`SimError::BadSpec`] naming the offending
+    /// `key=value` token.
+    pub fn validate(&self) -> SimResult<()> {
+        fn bad(token: String, why: String) -> SimError {
+            SimError::BadSpec { flag: "--arrivals".to_string(), token, why }
+        }
+        match self {
+            ArrivalSpec::Poisson { .. } => Ok(()),
+            ArrivalSpec::Burst { on_mcycles, off_mcycles, .. } => {
+                if *on_mcycles == 0 {
+                    return Err(bad(
+                        format!("on={on_mcycles}"),
+                        "burst on-window must be at least 1 Mcycle".to_string(),
+                    ));
+                }
+                if *off_mcycles == 0 {
+                    return Err(bad(
+                        format!("off={off_mcycles}"),
+                        "burst off-window must be at least 1 Mcycle".to_string(),
+                    ));
+                }
+                match on_mcycles.checked_add(*off_mcycles) {
+                    Some(p) if p <= MAX_MCYCLES => Ok(()),
+                    _ => {
+                        // Name the larger window: that is the token the
+                        // user has to fix.
+                        let token = if on_mcycles >= off_mcycles {
+                            format!("on={on_mcycles}")
+                        } else {
+                            format!("off={off_mcycles}")
+                        };
+                        Err(bad(
+                            token,
+                            format!("burst period on+off exceeds the model clock (max {MAX_MCYCLES} Mcycles)"),
+                        ))
+                    }
+                }
+            }
+            ArrivalSpec::Diurnal { period_mcycles, .. } => {
+                if *period_mcycles < 8 {
+                    return Err(bad(
+                        format!("period={period_mcycles}"),
+                        "diurnal period must be at least 8 Mcycles (one per ramp slot)".to_string(),
+                    ));
+                }
+                if *period_mcycles > MAX_MCYCLES {
+                    return Err(bad(
+                        format!("period={period_mcycles}"),
+                        format!("diurnal period exceeds the model clock (max {MAX_MCYCLES} Mcycles)"),
+                    ));
+                }
+                Ok(())
             }
         }
     }
@@ -174,20 +244,26 @@ impl ArrivalSpec {
         match self {
             ArrivalSpec::Poisson { rate_milli } => (*rate_milli, u64::MAX),
             ArrivalSpec::Burst { rate_milli, mult, on_mcycles, off_mcycles } => {
+                // `validate()` bounds on+off at MAX_MCYCLES, so these
+                // scalings cannot overflow; the seg_end additions still
+                // saturate so a clock near u64::MAX degrades to "no
+                // further change" instead of wrapping.
                 let off = off_mcycles * MCYCLE;
                 let period = (on_mcycles + off_mcycles) * MCYCLE;
                 let phase = t % period;
                 let start = t - phase;
                 if phase < off {
-                    (*rate_milli, start + off)
+                    (*rate_milli, start.saturating_add(off))
                 } else {
-                    (rate_milli.saturating_mul(*mult), start + period)
+                    (rate_milli.saturating_mul(*mult), start.saturating_add(period))
                 }
             }
             ArrivalSpec::Diurnal { rate_milli, mult, period_mcycles } => {
                 // 8 equal slots per period, triangle weights 0..1000..0:
                 // slot 4 is the peak (rate × mult), slots 0 and 7 the
-                // trough (baseline).
+                // trough (baseline). `validate()` guarantees
+                // 8 <= period <= MAX_MCYCLES: slot_len is nonzero and
+                // the scaling cannot overflow.
                 const W: [u64; 8] = [0, 250, 500, 750, 1000, 750, 500, 250];
                 let period = period_mcycles * MCYCLE;
                 let slot_len = period / 8;
@@ -195,7 +271,7 @@ impl ArrivalSpec {
                 let slot = (phase / slot_len).min(7) as usize;
                 let extra = rate_milli.saturating_mul(mult.saturating_sub(1));
                 let rate = rate_milli + extra.saturating_mul(W[slot]) / MILLI;
-                let seg_end = t - phase + slot_len * (slot as u64 + 1);
+                let seg_end = (t - phase).saturating_add(slot_len * (slot as u64 + 1));
                 (rate, seg_end)
             }
         }
@@ -260,10 +336,15 @@ pub struct ArrivalGen {
 }
 
 impl ArrivalGen {
-    /// A generator whose first arrival follows cycle 0.
-    #[must_use]
-    pub fn new(spec: ArrivalSpec, seed: u64, stream: u64) -> Self {
-        ArrivalGen { spec, rng: SplitMix::new(seed, stream), now: 0 }
+    /// A generator whose first arrival follows cycle 0. Rejects specs
+    /// that violate the `rate_segment` invariants (zero windows,
+    /// diurnal period below 8 Mcycles, durations that overflow once
+    /// scaled to cycles) with a typed [`SimError::BadSpec`] — directly
+    /// constructed specs that bypassed [`ArrivalSpec::parse`] used to
+    /// divide by zero here.
+    pub fn new(spec: ArrivalSpec, seed: u64, stream: u64) -> SimResult<Self> {
+        spec.validate()?;
+        Ok(ArrivalGen { spec, rng: SplitMix::new(seed, stream), now: 0 })
     }
 
     /// The next arrival's absolute cycle, or `None` if the rate is zero
@@ -345,7 +426,7 @@ mod tests {
     fn arrivals_are_deterministic_and_rate_scaled() {
         let gen = |rate: &str| {
             let spec = ArrivalSpec::parse(rate).unwrap();
-            let mut g = ArrivalGen::new(spec, 42, 0);
+            let mut g = ArrivalGen::new(spec, 42, 0).unwrap();
             let mut v = Vec::new();
             while let Some(t) = g.next_arrival() {
                 if t > 50_000_000 || v.len() >= 100_000 {
@@ -374,7 +455,7 @@ mod tests {
     #[test]
     fn burst_concentrates_arrivals_in_on_windows() {
         let spec = ArrivalSpec::parse("burst:rate=10,x=8,on=4,off=12").unwrap();
-        let mut g = ArrivalGen::new(spec, 7, 1);
+        let mut g = ArrivalGen::new(spec, 7, 1).unwrap();
         let (mut on, mut off) = (0u64, 0u64);
         while let Some(t) = g.next_arrival() {
             if t > 160_000_000 {
@@ -393,7 +474,88 @@ mod tests {
 
     #[test]
     fn zero_rate_poisson_yields_nothing() {
-        let mut g = ArrivalGen::new(ArrivalSpec::Poisson { rate_milli: 0 }, 1, 0);
+        let mut g = ArrivalGen::new(ArrivalSpec::Poisson { rate_milli: 0 }, 1, 0).unwrap();
         assert_eq!(g.next_arrival(), None);
+    }
+
+    #[test]
+    fn oversized_durations_are_rejected_at_parse_time() {
+        // Regression: `on=18446744073709551615` used to reach
+        // `rate_segment` and overflow `off_mcycles * MCYCLE` — a
+        // debug-build panic, a garbage period in release.
+        let huge = u64::MAX;
+        for (spec, tok) in [
+            (format!("burst:rate=1,on={huge},off=1"), format!("on={huge}")),
+            (format!("burst:rate=1,on=1,off={huge}"), format!("off={huge}")),
+            (format!("diurnal:rate=1,period={huge}"), format!("period={huge}")),
+        ] {
+            match ArrivalSpec::parse(&spec) {
+                Err(SimError::BadSpec { flag, token, .. }) => {
+                    assert_eq!(flag, "--arrivals", "{spec:?}");
+                    assert_eq!(token, tok, "{spec:?}");
+                }
+                other => panic!("{spec:?} must be BadSpec, got {other:?}"),
+            }
+        }
+        // Largest legal period still parses and generates.
+        let ok = format!("burst:rate=1000,on=1,off={}", MAX_MCYCLES - 1);
+        let spec = ArrivalSpec::parse(&ok).unwrap();
+        assert!(ArrivalGen::new(spec, 1, 0).unwrap().next_arrival().is_some());
+    }
+
+    #[test]
+    fn directly_constructed_bad_specs_error_instead_of_panicking() {
+        // Satellite 3: a Diurnal spec built without `parse` (so without
+        // the `.max(8)` clamp) used to divide by zero in rate_segment.
+        for (spec, tok) in [
+            (
+                ArrivalSpec::Diurnal { rate_milli: 1000, mult: 2, period_mcycles: 4 },
+                "period=4",
+            ),
+            (
+                ArrivalSpec::Burst { rate_milli: 1000, mult: 2, on_mcycles: 0, off_mcycles: 4 },
+                "on=0",
+            ),
+            (
+                ArrivalSpec::Burst { rate_milli: 1000, mult: 2, on_mcycles: 4, off_mcycles: 0 },
+                "off=0",
+            ),
+        ] {
+            match ArrivalGen::new(spec.clone(), 1, 0) {
+                Err(SimError::BadSpec { token, .. }) => assert_eq!(token, tok, "{spec:?}"),
+                other => panic!("{spec:?} must be BadSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_canonical_parse_round_trips_over_generated_specs() {
+        // Fuzz-style round trip: generated specs (including extreme but
+        // legal durations) must satisfy
+        // parse(canonical(spec)) == spec, and canonical must be a fixed
+        // point. splitmix64 keeps it deterministic.
+        let mut s = SplitMix::new(0xfeed_beef, 9);
+        for i in 0..2_000u64 {
+            let rate_milli = s.next_u64() % 1_000_000 + 1;
+            let mult = s.next_u64() % 16 + 1;
+            let spec = match i % 3 {
+                0 => ArrivalSpec::Poisson { rate_milli },
+                1 => {
+                    let on = s.next_u64() % (MAX_MCYCLES / 2 - 1) + 1;
+                    let off = s.next_u64() % (MAX_MCYCLES / 2 - 1) + 1;
+                    ArrivalSpec::Burst { rate_milli, mult, on_mcycles: on, off_mcycles: off }
+                }
+                _ => {
+                    let period = s.next_u64() % (MAX_MCYCLES - 8) + 8;
+                    ArrivalSpec::Diurnal { rate_milli, mult, period_mcycles: period }
+                }
+            };
+            spec.validate().unwrap();
+            let canon = spec.canonical();
+            let back = ArrivalSpec::parse(&canon)
+                .unwrap_or_else(|e| panic!("canonical {canon:?} must re-parse: {e}"));
+            assert_eq!(back, spec, "round trip through {canon:?}");
+            assert_eq!(back.canonical(), canon, "canonical must be a fixed point");
+        }
     }
 }

@@ -414,20 +414,21 @@ fn slo_window_permille(epochs: &[EpochRow], keep: impl Fn(&EpochRow) -> bool) ->
 
 /// Run one serve cell to completion (arrivals stop at the spec
 /// duration; queued and running work drains after). Pure function of
-/// `(spec, profiles)`.
-#[must_use]
+/// `(spec, profiles)`. Errors only on an invalid arrival spec — the
+/// generator re-validates, so specs that bypassed `parse` cannot reach
+/// the arithmetic that used to panic on them.
 pub fn run_serve(
     config: &str,
     spec: &ServeSpec,
     profiles: &[ClassProfile],
     record_sessions: bool,
-) -> (CellStats, Vec<Session>) {
+) -> SimResult<(CellStats, Vec<Session>)> {
     let duration = spec.duration_mcycles * MCYCLE;
     let nclasses = profiles.len().max(1);
 
     // All arrival times, tenants, and classes are fixed upfront from
     // the seed — the admission pipeline cannot perturb them.
-    let mut gen = ArrivalGen::new(spec.arrivals.clone(), spec.seed, 0);
+    let mut gen = ArrivalGen::new(spec.arrivals.clone(), spec.seed, 0)?;
     let mut trng = SplitMix::new(spec.seed, 1);
     let mut crng = SplitMix::new(spec.seed, 2);
     let mut arrivals = Vec::new();
@@ -573,7 +574,7 @@ pub fn run_serve(
         tenants: s.tenants.into_iter().map(|t| t.stats).collect(),
         epochs: s.epochs,
     };
-    (stats, s.sessions.unwrap_or_default())
+    Ok((stats, s.sessions.unwrap_or_default()))
 }
 
 /// Per-cell result consumer: `(stats, profiles, sessions)` for each
@@ -610,10 +611,10 @@ pub fn run_cells(
 
     if jobs <= 1 || to_run.len() <= 1 {
         for &i in to_run {
-            let out = calibrate(i).map(|profiles| {
+            let out = calibrate(i).and_then(|profiles| {
                 let (stats, sessions) =
-                    run_serve(&cells[i].config, &cells[i].spec, &profiles, record_sessions);
-                (profiles, stats, sessions)
+                    run_serve(&cells[i].config, &cells[i].spec, &profiles, record_sessions)?;
+                Ok((profiles, stats, sessions))
             });
             results[i] = Some(out);
         }
@@ -629,14 +630,14 @@ pub fn run_cells(
                         break;
                     }
                     let i = to_run[k];
-                    let out = calibrate(i).map(|profiles| {
+                    let out = calibrate(i).and_then(|profiles| {
                         let (stats, sessions) = run_serve(
                             &cells[i].config,
                             &cells[i].spec,
                             &profiles,
                             record_sessions,
-                        );
-                        (profiles, stats, sessions)
+                        )?;
+                        Ok((profiles, stats, sessions))
                     });
                     if let Ok(mut slot) = slots[k].lock() {
                         *slot = Some(out);
@@ -730,7 +731,7 @@ mod tests {
 
     #[test]
     fn light_load_completes_everything_in_slo() {
-        let (stats, _) = run_serve("cfg", &spec(5_000), &profiles(), false);
+        let (stats, _) = run_serve("cfg", &spec(5_000), &profiles(), false).unwrap();
         let t = totals(&stats);
         assert!(t.arrivals > 50, "expected ~100 arrivals, got {}", t.arrivals);
         assert_eq!(t.arrivals, t.admitted, "light load sheds nothing");
@@ -745,7 +746,7 @@ mod tests {
     fn overload_sheds_but_stays_bounded_and_live() {
         // Two lanes at ~50 Kcycle mean service sustain ~40/Mcycle;
         // offer 4x that.
-        let (stats, _) = run_serve("cfg", &spec(160_000), &profiles(), false);
+        let (stats, _) = run_serve("cfg", &spec(160_000), &profiles(), false).unwrap();
         let t = totals(&stats);
         let shed = t.shed_queue + t.shed_quota + t.shed_breaker;
         assert!(shed > 0, "4x overload must shed");
@@ -762,17 +763,17 @@ mod tests {
 
     #[test]
     fn runs_replay_bit_identically() {
-        let a = run_serve("cfg", &spec(40_000), &profiles(), true);
-        let b = run_serve("cfg", &spec(40_000), &profiles(), true);
+        let a = run_serve("cfg", &spec(40_000), &profiles(), true).unwrap();
+        let b = run_serve("cfg", &spec(40_000), &profiles(), true).unwrap();
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
-        let c = run_serve("cfg", &spec(40_000), &profiles(), false);
+        let c = run_serve("cfg", &spec(40_000), &profiles(), false).unwrap();
         assert_eq!(a.0, c.0, "session recording must not perturb the run");
     }
 
     #[test]
     fn epoch_deltas_telescope_to_totals() {
-        let (stats, _) = run_serve("cfg", &spec(80_000), &profiles(), false);
+        let (stats, _) = run_serve("cfg", &spec(80_000), &profiles(), false).unwrap();
         let t = totals(&stats);
         let ep_arrivals: u64 = stats.epochs.iter().map(|e| e.arrivals).sum();
         let ep_admitted: u64 = stats.epochs.iter().map(|e| e.admitted).sum();
@@ -793,7 +794,7 @@ mod tests {
     fn outage_degrades_and_recovers() {
         let mut sp = spec(40_000);
         sp.outage = Some(OutageSpec { start_mcycles: 5, end_mcycles: 10, node: 1 });
-        let (stats, sessions) = run_serve("cfg", &sp, &profiles(), true);
+        let (stats, sessions) = run_serve("cfg", &sp, &profiles(), true).unwrap();
         assert_eq!(stats.evacuated_pages, 128, "worst-class evacuation charged once");
         let t = totals(&stats);
         assert!(t.completed > 0, "the engine keeps serving through the outage");
@@ -833,7 +834,8 @@ mod tests {
     #[test]
     fn static_advisor_keeps_the_placement_residue_after_the_outage() {
         let (stats, _) =
-            run_serve("static", &recovery_spec(ServeAdvisor::Static), &recovery_profiles(), false);
+            run_serve("static", &recovery_spec(ServeAdvisor::Static), &recovery_profiles(), false)
+                .unwrap();
         assert_eq!(stats.retune_cycles, 0, "static never re-tunes");
         assert!(
             stats.slo_pre_permille >= 900,
@@ -851,7 +853,7 @@ mod tests {
     fn online_advisor_rearms_and_recovers_the_slo() {
         let online = ServeAdvisor::Online { rearm_after: 2 };
         let (stats, _) =
-            run_serve("online", &recovery_spec(online), &recovery_profiles(), false);
+            run_serve("online", &recovery_spec(online), &recovery_profiles(), false).unwrap();
         // OutageEnd at 28 Mcycles was pushed at setup, so it pops before
         // the 28 Mcycle tick (same cycle, lower sequence); that tick is
         // the first quiet one, and the second — at 32 Mcycles — re-arms.
@@ -866,7 +868,8 @@ mod tests {
             stats.slo_pre_permille
         );
         let (residue, _) =
-            run_serve("static", &recovery_spec(ServeAdvisor::Static), &recovery_profiles(), false);
+            run_serve("static", &recovery_spec(ServeAdvisor::Static), &recovery_profiles(), false)
+                .unwrap();
         assert!(
             stats.slo_post_permille >= residue.slo_post_permille + 300,
             "online ({}) must beat the static residue ({}) decisively",
@@ -882,7 +885,7 @@ mod tests {
         sp.bucket_cap = 2;
         sp.refill_milli_per_mcycle = 500;
         sp.breaker_threshold = 4;
-        let (stats, _) = run_serve("cfg", &sp, &profiles(), false);
+        let (stats, _) = run_serve("cfg", &sp, &profiles(), false).unwrap();
         let t = totals(&stats);
         assert!(t.shed_breaker > 0, "sustained overload must trip breakers");
     }

@@ -51,7 +51,10 @@ impl LatencyHistogram {
         } else {
             let o = (idx - EXACT) / SUBS + 4;
             let sub = ((idx - EXACT) % SUBS) as u64;
-            (1u64 << o) + (sub + 1) * (1u64 << (o - 3)) - 1
+            // Subtract 1 before adding the sub-bucket span: the top
+            // sub-bucket of octave 63 bounds at exactly u64::MAX, and
+            // the naive `2^o + span - 1` order overflows there.
+            ((1u64 << o) - 1).saturating_add((sub + 1) << (o - 3))
         }
     }
 
@@ -204,5 +207,62 @@ mod tests {
         assert_eq!(h.total(), 0);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn recording_u64_max_does_not_overflow() {
+        // Regression: the top sub-bucket of octave 63 used to compute
+        // 2^63 + 8*2^60 = 2^64 before subtracting 1 — a debug-build
+        // panic (and a release-build wrap to 0) the .min(max) clamp in
+        // quantile() only masked.
+        let idx = LatencyHistogram::bucket_of(u64::MAX);
+        assert_eq!(idx, NBUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_upper(idx), u64::MAX);
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+        // Mixed with small values the tail still reports the top.
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.p999(), u64::MAX);
+        assert!(h.p50() <= 2);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_every_value_across_the_full_range() {
+        // Property sweep over the whole u64 range: every bucket's
+        // bounds must be exact partitions (lower = previous upper + 1,
+        // bucket_of maps both endpoints back to the bucket), and a
+        // deterministic fuzz of arbitrary values must always land in a
+        // bucket whose bounds contain them.
+        let mut prev_upper: Option<u64> = None;
+        for idx in 0..NBUCKETS {
+            let upper = LatencyHistogram::bucket_upper(idx);
+            let lower = prev_upper.map_or(0, |p| p + 1);
+            assert!(upper >= lower, "bucket {idx}: upper {upper} < lower {lower}");
+            assert_eq!(LatencyHistogram::bucket_of(lower), idx, "lower bound of {idx}");
+            assert_eq!(LatencyHistogram::bucket_of(upper), idx, "upper bound of {idx}");
+            prev_upper = Some(upper);
+        }
+        // The last bucket must reach the top of the range exactly.
+        assert_eq!(prev_upper, Some(u64::MAX));
+
+        // splitmix64 fuzz: 100k arbitrary values across the range.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..100_000 {
+            let v = next();
+            let idx = LatencyHistogram::bucket_of(v);
+            let upper = LatencyHistogram::bucket_upper(idx);
+            let lower = if idx == 0 { 0 } else { LatencyHistogram::bucket_upper(idx - 1) + 1 };
+            assert!(lower <= v && v <= upper, "{v} outside bucket {idx}: [{lower}, {upper}]");
+        }
     }
 }

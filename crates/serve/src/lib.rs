@@ -32,6 +32,13 @@
 //! without paying a full engine simulation per query. Determinism
 //! argument: arrivals, admission decisions, service times, and the
 //! clock itself are all integer functions of the seed — DESIGN.md §4f.
+//! Because calibration runs the real engine, `SimConfig::shards` (the
+//! CLI's `--shards N`, DESIGN.md §4h) flows through it too: the
+//! calibrated profiles — and therefore every serve report — are
+//! byte-identical at every shard count. Spec parsing is total:
+//! malformed or overflow-prone `--arrivals`/`--outage`/`--advisor`
+//! values surface as typed [`nqp_sim::SimError::BadSpec`] errors at
+//! parse time ([`arrival`]), never a panic mid-run.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

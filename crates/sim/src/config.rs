@@ -199,6 +199,13 @@ pub struct SimConfig {
     /// each `NumaSim::new` builds a fresh instance. None = no online
     /// controller (the default — region resolution is unchanged).
     pub tune: Option<crate::tune::TuneFactory>,
+    /// Host threads the simulated workers of shardable regions spread
+    /// across (1 = serial, the default). Results are byte-identical for
+    /// every shard count — shard workers run on frozen region-start
+    /// state with private deltas merged in fixed tid order — so, like
+    /// the executor's `jobs`, this is a host-resource knob excluded
+    /// from grid fingerprints.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -221,6 +228,7 @@ impl SimConfig {
             trace: None,
             reference_model: false,
             tune: None,
+            shards: 1,
         }
     }
 
@@ -316,6 +324,13 @@ impl SimConfig {
     /// (the online advisor's entry point).
     pub fn with_tune(mut self, factory: crate::tune::TuneFactory) -> Self {
         self.tune = Some(factory);
+        self
+    }
+
+    /// Builder-style setter for the host-thread shard count (0 is
+    /// treated as 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }

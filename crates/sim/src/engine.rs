@@ -24,11 +24,11 @@
 //! workload.
 
 use crate::cache::Llc;
-use crate::config::SimConfig;
+use crate::config::{MemPolicy, SimConfig};
 use crate::error::{SimError, SimResult};
 use crate::fault::{ActiveFaults, FaultPlan};
 use crate::lock::{resolve_waits, LockId, LockTable, ThreadLockUse};
-use crate::mem::{Memory, VAddr, LINE, SMALL_PAGE};
+use crate::mem::{MemDelta, Memory, ShardMemView, TouchResolution, VAddr, LINE, SMALL_PAGE};
 use crate::metrics::{Bottleneck, Counters, RegionStats};
 use crate::sched::{plan_region, ThreadSchedule};
 use crate::tlb::Tlb;
@@ -289,6 +289,302 @@ impl NumaSim {
         F: FnMut(&mut Worker<'_>, &mut S),
     {
         assert!(threads > 0, "a region needs at least one thread");
+        let mut setup = self.begin_region(threads)?;
+        let schedules = std::mem::take(&mut setup.schedules);
+        let mut finished: Vec<ThreadOutcome2> = Vec::with_capacity(threads);
+        for (tid, sched) in schedules.into_iter().enumerate() {
+            let (tlb4, tlb2) = std::mem::replace(
+                &mut self.tlbs[tid],
+                (Tlb::new(0), Tlb::new(0)),
+            );
+            let l1 = std::mem::replace(&mut self.l1s[tid], Tlb::new(0));
+            let trace = match self.trace.as_deref_mut() {
+                Some(t) => TraceLink::Live(t),
+                None => TraceLink::Off,
+            };
+            let mut w = make_worker(
+                &self.cfg,
+                &self.link_paths,
+                &setup,
+                tid,
+                sched,
+                tlb4,
+                tlb2,
+                l1,
+                MemLink::Direct(&mut self.memory),
+                CacheLink::Direct(&mut self.caches),
+                WriterLink::Direct(&mut self.writer_table),
+                trace,
+                self.num_links,
+                self.now_cycles,
+            );
+            f(&mut w, shared);
+            let outcome = w.finish();
+            self.tlbs[tid] = (outcome.tlb4, outcome.tlb2);
+            self.l1s[tid] = outcome.l1;
+            if setup.unpinned {
+                let mut sched = outcome.sched;
+                sched.rebase(outcome.stats.clock);
+                self.sched_plans[tid] = sched;
+            }
+            finished.push(outcome.stats);
+        }
+
+        if let Some(e) = self.region_fault(&finished) {
+            return Err(e);
+        }
+        let stats = self.resolve(setup.region, finished, setup.total_cores, &setup.active);
+        self.run_hook(setup.region, &stats, &setup.active)?;
+        Ok(stats)
+    }
+
+    /// Run one parallel region with its logical threads sharded across
+    /// up to [`SimConfig::shards`] host threads, with per-worker
+    /// isolated state and a deterministic merge at the region boundary.
+    ///
+    /// Each worker executes against the *frozen* region-start memory,
+    /// LLC, and writer-table state plus a private overlay of its own
+    /// effects, so its execution (and every cycle it charges) is a pure
+    /// function of that frozen state — independent of how workers are
+    /// partitioned across host threads. Overlays are merged back in
+    /// ascending-tid order when every worker has finished. Counters,
+    /// region stats, trace logs, and downstream journal/advisor
+    /// decisions are therefore byte-identical for every shard count,
+    /// including `shards = 1` (which runs the same isolated-worker
+    /// semantics inline, without spawning).
+    ///
+    /// This is a *declared model* for phases that adopt sharding, with
+    /// three visible differences from [`NumaSim::try_parallel`]:
+    ///
+    /// * workers never observe a same-region peer's LLC insertions,
+    ///   writer-table stores, or page-fault/migration effects (e.g. two
+    ///   workers that both first-touch a shared boundary page each pay
+    ///   the fault);
+    /// * the closure takes `&S` (read-only shared state) and returns a
+    ///   per-worker value `R`; cross-worker mutation happens by folding
+    ///   the returned values after the merge;
+    /// * mapping and unmapping inside the region fault the worker with
+    ///   [`SimError::Harness`] — address space must be settled in a
+    ///   serial region first.
+    ///
+    /// On a region fault nothing is merged: a failed trial charges no
+    /// elapsed time, no counters, and no state changes.
+    pub fn try_parallel_sharded<S, R, F>(
+        &mut self,
+        threads: usize,
+        shared: &S,
+        f: F,
+    ) -> SimResult<(RegionStats, Vec<R>)>
+    where
+        S: Sync + ?Sized,
+        R: Send,
+        F: Fn(&mut Worker<'_>, &S) -> R + Sync,
+    {
+        assert!(threads > 0, "a region needs at least one thread");
+        let mut setup = self.begin_region(threads)?;
+        let schedules = std::mem::take(&mut setup.schedules);
+
+        // Pull per-thread host state out so seats can move across host
+        // threads; restored from the outcomes below.
+        let mut seats: Vec<Seat> = Vec::with_capacity(threads);
+        for (tid, sched) in schedules.into_iter().enumerate() {
+            let (tlb4, tlb2) = std::mem::replace(
+                &mut self.tlbs[tid],
+                (Tlb::new(0), Tlb::new(0)),
+            );
+            let l1 = std::mem::replace(&mut self.l1s[tid], Tlb::new(0));
+            seats.push((tid, sched, tlb4, tlb2, l1));
+        }
+
+        let shard_count = self.cfg.shards.max(1).min(threads);
+        let cfg = &self.cfg;
+        let link_paths = &self.link_paths;
+        let num_links = self.num_links;
+        let sim_now = self.now_cycles;
+        let trace_on = self.trace.is_some();
+        let memory = &self.memory;
+        let caches: &[Llc] = &self.caches;
+        let writer: &[(u64, u32)] = &self.writer_table;
+        let setup_ref = &setup;
+        let f_ref = &f;
+        let run_seat = move |seat: Seat| -> (ThreadOutcome, R) {
+            let (tid, sched, tlb4, tlb2, l1) = seat;
+            let trace = if trace_on {
+                TraceLink::Buffer(Vec::new())
+            } else {
+                TraceLink::Off
+            };
+            let mut w = make_worker(
+                cfg,
+                link_paths,
+                setup_ref,
+                tid,
+                sched,
+                tlb4,
+                tlb2,
+                l1,
+                MemLink::Shard(ShardMemView::new(memory)),
+                CacheLink::shard(caches),
+                WriterLink::shard(writer),
+                trace,
+                num_links,
+                sim_now,
+            );
+            let r = f_ref(&mut w, shared);
+            (w.finish(), r)
+        };
+
+        let mut outcomes: Vec<(ThreadOutcome, R)> = Vec::with_capacity(threads);
+        if shard_count <= 1 {
+            // Same isolated-worker semantics, no host threads spawned.
+            for seat in seats {
+                outcomes.push(run_seat(seat));
+            }
+        } else {
+            // Contiguous balanced tid chunks; collecting join results in
+            // shard order is collecting them in ascending-tid order.
+            let base = threads / shard_count;
+            let extra = threads % shard_count;
+            let mut chunks: Vec<Vec<Seat>> = Vec::with_capacity(shard_count);
+            let mut it = seats.into_iter();
+            for s in 0..shard_count {
+                let take = base + usize::from(s < extra);
+                chunks.push(it.by_ref().take(take).collect());
+            }
+            let mut host_panic = false;
+            std::thread::scope(|scope| {
+                let run_seat = &run_seat;
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk.into_iter().map(run_seat).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(batch) => outcomes.extend(batch),
+                        Err(_) => host_panic = true,
+                    }
+                }
+            });
+            if host_panic {
+                // The trial's state is torn; surface a typed fault so
+                // the supervisor re-runs it on a fresh simulator
+                // instead of unwinding through the harness.
+                return Err(SimError::Harness {
+                    what: "a shard host thread panicked mid-region".to_string(),
+                });
+            }
+        }
+
+        let mut finished: Vec<ThreadOutcome2> = Vec::with_capacity(threads);
+        let mut deltas: Vec<ShardDelta> = Vec::with_capacity(threads);
+        let mut returns: Vec<R> = Vec::with_capacity(threads);
+        for (tid, (outcome, r)) in outcomes.into_iter().enumerate() {
+            let ThreadOutcome { stats, tlb4, tlb2, l1, sched, shard } = outcome;
+            self.tlbs[tid] = (tlb4, tlb2);
+            self.l1s[tid] = l1;
+            if setup.unpinned {
+                let mut sched = sched;
+                sched.rebase(stats.clock);
+                self.sched_plans[tid] = sched;
+            }
+            match shard {
+                Some(delta) => deltas.push(delta),
+                // Unreachable by construction (every seat runs behind
+                // Shard links), but a typed fault beats a panic if the
+                // invariant ever breaks.
+                None => {
+                    return Err(SimError::Harness {
+                        what: format!("sharded worker {tid} returned no merge delta"),
+                    })
+                }
+            }
+            finished.push(stats);
+            returns.push(r);
+        }
+        if let Some(e) = self.region_fault(&finished) {
+            return Err(e);
+        }
+
+        // Deterministic epoch-boundary merge, ascending tid order: later
+        // tids win conflicting slots wholesale, exactly like the serial
+        // path's last-writer ordering.
+        for delta in deltas {
+            for (node, llc) in delta.llcs.into_iter().enumerate() {
+                if let Some(llc) = llc {
+                    self.caches[node] = llc;
+                }
+            }
+            merge_writer(&mut self.writer_table, delta.writer);
+            self.memory.merge_shard(delta.mem);
+            if let Some(t) = self.trace.as_deref_mut() {
+                for (at, tid, ev) in delta.trace {
+                    t.push(at, tid, ev);
+                }
+            }
+        }
+        let stats = self.resolve(setup.region, finished, setup.total_cores, &setup.active);
+        self.run_hook(setup.region, &stats, &setup.active)?;
+        Ok((stats, returns))
+    }
+
+    /// Infallible wrapper over [`NumaSim::try_parallel_sharded`]; panics
+    /// if the region faults.
+    pub fn parallel_sharded<S, R, F>(
+        &mut self,
+        threads: usize,
+        shared: &S,
+        f: F,
+    ) -> (RegionStats, Vec<R>)
+    where
+        S: Sync + ?Sized,
+        R: Send,
+        F: Fn(&mut Worker<'_>, &S) -> R + Sync,
+    {
+        self.try_parallel_sharded(threads, shared, f)
+            .unwrap_or_else(|e| panic!("simulation fault in infallible region: {e}"))
+    }
+
+    /// Region fault precedence, shared by the serial and sharded paths.
+    ///
+    /// A blown trial budget dominates every other fault. A poisoned
+    /// worker keeps charging cycles but records only its *first* fault,
+    /// so a thread that faulted early and then sailed past the budget
+    /// would otherwise report the fault — conflating a timeout with
+    /// `Faulted` in sweep tables even though the watchdog would have
+    /// killed the attempt either way.
+    fn region_fault(&self, finished: &[ThreadOutcome2]) -> Option<SimError> {
+        if let Some(e) = finished
+            .iter()
+            .filter_map(|t| t.fault.as_ref())
+            .find(|e| matches!(e, SimError::Timeout { .. }))
+        {
+            return Some(e.clone());
+        }
+        if finished.iter().any(|t| t.fault.is_some()) {
+            if let Some(budget) = self.cfg.trial_budget_cycles {
+                let elapsed = self
+                    .now_cycles
+                    .saturating_add(finished.iter().map(|t| t.clock).max().unwrap_or(0));
+                if elapsed >= budget {
+                    return Some(SimError::Timeout {
+                        budget_cycles: budget,
+                        elapsed_cycles: elapsed,
+                    });
+                }
+            }
+        }
+        finished.iter().find_map(|t| t.fault.clone())
+    }
+
+    /// The shared region prologue: deadline check, fault activation,
+    /// node-outage evacuation, schedule planning, TLB/L1 growth, the
+    /// per-region integer latency tables, and the `RegionBegin` trace
+    /// event. Byte-identical to the historical `try_parallel` prologue.
+    fn begin_region(&mut self, threads: usize) -> SimResult<RegionSetup> {
         if let Some(deadline) = self.cfg.deadline_cycles {
             // Cooperative cancellation: a query whose deadline has
             // passed abandons *between* phases, never mid-region, and
@@ -390,7 +686,6 @@ impl NumaSim {
             }
         }
 
-        let mut finished: Vec<ThreadOutcome2> = Vec::with_capacity(threads);
         if let Some(t) = self.trace.as_deref_mut() {
             t.push(
                 self.now_cycles,
@@ -399,105 +694,17 @@ impl NumaSim {
             );
         }
 
-        for (tid, sched) in schedules.into_iter().enumerate() {
-            let (tlb4, tlb2) = std::mem::replace(
-                &mut self.tlbs[tid],
-                (Tlb::new(0), Tlb::new(0)),
-            );
-            let l1 = std::mem::replace(&mut self.l1s[tid], Tlb::new(0));
-            let core = sched.initial_core();
-            let node = self.cfg.machine.node_of_core(core);
-            let mut w = Worker {
-                cfg: &self.cfg,
-                memory: &mut self.memory,
-                caches: &mut self.caches,
-                link_paths: &self.link_paths,
-                tid,
-                core,
-                node,
-                clock: 0,
-                sched,
-                next_sched_at: 0,
-                next_scan_at: 0,
-                core_since: 0,
-                core_time: Vec::new(),
-                tlb4,
-                tlb2,
-                l1,
-                writer_table: &mut self.writer_table,
-                counters: Counters::default(),
-                locks: ThreadLockUse::default(),
-                dram_lines_by_node: vec![0; nodes],
-                link_lines: vec![0; self.num_links],
-                autonuma_countdown: AUTONUMA_SAMPLE_EVERY,
-                last_line: u64::MAX - 1,
-                uwalk: UWalk::EMPTY,
-                lat_full: &lat_full,
-                lat_seq: &lat_seq,
-                num_nodes: nodes,
-                reference: self.cfg.reference_model,
-                epoch_cur: 0,
-                epoch_valid_until: 0,
-                faults: &active,
-                faults_quiet: active.is_quiet(),
-                region,
-                alloc_seq: 0,
-                next_preempt_at: active.preempt_period.unwrap_or(u64::MAX),
-                budget_limit,
-                sim_now: self.now_cycles,
-                fault: None,
-                trace: self.trace.as_deref_mut(),
-            };
-            w.next_sched_at = w.sched.next_event_at();
-            w.next_scan_at = if self.cfg.autonuma {
-                self.cfg.costs.autonuma_scan_period_cycles
-            } else {
-                u64::MAX
-            };
-            f(&mut w, shared);
-            let outcome = w.finish();
-            self.tlbs[tid] = (outcome.tlb4, outcome.tlb2);
-            self.l1s[tid] = outcome.l1;
-            if unpinned {
-                let mut sched = outcome.sched;
-                sched.rebase(outcome.stats.clock);
-                self.sched_plans[tid] = sched;
-            }
-            finished.push(outcome.stats);
-        }
-
-        // Fault precedence: a blown trial budget dominates every other
-        // fault. A poisoned worker keeps charging cycles but records
-        // only its *first* fault, so a thread that faulted early and
-        // then sailed past the budget would otherwise report the fault
-        // — conflating a timeout with `Faulted` in sweep tables even
-        // though the watchdog would have killed the attempt either way.
-        if let Some(e) = finished
-            .iter()
-            .filter_map(|t| t.fault.as_ref())
-            .find(|e| matches!(e, SimError::Timeout { .. }))
-        {
-            return Err(e.clone());
-        }
-        if finished.iter().any(|t| t.fault.is_some()) {
-            if let Some(budget) = self.cfg.trial_budget_cycles {
-                let elapsed = self
-                    .now_cycles
-                    .saturating_add(finished.iter().map(|t| t.clock).max().unwrap_or(0));
-                if elapsed >= budget {
-                    return Err(SimError::Timeout {
-                        budget_cycles: budget,
-                        elapsed_cycles: elapsed,
-                    });
-                }
-            }
-        }
-        if let Some(e) = finished.iter().find_map(|t| t.fault.clone()) {
-            return Err(e);
-        }
-        let stats = self.resolve(region, finished, total_cores, &active);
-        self.run_hook(region, &stats, &active)?;
-        Ok(stats)
+        Ok(RegionSetup {
+            region,
+            active,
+            budget_limit,
+            unpinned,
+            schedules,
+            total_cores,
+            nodes,
+            lat_full,
+            lat_seq,
+        })
     }
 
     /// Run a single logical thread (setup phases, coordinators).
@@ -902,6 +1109,381 @@ struct ThreadOutcome {
     tlb2: Tlb,
     l1: Tlb,
     sched: ThreadSchedule,
+    /// The isolated-state overlay of a sharded-region worker (None on
+    /// the serial path, which mutates canonical state directly).
+    shard: Option<ShardDelta>,
+}
+
+/// A seat is the per-logical-thread host state a sharded region moves
+/// onto whichever host thread runs that worker.
+type Seat = (usize, ThreadSchedule, Tlb, Tlb, Tlb);
+
+/// Region prologue products shared by the serial and sharded paths.
+struct RegionSetup {
+    region: u64,
+    active: ActiveFaults,
+    budget_limit: Option<u64>,
+    unpinned: bool,
+    schedules: Vec<ThreadSchedule>,
+    total_cores: usize,
+    nodes: usize,
+    lat_full: Vec<u64>,
+    lat_seq: Vec<u64>,
+}
+
+/// Construct one region worker over the given state links. Shared by
+/// the serial path (direct links into the simulator) and the sharded
+/// path (isolated per-worker views), so the two cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn make_worker<'a>(
+    cfg: &'a SimConfig,
+    link_paths: &'a Vec<Vec<Vec<u16>>>,
+    setup: &'a RegionSetup,
+    tid: usize,
+    sched: ThreadSchedule,
+    tlb4: Tlb,
+    tlb2: Tlb,
+    l1: Tlb,
+    memory: MemLink<'a>,
+    caches: CacheLink<'a>,
+    writer_table: WriterLink<'a>,
+    trace: TraceLink<'a>,
+    num_links: usize,
+    sim_now: u64,
+) -> Worker<'a> {
+    let core = sched.initial_core();
+    let node = cfg.machine.node_of_core(core);
+    let mut w = Worker {
+        cfg,
+        memory,
+        caches,
+        link_paths,
+        tid,
+        core,
+        node,
+        clock: 0,
+        sched,
+        next_sched_at: 0,
+        next_scan_at: 0,
+        core_since: 0,
+        core_time: Vec::new(),
+        tlb4,
+        tlb2,
+        l1,
+        writer_table,
+        counters: Counters::default(),
+        locks: ThreadLockUse::default(),
+        dram_lines_by_node: vec![0; setup.nodes],
+        link_lines: vec![0; num_links],
+        autonuma_countdown: AUTONUMA_SAMPLE_EVERY,
+        last_line: u64::MAX - 1,
+        uwalk: UWalk::EMPTY,
+        lat_full: &setup.lat_full,
+        lat_seq: &setup.lat_seq,
+        num_nodes: setup.nodes,
+        reference: cfg.reference_model,
+        epoch_cur: 0,
+        epoch_valid_until: 0,
+        faults: &setup.active,
+        faults_quiet: setup.active.is_quiet(),
+        region: setup.region,
+        alloc_seq: 0,
+        next_preempt_at: setup.active.preempt_period.unwrap_or(u64::MAX),
+        budget_limit: setup.budget_limit,
+        sim_now,
+        fault: None,
+        trace,
+    };
+    w.next_sched_at = w.sched.next_event_at();
+    w.next_scan_at = if cfg.autonuma {
+        cfg.costs.autonuma_scan_period_cycles
+    } else {
+        u64::MAX
+    };
+    w
+}
+
+// ---- per-worker state links for sharded regions ---------------------
+
+/// Worker handle on simulated memory: direct mutable access on the
+/// serial path, an isolated copy-on-write view on the sharded path.
+/// The forwarding methods mirror [`Memory`]'s signatures exactly so
+/// `Worker` bodies compile unchanged against either.
+enum MemLink<'a> {
+    Direct(&'a mut Memory),
+    Shard(ShardMemView<'a>),
+}
+
+impl MemLink<'_> {
+    fn map(
+        &mut self,
+        bytes: u64,
+        policy: MemPolicy,
+        node: NodeId,
+        thp: bool,
+    ) -> SimResult<VAddr> {
+        match self {
+            MemLink::Direct(m) => m.map(bytes, policy, node, thp),
+            MemLink::Shard(_) => Err(shard_map_fault()),
+        }
+    }
+
+    fn map_shared(
+        &mut self,
+        bytes: u64,
+        policy: MemPolicy,
+        node: NodeId,
+        thp: bool,
+    ) -> SimResult<VAddr> {
+        match self {
+            MemLink::Direct(m) => m.map_shared(bytes, policy, node, thp),
+            MemLink::Shard(_) => Err(shard_map_fault()),
+        }
+    }
+
+    fn unmap(&mut self, addr: VAddr, bytes: u64) -> SimResult<()> {
+        match self {
+            MemLink::Direct(m) => m.unmap(addr, bytes),
+            MemLink::Shard(_) => Err(shard_map_fault()),
+        }
+    }
+
+    #[inline]
+    fn resolve_touch(&mut self, addr: VAddr, node: NodeId) -> SimResult<TouchResolution> {
+        match self {
+            MemLink::Direct(m) => m.resolve_touch(addr, node),
+            MemLink::Shard(v) => v.resolve_touch(addr, node),
+        }
+    }
+
+    #[inline]
+    fn autonuma_touch(
+        &mut self,
+        addr: VAddr,
+        node: NodeId,
+        threshold: u32,
+        allow_migrate: bool,
+    ) -> (u64, bool) {
+        match self {
+            MemLink::Direct(m) => m.autonuma_touch(addr, node, threshold, allow_migrate),
+            MemLink::Shard(v) => v.autonuma_touch(addr, node, threshold, allow_migrate),
+        }
+    }
+
+    #[inline]
+    fn hint_fault_due(&mut self, addr: VAddr, epoch: u8) -> bool {
+        match self {
+            MemLink::Direct(m) => m.hint_fault_due(addr, epoch),
+            MemLink::Shard(v) => v.hint_fault_due(addr, epoch),
+        }
+    }
+
+    #[inline]
+    fn tlb_tag(&self, addr: VAddr, huge: bool) -> u64 {
+        match self {
+            MemLink::Direct(m) => m.tlb_tag(addr, huge),
+            MemLink::Shard(v) => v.tlb_tag(addr, huge),
+        }
+    }
+
+    #[inline]
+    fn prefetch_page(&self, addr: VAddr) {
+        match self {
+            MemLink::Direct(m) => m.prefetch_page(addr),
+            MemLink::Shard(v) => v.prefetch_page(addr),
+        }
+    }
+
+    #[inline]
+    fn write_bytes(&mut self, addr: VAddr, data: &[u8]) {
+        match self {
+            MemLink::Direct(m) => m.write_bytes(addr, data),
+            MemLink::Shard(v) => v.write_bytes(addr, data),
+        }
+    }
+
+    #[inline]
+    fn read_bytes(&mut self, addr: VAddr, out: &mut [u8]) {
+        match self {
+            MemLink::Direct(m) => m.read_bytes(addr, out),
+            MemLink::Shard(v) => v.read_bytes(addr, out),
+        }
+    }
+}
+
+/// The fault a sharded-region worker takes on `map`/`unmap`: address
+/// space must be settled in a serial region before workers shard.
+fn shard_map_fault() -> SimError {
+    SimError::Harness {
+        what: "mmap/munmap inside a sharded parallel region \
+               (settle address space in a serial region first)"
+            .into(),
+    }
+}
+
+/// Worker handle on the per-node LLCs: lazily clones a node's LLC image
+/// into the worker on first mutation (sharded path). Indexing mirrors
+/// `Vec<Llc>` so `self.caches[node]` call sites compile unchanged.
+enum CacheLink<'a> {
+    Direct(&'a mut Vec<Llc>),
+    Shard {
+        base: &'a [Llc],
+        local: Vec<Option<Llc>>,
+    },
+}
+
+impl<'a> CacheLink<'a> {
+    fn shard(base: &'a [Llc]) -> Self {
+        CacheLink::Shard { base, local: vec![None; base.len()] }
+    }
+}
+
+impl std::ops::Index<usize> for CacheLink<'_> {
+    type Output = Llc;
+    #[inline]
+    fn index(&self, i: usize) -> &Llc {
+        match self {
+            CacheLink::Direct(v) => &v[i],
+            CacheLink::Shard { base, local } => local[i].as_ref().unwrap_or(&base[i]),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for CacheLink<'_> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut Llc {
+        match self {
+            CacheLink::Direct(v) => &mut v[i],
+            CacheLink::Shard { base, local } => {
+                local[i].get_or_insert_with(|| base[i].clone())
+            }
+        }
+    }
+}
+
+/// Slots per copy-on-write chunk of the last-writer table. 4096 slots
+/// (64 KB) keeps the clone unit small enough that a worker touching a
+/// few hot lines copies kilobytes, not the table's megabytes.
+const WRITER_CHUNK: usize = 1 << 12;
+/// Chunks covering the whole table.
+const WRITER_CHUNKS: usize = WRITER_TABLE_SLOTS / WRITER_CHUNK;
+
+/// One cloned writer-table chunk plus a written-slot bitmap: the merge
+/// copies exactly the slots this worker stored, so workers writing
+/// disjoint slots of the same chunk never clobber each other.
+struct WriterChunk {
+    slots: [(u64, u32); WRITER_CHUNK],
+    written: [u64; WRITER_CHUNK / 64],
+}
+
+/// Worker handle on the last-writer table: chunked copy-on-write on the
+/// sharded path. `Index` is the read path; `IndexMut` is used by worker
+/// code exactly for stores, so it also marks the written bitmap.
+enum WriterLink<'a> {
+    Direct(&'a mut Vec<(u64, u32)>),
+    Shard {
+        base: &'a [(u64, u32)],
+        chunks: Vec<Option<Box<WriterChunk>>>,
+    },
+}
+
+impl<'a> WriterLink<'a> {
+    fn shard(base: &'a [(u64, u32)]) -> Self {
+        WriterLink::Shard {
+            base,
+            chunks: std::iter::repeat_with(|| None).take(WRITER_CHUNKS).collect(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for WriterLink<'_> {
+    type Output = (u64, u32);
+    #[inline]
+    fn index(&self, i: usize) -> &(u64, u32) {
+        match self {
+            WriterLink::Direct(v) => &v[i],
+            WriterLink::Shard { base, chunks } => match &chunks[i / WRITER_CHUNK] {
+                Some(c) => &c.slots[i % WRITER_CHUNK],
+                None => &base[i],
+            },
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for WriterLink<'_> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut (u64, u32) {
+        match self {
+            WriterLink::Direct(v) => &mut v[i],
+            WriterLink::Shard { base, chunks } => {
+                let c = chunks[i / WRITER_CHUNK].get_or_insert_with(|| {
+                    let start = i / WRITER_CHUNK * WRITER_CHUNK;
+                    let mut c = Box::new(WriterChunk {
+                        slots: [(0u64, 0u32); WRITER_CHUNK],
+                        written: [0; WRITER_CHUNK / 64],
+                    });
+                    c.slots.copy_from_slice(&base[start..start + WRITER_CHUNK]);
+                    c
+                });
+                let off = i % WRITER_CHUNK;
+                c.written[off >> 6] |= 1u64 << (off & 63);
+                &mut c.slots[off]
+            }
+        }
+    }
+}
+
+/// Copy one worker's written slots into the canonical table (tid-order
+/// caller; later tids overwrite conflicting slots, like the serial
+/// path's last-writer ordering).
+fn merge_writer(table: &mut [(u64, u32)], chunks: Vec<Option<Box<WriterChunk>>>) {
+    for (ci, chunk) in chunks.into_iter().enumerate() {
+        let Some(c) = chunk else { continue };
+        let start = ci * WRITER_CHUNK;
+        for (wi, &word) in c.written.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let off = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                table[start + off] = c.slots[off];
+            }
+        }
+    }
+}
+
+/// Worker handle on the trace recorder: a live borrow on the serial
+/// path, a local buffer replayed at merge time on the sharded path
+/// (the serial path emits each worker's events as one ascending-tid
+/// block anyway, so the replay is byte-identical).
+enum TraceLink<'a> {
+    Off,
+    Live(&'a mut TraceLog),
+    Buffer(Vec<(u64, u32, TraceEvent)>),
+}
+
+impl TraceLink<'_> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        !matches!(self, TraceLink::Off)
+    }
+
+    #[inline]
+    fn push(&mut self, at: u64, tid: u32, event: TraceEvent) {
+        match self {
+            TraceLink::Off => {}
+            TraceLink::Live(t) => t.push(at, tid, event),
+            TraceLink::Buffer(b) => b.push((at, tid, event)),
+        }
+    }
+}
+
+/// Everything a sharded-region worker mutated, detached from the view
+/// borrows so the engine can merge it into `&mut self` state.
+struct ShardDelta {
+    mem: MemDelta,
+    llcs: Vec<Option<Llc>>,
+    writer: Vec<Option<Box<WriterChunk>>>,
+    trace: Vec<(u64, u32, TraceEvent)>,
 }
 
 /// One-entry translation memo (the "uWalk cache"): the last 4 KB page
@@ -945,8 +1527,8 @@ impl UWalk {
 /// Handle through which workload code executes on one logical thread.
 pub struct Worker<'a> {
     cfg: &'a SimConfig,
-    memory: &'a mut Memory,
-    caches: &'a mut Vec<Llc>,
+    memory: MemLink<'a>,
+    caches: CacheLink<'a>,
     link_paths: &'a Vec<Vec<Vec<u16>>>,
     tid: usize,
     core: CoreId,
@@ -960,7 +1542,7 @@ pub struct Worker<'a> {
     tlb4: Tlb,
     tlb2: Tlb,
     l1: Tlb,
-    writer_table: &'a mut Vec<(u64, u32)>,
+    writer_table: WriterLink<'a>,
     counters: Counters,
     locks: ThreadLockUse,
     dram_lines_by_node: Vec<u64>,
@@ -1001,10 +1583,11 @@ pub struct Worker<'a> {
     /// fast-forward (cheap no-ops) so the workload closure completes
     /// structurally without unwinding.
     fault: Option<SimError>,
-    /// Trace recorder, reborrowed from the simulator for the duration
-    /// of this thread's run (threads execute sequentially). `None`
-    /// when tracing is disabled: every hook is one branch.
-    trace: Option<&'a mut TraceLog>,
+    /// Trace recorder: a live borrow of the simulator's log on the
+    /// serial path, a local buffer on the sharded path (replayed in tid
+    /// order at the merge), `Off` when tracing is disabled — every hook
+    /// is one branch and never charges cycles.
+    trace: TraceLink<'a>,
 }
 
 impl<'a> Worker<'a> {
@@ -1124,7 +1707,7 @@ impl<'a> Worker<'a> {
             return false;
         }
         self.counters.alloc_fault_injections += 1;
-        if self.trace.is_some() {
+        if self.trace.enabled() {
             let region = self.region;
             self.trace_event(TraceEvent::AllocFaultInjected { region });
         }
@@ -1257,7 +1840,7 @@ impl<'a> Worker<'a> {
             self.clock += cost;
             self.counters.kernel_cycles += cost;
             self.counters.page_faults += res.fault_pages;
-            if self.trace.is_some() {
+            if self.trace.enabled() {
                 self.trace_event(TraceEvent::PageFault {
                     node: res.node,
                     pages: res.fault_pages,
@@ -1313,7 +1896,7 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migration_failures += 1;
-                    if self.trace.is_some() {
+                    if self.trace.enabled() {
                         self.trace_event(TraceEvent::PageMigrationBlocked { node: home });
                     }
                 }
@@ -1325,7 +1908,7 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migrations += migrated;
-                    if self.trace.is_some() {
+                    if self.trace.enabled() {
                         self.trace_event(TraceEvent::PageMigration {
                             from_node: home,
                             to_node: self.node,
@@ -1442,7 +2025,7 @@ impl<'a> Worker<'a> {
                 self.clock += cost;
                 self.counters.kernel_cycles += cost;
                 self.counters.page_faults += res.fault_pages;
-                if self.trace.is_some() {
+                if self.trace.enabled() {
                     self.trace_event(TraceEvent::PageFault {
                         node: res.node,
                         pages: res.fault_pages,
@@ -1512,7 +2095,7 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migration_failures += 1;
-                    if self.trace.is_some() {
+                    if self.trace.enabled() {
                         self.trace_event(TraceEvent::PageMigrationBlocked { node: home });
                     }
                 }
@@ -1521,7 +2104,7 @@ impl<'a> Worker<'a> {
                     self.clock += cost;
                     self.counters.kernel_cycles += cost;
                     self.counters.page_migrations += migrated;
-                    if self.trace.is_some() {
+                    if self.trace.enabled() {
                         self.trace_event(TraceEvent::PageMigration {
                             from_node: home,
                             to_node: self.node,
@@ -1800,9 +2383,9 @@ impl<'a> Worker<'a> {
     /// cycles, so tracing cannot perturb results.
     #[inline]
     fn trace_event(&mut self, event: TraceEvent) {
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.push(self.sim_now + self.clock, self.tid as u32, event);
-        }
+        let at = self.sim_now + self.clock;
+        let tid = self.tid as u32;
+        self.trace.push(at, tid, event);
     }
 
     #[inline]
@@ -1818,7 +2401,7 @@ impl<'a> Worker<'a> {
             self.clock += self.cfg.costs.thread_migration_cycles;
             self.counters.kernel_cycles += self.cfg.costs.thread_migration_cycles;
             self.counters.thread_migrations += 1;
-            if self.trace.is_some() {
+            if self.trace.enabled() {
                 let to_core = self.core;
                 self.trace_event(TraceEvent::ThreadMigration { from_core, to_core });
             }
@@ -1839,7 +2422,7 @@ impl<'a> Worker<'a> {
             self.clock += self.cfg.costs.thread_migration_cycles;
             self.counters.kernel_cycles += self.cfg.costs.thread_migration_cycles;
             self.counters.preemptions += 1;
-            if self.trace.is_some() {
+            if self.trace.enabled() {
                 let core = self.core;
                 self.trace_event(TraceEvent::Preemption { core });
             }
@@ -1866,20 +2449,58 @@ impl<'a> Worker<'a> {
 
     fn finish(mut self) -> ThreadOutcome {
         self.core_time.push((self.core, self.clock - self.core_since));
+        let Worker {
+            clock,
+            core_time,
+            counters,
+            locks,
+            dram_lines_by_node,
+            link_lines,
+            fault,
+            tlb4,
+            tlb2,
+            l1,
+            sched,
+            memory,
+            caches,
+            writer_table,
+            trace,
+            ..
+        } = self;
+        // A sharded worker carries its isolated overlays out for the
+        // engine's tid-order merge; a serial worker mutated canonical
+        // state in place and carries nothing.
+        let shard = match (memory, caches, writer_table) {
+            (
+                MemLink::Shard(view),
+                CacheLink::Shard { local, .. },
+                WriterLink::Shard { chunks, .. },
+            ) => Some(ShardDelta {
+                mem: view.into_delta(),
+                llcs: local,
+                writer: chunks,
+                trace: match trace {
+                    TraceLink::Buffer(b) => b,
+                    _ => Vec::new(),
+                },
+            }),
+            _ => None,
+        };
         ThreadOutcome {
             stats: ThreadOutcome2 {
-                clock: self.clock,
-                core_time: self.core_time,
-                counters: self.counters,
-                locks: self.locks,
-                dram_lines_by_node: self.dram_lines_by_node,
-                link_lines: self.link_lines,
-                fault: self.fault,
+                clock,
+                core_time,
+                counters,
+                locks,
+                dram_lines_by_node,
+                link_lines,
+                fault,
             },
-            tlb4: self.tlb4,
-            tlb2: self.tlb2,
-            l1: self.l1,
-            sched: self.sched,
+            tlb4,
+            tlb2,
+            l1,
+            sched,
+            shard,
         }
     }
 }

@@ -19,7 +19,15 @@
 //!
 //! Workloads run as logical threads inside [`NumaSim::parallel`]; all
 //! randomness is seeded, so identical configurations produce identical
-//! cycle counts and hardware-counter values.
+//! cycle counts and hardware-counter values. A region can also shard
+//! its simulated workers across host threads with
+//! [`NumaSim::try_parallel_sharded`] (`SimConfig::shards`, the CLI's
+//! `--shards N`): each worker runs against the frozen region-start
+//! state through private copy-on-write overlays that merge back in
+//! ascending-tid order at the region boundary, so the model's output
+//! is byte-identical at every shard count — only host wall-clock
+//! changes (DESIGN.md §4h; `examples/sharded_trial.rs` demonstrates
+//! it, `tests/shards.rs` enforces it).
 //!
 //! ```
 //! use nqp_sim::{NumaSim, SimConfig};

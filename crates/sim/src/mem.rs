@@ -640,6 +640,366 @@ impl Memory {
     }
 }
 
+// ---- sharded-region views ------------------------------------------
+
+/// Bitmap words covering one 4 KB data page, one bit per byte.
+const PAGE_BITMAP_WORDS: usize = (SMALL_PAGE as usize) / 64;
+
+/// A privately-overlaid copy of one 4 KB page of the byte backing
+/// store, cloned from the frozen base on first write. `written` marks
+/// the bytes this worker actually wrote: the merge copies exactly
+/// those, so two workers writing disjoint halves of the same page never
+/// clobber each other with stale base bytes.
+#[derive(Debug)]
+pub(crate) struct DataPage {
+    bytes: Box<[u8]>,
+    written: [u64; PAGE_BITMAP_WORDS],
+}
+
+impl DataPage {
+    fn cloned_from(base: &Memory, pidx: usize) -> DataPage {
+        let start = pidx * SMALL_PAGE as usize;
+        let mut bytes = vec![0u8; SMALL_PAGE as usize].into_boxed_slice();
+        if base.backing.len() > start {
+            let avail = (base.backing.len() - start).min(SMALL_PAGE as usize);
+            bytes[..avail].copy_from_slice(&base.backing[start..start + avail]);
+        }
+        DataPage { bytes, written: [0; PAGE_BITMAP_WORDS] }
+    }
+
+    #[inline]
+    fn written(&self, b: usize) -> bool {
+        self.written[b >> 6] & (1u64 << (b & 63)) != 0
+    }
+}
+
+/// Per-worker isolated view of [`Memory`] for sharded parallel regions.
+///
+/// Reads fall through to the frozen region-start base; every mutation —
+/// first-touch assignment, AutoNUMA reference state and migrations,
+/// hint-fault epochs, data-plane writes — lands in a private overlay.
+/// The worker therefore observes exactly `frozen base + its own
+/// history`, making its execution (and every cycle it charges)
+/// independent of how workers are partitioned across host threads. At
+/// the region boundary the engine merges each worker's
+/// [`MemDelta`] back in ascending-tid order, which keeps the merged
+/// page table, capacity counters, and byte backing a pure function of
+/// the per-worker histories — byte-identical for every shard count.
+///
+/// Mapping and unmapping are not supported through a view (the engine
+/// rejects them with a typed fault): address-space layout must be
+/// settled in a serial region before workers shard.
+#[derive(Debug)]
+pub struct ShardMemView<'a> {
+    base: &'a Memory,
+    /// Overlay handle per 4 KB page of the base page table;
+    /// `u32::MAX` = passthrough to the frozen base entry.
+    page_slot: Vec<u32>,
+    /// Overlaid page entries in first-write order (the merge order).
+    page_entries: Vec<(usize, PageEntry)>,
+    /// Private capacity snapshot: region-start counts plus this
+    /// worker's own assignments (used by first-touch OOM checks).
+    node_used_pages: Vec<u64>,
+    /// Overlay handle per 4 KB page of the byte backing store.
+    data_slot: Vec<u32>,
+    /// Copy-on-write data pages in first-write order.
+    data_pages: Vec<(usize, DataPage)>,
+}
+
+/// The owned overlay extracted from a [`ShardMemView`] when its worker
+/// finishes, merged into the canonical [`Memory`] in tid order.
+#[derive(Debug)]
+pub struct MemDelta {
+    pages: Vec<(usize, PageEntry)>,
+    data: Vec<(usize, DataPage)>,
+}
+
+impl<'a> ShardMemView<'a> {
+    /// A fresh view over the frozen region-start state.
+    #[must_use]
+    pub fn new(base: &'a Memory) -> Self {
+        ShardMemView {
+            page_slot: vec![u32::MAX; base.pages.len()],
+            page_entries: Vec::new(),
+            node_used_pages: base.node_used_pages.clone(),
+            data_slot: vec![u32::MAX; (base.next / SMALL_PAGE + 1) as usize],
+            data_pages: Vec::new(),
+            base,
+        }
+    }
+
+    /// Detach the owned overlay for the tid-order merge.
+    #[must_use]
+    pub fn into_delta(self) -> MemDelta {
+        MemDelta { pages: self.page_entries, data: self.data_pages }
+    }
+
+    #[inline]
+    fn entry(&self, page: usize) -> Option<PageEntry> {
+        let slot = *self.page_slot.get(page)?;
+        if slot == u32::MAX {
+            self.base.pages.get(page).copied()
+        } else {
+            Some(self.page_entries[slot as usize].1)
+        }
+    }
+
+    #[inline]
+    fn set_entry(&mut self, page: usize, e: PageEntry) {
+        let slot = self.page_slot[page];
+        if slot == u32::MAX {
+            self.page_slot[page] = self.page_entries.len() as u32;
+            self.page_entries.push((page, e));
+        } else {
+            self.page_entries[slot as usize].1 = e;
+        }
+    }
+
+    /// Mirror of [`Memory::node_with_space`] against the private
+    /// capacity snapshot (offline flags and fallback orders are
+    /// region-start facts shared with the base).
+    fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> Option<NodeId> {
+        self.base.fallback[desired].iter().copied().find(|&n| {
+            !self.base.offline[n]
+                && self.node_used_pages[n] + unit_pages <= self.base.node_capacity_pages
+        })
+    }
+
+    /// Mirror of [`Memory::resolve_touch`] over the overlay.
+    #[inline]
+    pub fn resolve_touch(
+        &mut self,
+        addr: VAddr,
+        toucher_node: NodeId,
+    ) -> SimResult<TouchResolution> {
+        let page = (addr / SMALL_PAGE) as usize;
+        let e = self
+            .entry(page)
+            .filter(|e| e.mapped)
+            .ok_or(SimError::InvalidMapping { addr })?;
+        if e.faulted {
+            return Ok(TouchResolution {
+                node: e.node as NodeId,
+                faulted: false,
+                huge: e.huge,
+                fault_pages: 0,
+            });
+        }
+        let node = if e.node == NO_NODE {
+            let unit = if e.huge { PAGES_PER_HUGE } else { 1 };
+            let n = self.node_with_space(toucher_node, unit).ok_or(
+                SimError::OutOfMemory { node: toucher_node, requested_pages: unit },
+            )?;
+            self.node_used_pages[n] += unit;
+            n
+        } else {
+            e.node as NodeId
+        };
+        let (start, count) = if e.huge {
+            let start = page - page % PAGES_PER_HUGE as usize;
+            (start, PAGES_PER_HUGE as usize)
+        } else {
+            (page, 1)
+        };
+        for p in start..start + count {
+            let mut pe = self.entry(p).unwrap_or(PageEntry::UNMAPPED);
+            pe.node = node as u8;
+            pe.faulted = true;
+            self.set_entry(p, pe);
+        }
+        Ok(TouchResolution { node, faulted: true, huge: e.huge, fault_pages: count as u64 })
+    }
+
+    /// Mirror of [`Memory::autonuma_touch`] over the overlay.
+    #[inline]
+    pub fn autonuma_touch(
+        &mut self,
+        addr: VAddr,
+        toucher_node: NodeId,
+        threshold: u32,
+        allow_migrate: bool,
+    ) -> (u64, bool) {
+        let page = (addr / SMALL_PAGE) as usize;
+        if self.base.offline.get(toucher_node).copied().unwrap_or(false) {
+            return (0, false);
+        }
+        let Some(mut e) = self.entry(page) else { return (0, false) };
+        e.sharers |= 1u8 << (toucher_node & 7);
+        if e.node as NodeId == toucher_node {
+            e.remote_hits = 0;
+            self.set_entry(page, e);
+            return (0, false);
+        }
+        if e.sharers.count_ones() >= 3 {
+            self.set_entry(page, e);
+            return (0, false);
+        }
+        if e.last_remote as NodeId == toucher_node {
+            e.remote_hits = e.remote_hits.saturating_add(1);
+        } else {
+            e.last_remote = toucher_node as u8;
+            e.remote_hits = 1;
+        }
+        if (e.remote_hits as u32) < threshold {
+            self.set_entry(page, e);
+            return (0, false);
+        }
+        if !allow_migrate {
+            e.remote_hits = 0;
+            self.set_entry(page, e);
+            return (0, true);
+        }
+        self.set_entry(page, e);
+        let (start, count) = if e.huge {
+            let start = page - page % PAGES_PER_HUGE as usize;
+            (start, PAGES_PER_HUGE as usize)
+        } else {
+            (page, 1)
+        };
+        let old = e.node as usize;
+        self.node_used_pages[old] -= count as u64;
+        self.node_used_pages[toucher_node] += count as u64;
+        for p in start..start + count {
+            let mut pe = self.entry(p).unwrap_or(PageEntry::UNMAPPED);
+            pe.node = toucher_node as u8;
+            pe.remote_hits = 0;
+            self.set_entry(p, pe);
+        }
+        (count as u64, false)
+    }
+
+    /// Mirror of [`Memory::hint_fault_due`] over the overlay.
+    #[inline]
+    pub fn hint_fault_due(&mut self, addr: VAddr, epoch: u8) -> bool {
+        let page = (addr / SMALL_PAGE) as usize;
+        let Some(mut e) = self.entry(page) else { return false };
+        if e.hint_epoch == epoch {
+            false
+        } else {
+            e.hint_epoch = epoch;
+            self.set_entry(page, e);
+            true
+        }
+    }
+
+    /// Mirror of [`Memory::tlb_tag`] (a pure address computation).
+    #[inline]
+    #[must_use]
+    pub fn tlb_tag(&self, addr: VAddr, huge: bool) -> u64 {
+        self.base.tlb_tag(addr, huge)
+    }
+
+    /// Host prefetch hint for the base page-table entry (overlay hits
+    /// live in small hot vectors; hinting the base is the useful part).
+    #[inline]
+    pub fn prefetch_page(&self, addr: VAddr) {
+        self.base.prefetch_page(addr);
+    }
+
+    #[inline]
+    fn data_page_mut(&mut self, pidx: usize) -> &mut DataPage {
+        if pidx >= self.data_slot.len() {
+            self.data_slot.resize(pidx + 1, u32::MAX);
+        }
+        let mut slot = self.data_slot[pidx] as usize;
+        if slot == u32::MAX as usize {
+            slot = self.data_pages.len();
+            self.data_slot[pidx] = slot as u32;
+            self.data_pages.push((pidx, DataPage::cloned_from(self.base, pidx)));
+        }
+        &mut self.data_pages[slot].1
+    }
+
+    /// Write raw bytes into the copy-on-write overlay.
+    #[inline]
+    pub fn write_bytes(&mut self, addr: VAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let pidx = (a / SMALL_PAGE) as usize;
+            let in_page = (a % SMALL_PAGE) as usize;
+            let n = (SMALL_PAGE as usize - in_page).min(data.len() - off);
+            let dp = self.data_page_mut(pidx);
+            dp.bytes[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            for b in in_page..in_page + n {
+                dp.written[b >> 6] |= 1u64 << (b & 63);
+            }
+            off += n;
+        }
+    }
+
+    /// Read raw bytes: overlaid pages serve this worker's own writes,
+    /// everything else comes from the frozen base (zero-filled beyond
+    /// it, like fresh anonymous mappings).
+    #[inline]
+    pub fn read_bytes(&self, addr: VAddr, out: &mut [u8]) {
+        let mut off = 0usize;
+        while off < out.len() {
+            let a = addr + off as u64;
+            let pidx = (a / SMALL_PAGE) as usize;
+            let in_page = (a % SMALL_PAGE) as usize;
+            let n = (SMALL_PAGE as usize - in_page).min(out.len() - off);
+            let slot = self.data_slot.get(pidx).copied().unwrap_or(u32::MAX);
+            if slot != u32::MAX {
+                out[off..off + n].copy_from_slice(
+                    &self.data_pages[slot as usize].1.bytes[in_page..in_page + n],
+                );
+            } else {
+                // Clamp the start too: a read wholly past the frozen
+                // backing is a pure zero-fill (fresh anonymous pages),
+                // and `backing[start..start]` would still bounds-check
+                // an out-of-range start.
+                let start = (a as usize).min(self.base.backing.len());
+                let avail = (self.base.backing.len() - start).min(n);
+                out[off..off + avail].copy_from_slice(&self.base.backing[start..start + avail]);
+                out[off + avail..off + n].fill(0);
+            }
+            off += n;
+        }
+    }
+}
+
+impl Memory {
+    /// Merge one worker's overlay back into the canonical state. Called
+    /// in ascending-tid order at the end of a sharded region; later
+    /// workers win conflicting page entries wholesale, and the capacity
+    /// counters are re-derived per page from the `old node -> new node`
+    /// transition so they stay consistent with the final page table no
+    /// matter how many workers faulted or migrated the same page.
+    pub fn merge_shard(&mut self, delta: MemDelta) {
+        for (page, e) in delta.pages {
+            if self.pages.len() <= page {
+                self.pages.resize(page + 1, PageEntry::UNMAPPED);
+            }
+            let old = self.pages[page];
+            if old.node != e.node {
+                if old.node != NO_NODE {
+                    self.node_used_pages[old.node as usize] -= 1;
+                }
+                if e.node != NO_NODE {
+                    self.node_used_pages[e.node as usize] += 1;
+                }
+            }
+            self.pages[page] = e;
+        }
+        for (pidx, dp) in delta.data {
+            let start = pidx as u64 * SMALL_PAGE;
+            let mut b = 0usize;
+            while b < SMALL_PAGE as usize {
+                if !dp.written(b) {
+                    b += 1;
+                    continue;
+                }
+                let s = b;
+                while b < SMALL_PAGE as usize && dp.written(b) {
+                    b += 1;
+                }
+                self.write_bytes(start + s as u64, &dp.bytes[s..b]);
+            }
+        }
+    }
+}
+
 #[inline]
 fn round_up(x: u64, align: u64) -> u64 {
     (x + align - 1) / align * align

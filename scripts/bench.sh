@@ -12,7 +12,9 @@
 #     cross-checked for bit-identity before any speedup is published,
 #   - online-advisor gain (DESIGN.md §4g): phase-shift sweep on the
 #     scaled testbed, online mean vs the best static mean (model
-#     cycles, deterministic).
+#     cycles, deterministic),
+#   - shard speedup: wall-clock of one large W3 trial at --shards 1 vs
+#     --shards 4 (host-time), gated on byte-identical CSVs first.
 #
 # Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
 set -euo pipefail
@@ -81,6 +83,30 @@ W1_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W1_REF_NS / $W1_FAST_NS }")
 W3_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W3_REF_NS / $W3_FAST_NS }")
 if awk "BEGIN { exit !($W1_SPEEDUP < 1.5) }"; then
   echo "bench.sh: WARNING: W1 hotpath speedup $W1_SPEEDUP below the 1.5x bar (noisy host?)" >&2
+fi
+
+# Shard speedup (DESIGN.md's sharded determinism): one large W3 trial
+# whose load and probe phases shard across host threads. The CSVs must
+# be byte-identical before any speedup is published — a divergence
+# means the epoch merges broke, and the bench fails rather than time a
+# wrong simulator. Wall-ns are host time; the acceptance bar is >= 1.5x
+# at --shards 4 on an otherwise idle host (typical: ~1.9x).
+SHARD_ARGS=(sweep w3 --machine B --threads 8 --n 150000 --trials 1)
+S0=$(now_ns)
+"$CLI" "${SHARD_ARGS[@]}" --csv "$WORK/shard1.csv" > /dev/null
+S1=$(now_ns)
+"$CLI" "${SHARD_ARGS[@]}" --shards 4 --csv "$WORK/shard4.csv" > /dev/null
+S2=$(now_ns)
+diff "$WORK/shard1.csv" "$WORK/shard4.csv" >&2
+SHARD1_NS=$((S1 - S0))
+SHARD4_NS=$((S2 - S1))
+SHARD_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SHARD1_NS / $SHARD4_NS }")
+# The bar only means something when the host can actually run 4 shards
+# in parallel; on fewer cores the ratio is noise, so record it but
+# don't warn.
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ] && awk "BEGIN { exit !($SHARD_SPEEDUP < 1.5) }"; then
+  echo "bench.sh: WARNING: shard speedup $SHARD_SPEEDUP below the 1.5x bar at 4 shards on a ${CORES}-core host" >&2
 fi
 
 # Serve baseline (DESIGN.md §4f): a fixed open-loop burst grid; the
@@ -153,6 +179,13 @@ $CONFIGS_JSON
     "autonuma_mean_cycles": $AUTONUMA_MEAN,
     "online_mean_cycles": $ONLINE_MEAN,
     "gain_vs_best_static": $ADVISOR_GAIN
+  },
+  "shard_speedup": {
+    "grid": "${SHARD_ARGS[*]}",
+    "host_cores": $CORES,
+    "shards1_wall_ns": $SHARD1_NS,
+    "shards4_wall_ns": $SHARD4_NS,
+    "speedup": $SHARD_SPEEDUP
   },
   "trace_overhead": {
     "plain_wall_ns": $PLAIN_NS,

@@ -69,6 +69,33 @@ diff "$SMOKE/fastpath.txt" "$SMOKE/refpath.txt"
 diff "$SMOKE/fast.csv" "$SMOKE/ref.csv"
 diff -r "$SMOKE/tfast" "$SMOKE/tref"
 
+# Sharded-trial smoke (DESIGN.md's sharded determinism): --shards N
+# spreads one trial's simulated workers across N host threads and must
+# be invisible in every output — stdout, CSV, and trace artifacts
+# byte-identical to the serial run of the same grid — and compose with
+# --jobs. The grid here includes the node-offline fault plan, so the
+# merge path is exercised under evacuation too.
+"$CLI" "${ARGS[@]}" --shards 2 --csv "$SMOKE/shards2.csv" --trace-dir "$SMOKE/ts2" > "$SMOKE/shards2.txt"
+"$CLI" "${ARGS[@]}" --shards 4 --jobs 2 --csv "$SMOKE/shards4.csv" --trace-dir "$SMOKE/ts4" > "$SMOKE/shards4.txt"
+diff "$SMOKE/fast.csv" "$SMOKE/shards2.csv"
+diff "$SMOKE/fast.csv" "$SMOKE/shards4.csv"
+diff "$SMOKE/fastpath.txt" "$SMOKE/shards2.txt"
+diff "$SMOKE/fastpath.txt" "$SMOKE/shards4.txt"
+diff -r "$SMOKE/tfast" "$SMOKE/ts2"
+diff -r "$SMOKE/tfast" "$SMOKE/ts4"
+
+# Shard count is not part of the grid fingerprint: a journal written at
+# --shards 4 resumes at --shards 2 to the uninterrupted bytes.
+"$CLI" "${ARGS[@]}" --shards 4 --journal "$SMOKE/js.jsonl" --max-cells 2 > /dev/null 2>&1
+"$CLI" "${ARGS[@]}" --shards 2 --resume "$SMOKE/js.jsonl" > "$SMOKE/shresumed.txt" 2> /dev/null
+diff "$SMOKE/full.txt" "$SMOKE/shresumed.txt"
+
+# Bad shard counts are rejected up front.
+if "$CLI" sweep w2 --machine B --trials 1 --shards 0 > /dev/null 2>&1; then
+  echo "check.sh: --shards 0 must exit nonzero" >&2
+  exit 1
+fi
+
 # An empty grid must fail loudly, not exit 0 with no output.
 if "$CLI" sweep w2 --machine B --trials 0 > /dev/null 2>&1; then
   echo "check.sh: empty sweep grid must exit nonzero" >&2
@@ -95,6 +122,11 @@ diff "$SMOKE/sa.json" "$SMOKE/sb.json"
 # fails loudly.
 "$CLI" "${SARGS[@]}" > "$SMOKE/sparallel.txt" --jobs 2
 diff "$SMOKE/sfull.txt" "$SMOKE/sparallel.txt"
+
+# Serve calibrates its class profiles through the real engine, so
+# --shards must be invisible there too.
+"$CLI" "${SARGS[@]}" --shards 4 > "$SMOKE/sshards.txt"
+diff "$SMOKE/sfull.txt" "$SMOKE/sshards.txt"
 if "$CLI" serve w1 --machine B --tenants 0 > /dev/null 2>&1; then
   echo "check.sh: empty serve spec must exit nonzero" >&2
   exit 1
@@ -118,6 +150,7 @@ diff "$SMOKE/afull.txt" "$SMOKE/aresumed.txt"
 # Malformed runtime specs must exit nonzero with a typed error naming
 # the offending token — never a panic, never a silent default.
 for bad in '--outage 12..junk:node=1' '--arrivals poisson:rate=wat' \
+           '--arrivals burst:rate=1,on=18446744073709551615,off=1' \
            '--advisor offline'; do
   # shellcheck disable=SC2086
   if "$CLI" serve w1 --machine B --duration 10 $bad > /dev/null 2> "$SMOKE/bad.err"; then

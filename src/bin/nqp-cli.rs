@@ -12,7 +12,7 @@
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
 //! nqp-cli sweep w1|w2|w3|w4|wshift [--trials N] [--retries N] [--faults SPEC]
 //!                [--trial-budget CYCLES] [--machine A|B|C|S] [--jobs N]
-//!                [--advisor online[,autonuma]]
+//!                [--shards N] [--advisor online[,autonuma]]
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
@@ -40,6 +40,11 @@
 //! one semantic shift: `--retry-budget` becomes a deterministic
 //! per-config quota of `ceil(budget / configs)` so admission never
 //! depends on scheduling order).
+//!
+//! `--shards N` (default 1) spreads the simulated workers of each
+//! *single* trial across N host threads; like `--jobs`, every output is
+//! byte-identical for any shard count, so the two compose freely and
+//! neither enters the grid fingerprint.
 
 use nqp::advisor::ControllerConfig;
 use nqp::alloc::AllocatorKind;
@@ -109,7 +114,7 @@ const USAGE: &str = "usage:
   nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
   nqp-cli sweep <w1|w2|w3|w4|wshift> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
-                [--advisor online[,autonuma]] [--jobs N] [--journal PATH | --resume PATH]
+                [--advisor online[,autonuma]] [--jobs N] [--shards N] [--journal PATH | --resume PATH]
                 [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
                 [--trace-dir DIR] [--trace-epoch CYCLES]
@@ -117,7 +122,7 @@ const USAGE: &str = "usage:
                 [--lanes N] [--queue-cap N] [--tokens N] [--refill R] [--deadline MCYCLES]
                 [--breaker K] [--epoch MCYCLES] [--outage T1..T2:node=N]
                 [--advisor static|online[:rearm=N]]
-                [--configs both|os-default|tuned] [--jobs N]
+                [--configs both|os-default|tuned] [--jobs N] [--shards N]
                 [--journal PATH | --resume PATH] [--max-cells N]
                 [--csv FILE] [--json FILE] [--trace-dir DIR]
                 (arrivals: poisson:rate=R | burst:rate=R,x=M,on=A,off=B | diurnal:rate=R,x=M,period=P)
@@ -238,6 +243,18 @@ fn config_from_flags(
     if let Some(b) = flags.get("trial-budget") {
         let cycles: u64 = b.parse().map_err(|_| format!("bad --trial-budget `{b}`"))?;
         cfg = cfg.with_trial_budget(cycles);
+    }
+    // --shards N spreads one trial's simulated workers over N host
+    // threads. Results are byte-identical for every shard count (the
+    // check.sh gate), so — like --jobs — it is excluded from grid
+    // fingerprints and never changes what a sweep reports.
+    if let Some(s) = flags.get("shards") {
+        let shards: usize = s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --shards `{s}` (want an integer >= 1)"))?;
+        cfg.sim = cfg.sim.with_shards(shards);
     }
     // NQP_REFERENCE=1 runs the per-line reference model instead of the
     // page-granular fast path. Both produce bit-identical results (an
@@ -583,13 +600,15 @@ fn grid_descriptor(
         .filter(|(k, _)| {
             // `jobs` is excluded too: the parallel executor produces the
             // same bytes, so a journal from a --jobs run resumes under
-            // any job count (and vice versa). The trace flags are
-            // excluded because tracing never changes cycle results —
-            // artifacts are a side output, like `--csv`.
+            // any job count (and vice versa). `shards` follows the same
+            // contract inside one trial, so it is excluded for the same
+            // reason. The trace flags are excluded because tracing
+            // never changes cycle results — artifacts are a side
+            // output, like `--csv`.
             !matches!(
                 k.as_str(),
                 "journal" | "resume" | "max-cells" | "csv" | "json"
-                    | "machine" | "threads" | "trials" | "jobs"
+                    | "machine" | "threads" | "trials" | "jobs" | "shards"
                     | "trace-dir" | "trace-epoch"
             )
         })
@@ -887,9 +906,10 @@ fn serve_grid_descriptor(
             !matches!(
                 k.as_str(),
                 "journal" | "resume" | "max-cells" | "csv" | "json" | "jobs"
-                    | "trace-dir" | "machine" | "threads" | "tenants" | "duration"
-                    | "arrivals" | "lanes" | "queue-cap" | "tokens" | "refill"
-                    | "deadline" | "breaker" | "epoch" | "outage" | "advisor" | "seed"
+                    | "shards" | "trace-dir" | "machine" | "threads" | "tenants"
+                    | "duration" | "arrivals" | "lanes" | "queue-cap" | "tokens"
+                    | "refill" | "deadline" | "breaker" | "epoch" | "outage"
+                    | "advisor" | "seed"
             )
         })
         .map(|(k, v)| (k.as_str(), v.as_str()))
