@@ -4,7 +4,8 @@
 use nqp_advisor::{ControllerConfig, OnlineController};
 use nqp_alloc::AllocatorKind;
 use nqp_query::WorkloadEnv;
-use nqp_sim::{MemPolicy, SimConfig, ThreadPlacement, TuneFactory};
+use nqp_sim::{HookChain, MemPolicy, RegionHook, SimConfig, ThreadPlacement, TuneFactory};
+use nqp_tier::{TierDaemon, TierSpec};
 use nqp_topology::MachineSpec;
 
 /// Whether a configuration's knobs are fixed for the whole trial (the
@@ -31,6 +32,9 @@ pub struct TuningConfig {
     pub allocator: AllocatorKind,
     /// Static knobs or online re-tuning.
     pub advisor: AdvisorMode,
+    /// Tiered-memory policy; [`TierSpec::NONE`] (the default) installs
+    /// no daemon and leaves pages where placement put them.
+    pub tier: TierSpec,
 }
 
 impl TuningConfig {
@@ -42,6 +46,7 @@ impl TuningConfig {
             sim: SimConfig::os_default(machine),
             allocator: AllocatorKind::Ptmalloc,
             advisor: AdvisorMode::Static,
+            tier: TierSpec::NONE,
         }
     }
 
@@ -52,6 +57,7 @@ impl TuningConfig {
             sim: SimConfig::tuned(machine),
             allocator: AllocatorKind::Tbbmalloc,
             advisor: AdvisorMode::Static,
+            tier: TierSpec::NONE,
         }
     }
 
@@ -115,14 +121,42 @@ impl TuningConfig {
         self
     }
 
+    /// Builder-style tiering policy: an active [`TierSpec`] installs
+    /// the [`TierDaemon`] on every environment this configuration
+    /// builds, alongside (after) the online advisor if one is set.
+    pub fn with_tier(mut self, tier: TierSpec) -> Self {
+        self.tier = tier;
+        self
+    }
+
     /// Convert to the workload environment the W1–W4 runners take.
     pub fn env(&self, threads: usize) -> WorkloadEnv {
         let mut sim = self.sim.clone();
-        if let AdvisorMode::Online(cc) = &self.advisor {
-            let cc = cc.clone();
-            sim = sim.with_tune(TuneFactory::new(move || {
-                Box::new(OnlineController::new(cc.clone()))
-            }));
+        let advisor = match &self.advisor {
+            AdvisorMode::Online(cc) => Some(cc.clone()),
+            AdvisorMode::Static => None,
+        };
+        let tier = self.tier;
+        // The daemon only exists on machines with a slow tier; `--tier
+        // none` and all-DRAM machines install no factory at all, so
+        // those runs stay byte-identical to a tier-unaware build.
+        let tier_active = TierDaemon::new(tier, &sim.machine).is_some();
+        if advisor.is_some() || tier_active {
+            let machine = sim.machine.clone();
+            let mut factory = TuneFactory::new(move || {
+                let mut hooks: Vec<Box<dyn RegionHook + Send>> = Vec::new();
+                if let Some(cc) = &advisor {
+                    hooks.push(Box::new(OnlineController::new(cc.clone())));
+                }
+                if let Some(daemon) = TierDaemon::new(tier, &machine) {
+                    hooks.push(Box::new(daemon));
+                }
+                Box::new(HookChain(hooks))
+            });
+            if tier_active {
+                factory = factory.with_page_heat();
+            }
+            sim = sim.with_tune(factory);
         }
         WorkloadEnv { sim, allocator: self.allocator, threads }
     }

@@ -149,11 +149,15 @@ pub fn try_run_phase_shift(
 
     // Phase 1 — build rounds: scan the private partition, touch the
     // shared table only lightly.
+    // Rounds are sharded regions: workers only read the two tables and
+    // return a per-thread accumulator, so `--shards N` can fan each
+    // round across host threads with byte-identical results.
+    let tables = (&shared, &private);
     let light_probes = (cfg.probes_per_round / 16).max(1);
     sim.phase_begin("shift:build");
     for round in 0..cfg.build_rounds {
-        let mut sums: Vec<u64> = Vec::new();
-        regions.push(sim.try_parallel(threads, &mut sums, |w, sums| {
+        let (stats, sums) = sim.try_parallel_sharded(threads, &tables, |w, tables| {
+            let (shared, private) = *tables;
             let tid = w.tid();
             let mut acc = 0u64;
             let range = private.partition(tid, threads);
@@ -173,8 +177,9 @@ pub fn try_run_phase_shift(
                 let (key, val) = shared.read(w, idx);
                 acc = mix(acc, key, val);
             }
-            sums.push(acc);
-        })?);
+            acc
+        })?;
+        regions.push(stats);
         for s in sums {
             checksum ^= s;
         }
@@ -185,8 +190,8 @@ pub fn try_run_phase_shift(
     // shared table, with only a light private sweep.
     sim.phase_begin("shift:probe");
     for round in 0..cfg.probe_rounds {
-        let mut sums: Vec<u64> = Vec::new();
-        regions.push(sim.try_parallel(threads, &mut sums, |w, sums| {
+        let (stats, sums) = sim.try_parallel_sharded(threads, &tables, |w, tables| {
+            let (shared, private) = *tables;
             let tid = w.tid();
             let mut acc = 0u64;
             let stream =
@@ -208,8 +213,9 @@ pub fn try_run_phase_shift(
                 }
                 i += step;
             }
-            sums.push(acc);
-        })?);
+            acc
+        })?;
+        regions.push(stats);
         for s in sums {
             checksum ^= s;
         }
@@ -248,6 +254,29 @@ mod tests {
         let c = run_phase_shift(&env(MemPolicy::FirstTouch), &cfg);
         assert_eq!(a.exec_cycles, c.exec_cycles, "cycle counts are deterministic");
         assert_eq!(a.regions.len(), cfg.build_rounds + cfg.probe_rounds);
+    }
+
+    #[test]
+    fn rounds_are_byte_identical_across_shard_counts() {
+        // The rounds now run through `try_parallel_sharded`: any host
+        // shard count must reproduce the serial run exactly.
+        let cfg = PhaseShiftConfig {
+            build_rounds: 2,
+            probe_rounds: 2,
+            ..PhaseShiftConfig::small(11)
+        };
+        let run = |shards: usize| {
+            let mut e = env(MemPolicy::FirstTouch);
+            e.sim = e.sim.with_shards(shards);
+            run_phase_shift(&e, &cfg)
+        };
+        let serial = run(1);
+        for shards in [2, 4] {
+            let sharded = run(shards);
+            assert_eq!(serial.exec_cycles, sharded.exec_cycles, "shards={shards}");
+            assert_eq!(serial.checksum, sharded.checksum, "shards={shards}");
+            assert_eq!(serial.counters, sharded.counters, "shards={shards}");
+        }
     }
 
     #[test]

@@ -335,6 +335,21 @@ impl SimConfig {
     }
 }
 
+/// Look a machine preset up by name, turning an unknown name into a
+/// typed [`crate::SimError::BadSpec`] that echoes the offending token
+/// and lists every valid name — the error the CLI's `--machine` flag
+/// surfaces.
+pub fn machine_by_name(name: &str) -> Result<MachineSpec, crate::SimError> {
+    nqp_topology::machines::by_name(name).ok_or_else(|| crate::SimError::BadSpec {
+        flag: "--machine".into(),
+        token: name.into(),
+        why: format!(
+            "unknown machine (valid: {})",
+            nqp_topology::machines::MACHINE_NAMES.join(", ")
+        ),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +410,20 @@ mod tests {
         assert!(d.fault_plan.is_none());
         assert_eq!(d.fault_attempt, 0);
         assert!(d.trial_budget_cycles.is_none());
+    }
+
+    #[test]
+    fn unknown_machine_is_a_typed_bad_spec() {
+        assert_eq!(machine_by_name("B_CXL").unwrap().name, "B_CXL");
+        match machine_by_name("machine_z") {
+            Err(crate::SimError::BadSpec { flag, token, why }) => {
+                assert_eq!(flag, "--machine");
+                assert_eq!(token, "machine_z");
+                for name in machines::MACHINE_NAMES {
+                    assert!(why.contains(name), "`{why}` should list `{name}`");
+                }
+            }
+            other => panic!("expected BadSpec, got {other:?}"),
+        }
     }
 }

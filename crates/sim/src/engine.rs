@@ -33,8 +33,9 @@ use crate::metrics::{Bottleneck, Counters, RegionStats};
 use crate::sched::{plan_region, ThreadSchedule};
 use crate::tlb::Tlb;
 use crate::trace::{TraceEvent, TraceLog, NO_TID};
-use crate::tune::{EpochView, RegionHook, TuneAction};
+use crate::tune::{EpochView, PageHeat, RegionHook, TuneAction};
 use nqp_topology::{CoreId, NodeId};
+use std::collections::{BTreeMap, HashMap};
 
 /// Read or write; counted identically by the current cost model but kept
 /// distinct in the API for workloads that want to annotate intent.
@@ -91,6 +92,12 @@ pub struct NumaSim {
     /// Called after every region resolves; its actions are applied and
     /// charged before the next region runs.
     hook: Option<HookBox>,
+    /// Whether the installed tune factory asked for per-page heat
+    /// (`TuneFactory::wants_page_heat`): workers then count touches per
+    /// page and the merged, home-annotated vector is handed to the hook
+    /// in `EpochView::page_heat`. Strictly opt-in — collecting costs
+    /// host time on the touch hot path, never model cycles.
+    heat_on: bool,
 }
 
 /// Debug-opaque container for the installed tuning hook.
@@ -132,10 +139,12 @@ impl NumaSim {
         let memory = Memory::new(machine);
         let trace = cfg.trace.as_ref().map(|tc| Box::new(TraceLog::new(tc.clone())));
         let hook = cfg.tune.as_ref().map(|f| HookBox(f.build()));
+        let heat_on = cfg.tune.as_ref().is_some_and(|f| f.wants_page_heat());
         NumaSim {
             memory,
             trace,
             hook,
+            heat_on,
             caches,
             tlbs: Vec::new(),
             l1s: Vec::new(),
@@ -333,8 +342,9 @@ impl NumaSim {
         if let Some(e) = self.region_fault(&finished) {
             return Err(e);
         }
+        let heat = self.collect_heat(&mut finished);
         let stats = self.resolve(setup.region, finished, setup.total_cores, &setup.active);
-        self.run_hook(setup.region, &stats, &setup.active)?;
+        self.run_hook(setup.region, &stats, &setup.active, &heat)?;
         Ok(stats)
     }
 
@@ -526,8 +536,9 @@ impl NumaSim {
                 }
             }
         }
+        let heat = self.collect_heat(&mut finished);
         let stats = self.resolve(setup.region, finished, setup.total_cores, &setup.active);
-        self.run_hook(setup.region, &stats, &setup.active)?;
+        self.run_hook(setup.region, &stats, &setup.active, &heat)?;
         Ok((stats, returns))
     }
 
@@ -667,24 +678,33 @@ impl NumaSim {
         let nodes = self.cfg.machine.topology.num_nodes();
 
         // Integer DRAM-latency tables for this region, indexed by
-        // [running_node * nodes + home_node]: the f64 latency-factor
-        // chain (with fault-degradation multipliers folded in) is
-        // evaluated once per node pair instead of once per LLC miss.
-        // The expressions mirror the reference model's per-miss math
-        // operation for operation, so the values are bit-identical.
-        let mut lat_full = vec![0u64; nodes * nodes];
-        let mut lat_seq = vec![0u64; nodes * nodes];
+        // [(running_node * nodes + home_node) * 2 + is_write]: the f64
+        // latency-factor chain (fault-degradation multipliers and the
+        // home node's memory-tier read/write factor folded in) is
+        // evaluated once per (node pair, direction) instead of once per
+        // LLC miss. The expressions mirror the reference model's
+        // per-miss math operation for operation, so the values are
+        // bit-identical; on an all-DRAM machine both tier factors are
+        // exactly 1.0 and the table degenerates to the untiered model.
+        let mut lat_full = vec![0u64; nodes * nodes * 2];
+        let mut lat_seq = vec![0u64; nodes * nodes * 2];
         for a in 0..nodes {
             for h in 0..nodes {
                 let mut factor = self.cfg.machine.topology.latency_factor(a, h);
                 if !active.is_quiet() && h != a {
                     factor *= active.path_latency_mult(&self.link_paths[a][h]);
                 }
-                let full = (self.cfg.machine.dram_latency_cycles as f64 * factor) as u64;
-                lat_full[a * nodes + h] = full;
-                lat_seq[a * nodes + h] = full / self.cfg.costs.mlp.max(1);
+                let tier = self.cfg.machine.tier_of(h);
+                for (dir, tf) in [(0, tier.read_factor()), (1, tier.write_factor())] {
+                    let full = (self.cfg.machine.dram_latency_cycles as f64 * (factor * tf))
+                        as u64;
+                    lat_full[(a * nodes + h) * 2 + dir] = full;
+                    lat_seq[(a * nodes + h) * 2 + dir] = full / self.cfg.costs.mlp.max(1);
+                }
             }
         }
+        let tier_slow: Vec<bool> =
+            (0..nodes).map(|n| self.memory.is_slow_node(n)).collect();
 
         if let Some(t) = self.trace.as_deref_mut() {
             t.push(
@@ -704,6 +724,8 @@ impl NumaSim {
             nodes,
             lat_full,
             lat_seq,
+            tier_slow,
+            heat_on: self.heat_on,
         })
     }
 
@@ -771,6 +793,13 @@ impl NumaSim {
         self.hook = Some(HookBox(hook));
     }
 
+    /// Toggle per-page heat collection on a live simulator (pairs with
+    /// [`NumaSim::install_hook`] for tests and ad-hoc drivers; sweeps
+    /// opt in via [`crate::TuneFactory::with_page_heat`]).
+    pub fn collect_page_heat(&mut self, on: bool) {
+        self.heat_on = on;
+    }
+
     /// Run the installed tuning hook against the region that just
     /// resolved and apply its actions. The hook sees only model-cycle
     /// state (an [`EpochView`]), so its decision sequence is a
@@ -784,6 +813,7 @@ impl NumaSim {
         region: u64,
         stats: &RegionStats,
         active: &ActiveFaults,
+        page_heat: &[PageHeat],
     ) -> SimResult<()> {
         let Some(mut hook) = self.hook.take() else { return Ok(()) };
         let view = EpochView {
@@ -797,6 +827,7 @@ impl NumaSim {
             autonuma: self.cfg.autonuma,
             threads: stats.threads,
             fault_active: !active.is_quiet(),
+            page_heat,
         };
         let actions = hook.0.on_region_end(&view);
         self.hook = Some(hook);
@@ -806,11 +837,39 @@ impl NumaSim {
         Ok(())
     }
 
+    /// Merge the per-worker page-touch maps into one additively merged
+    /// heat vector sorted by page, annotated with each page's canonical
+    /// home node — read *after* any sharded merge, so serial and
+    /// sharded runs report identical heat. Pages unmapped by region end
+    /// are dropped (nothing a hook could migrate). Empty (and free)
+    /// unless heat collection is on.
+    fn collect_heat(&self, finished: &mut [ThreadOutcome2]) -> Vec<PageHeat> {
+        if !self.heat_on {
+            return Vec::new();
+        }
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for t in finished.iter_mut() {
+            for &(page, touches) in &t.heat {
+                *merged.entry(page).or_insert(0) += touches;
+            }
+            t.heat = Vec::new();
+        }
+        merged
+            .into_iter()
+            .filter_map(|(page, touches)| {
+                self.memory
+                    .node_of(page * SMALL_PAGE)
+                    .map(|home| PageHeat { page, home, touches })
+            })
+            .collect()
+    }
+
     /// Apply one hook action, charge its model-cycle cost, and record
     /// it as a trace event. Page moves are charged at the same
     /// `CostParams` rates as kernel migrations, and — like node-offline
     /// evacuation — the charge can blow the trial budget.
     fn apply_action(&mut self, region: u64, threads: usize, action: TuneAction) -> SimResult<()> {
+        let mut tier_event = false;
         let decision = match action {
             TuneAction::SetMemPolicy(policy) => {
                 self.cfg.mem_policy = policy;
@@ -844,14 +903,29 @@ impl NumaSim {
                 }
                 format!("rehome={}:moved={moved}", policy.label())
             }
+            TuneAction::PromotePages { pages, max_pages } => {
+                tier_event = true;
+                let moved = self.memory.retier_pages(&pages, false, max_pages);
+                self.charge_retier(moved);
+                self.counters.promotions += moved;
+                format!("promote:moved={moved}")
+            }
+            TuneAction::DemotePages { pages, max_pages } => {
+                tier_event = true;
+                let moved = self.memory.retier_pages(&pages, true, max_pages);
+                self.charge_retier(moved);
+                self.counters.demotions += moved;
+                format!("demote:moved={moved}")
+            }
             TuneAction::Note(token) => token,
         };
         if let Some(t) = self.trace.as_deref_mut() {
-            t.push(
-                self.now_cycles,
-                NO_TID,
-                TraceEvent::AdvisorDecision { region, decision },
-            );
+            let event = if tier_event {
+                TraceEvent::TierDecision { region, decision }
+            } else {
+                TraceEvent::AdvisorDecision { region, decision }
+            };
+            t.push(self.now_cycles, NO_TID, event);
         }
         if let Some(budget) = self.cfg.trial_budget_cycles {
             if self.now_cycles >= budget {
@@ -862,6 +936,22 @@ impl NumaSim {
             }
         }
         Ok(())
+    }
+
+    /// Bill one promotion/demotion batch: kernel migration rates for
+    /// the copies, plus the copied lines as slow-tier traffic (one
+    /// endpoint of every moved page is a slow-tier node by definition).
+    fn charge_retier(&mut self, moved: u64) {
+        if moved == 0 {
+            return;
+        }
+        let costs = &self.cfg.costs;
+        let cost = costs.page_migration_fixed_cycles
+            + costs.page_migration_per_line_cycles * (SMALL_PAGE / LINE) * moved;
+        self.now_cycles += cost;
+        self.counters.kernel_cycles += cost;
+        self.counters.page_migrations += moved;
+        self.counters.slow_tier_lines += (SMALL_PAGE / LINE) * moved;
     }
 
     /// Re-place threads scheduled onto offline cores, following the
@@ -875,7 +965,9 @@ impl NumaSim {
         active: &ActiveFaults,
     ) -> Vec<ThreadSchedule> {
         let machine = &self.cfg.machine;
-        let nodes = machine.topology.num_nodes();
+        // Displaced threads can only land on compute nodes: memory-only
+        // slow-tier nodes have no cores.
+        let nodes = machine.compute_nodes();
         let tpn = machine.threads_per_node;
         let live: Vec<NodeId> = (0..nodes).filter(|&n| !active.node_offline(n)).collect();
         let sparse =
@@ -986,9 +1078,17 @@ impl NumaSim {
                 link_lines[l] += c;
             }
         }
+        // A slow-tier controller delivers a fraction of DRAM bandwidth
+        // (`bandwidth_factor`); ×1.0 on DRAM nodes keeps the division
+        // bit-identical to the untiered model.
         let ctrl_busy: Vec<f64> = node_lines
             .iter()
-            .map(|&l| l as f64 / machine.controller_lines_per_cycle)
+            .enumerate()
+            .map(|(n, &l)| {
+                l as f64
+                    / (machine.controller_lines_per_cycle
+                        * machine.tier_of(n).bandwidth_factor())
+            })
             .collect();
         // A degraded link's effective bandwidth is divided by the fault
         // plan's divisor, inflating its busy time.
@@ -1099,6 +1199,9 @@ struct ThreadOutcome2 {
     locks: ThreadLockUse,
     dram_lines_by_node: Vec<u64>,
     link_lines: Vec<u64>,
+    /// Per-page touch counts `(page, touches)` sorted by page; empty
+    /// unless heat collection is on.
+    heat: Vec<(u64, u64)>,
     /// The fault that poisoned this thread, if any.
     fault: Option<SimError>,
 }
@@ -1129,6 +1232,10 @@ struct RegionSetup {
     nodes: usize,
     lat_full: Vec<u64>,
     lat_seq: Vec<u64>,
+    /// Per-node "is a slow memory tier" flags, for the hit counters.
+    tier_slow: Vec<bool>,
+    /// Whether workers should count per-page touches this region.
+    heat_on: bool,
 }
 
 /// Construct one region worker over the given state links. Shared by
@@ -1181,6 +1288,11 @@ fn make_worker<'a>(
         lat_full: &setup.lat_full,
         lat_seq: &setup.lat_seq,
         num_nodes: setup.nodes,
+        tier_slow: &setup.tier_slow,
+        heat_on: setup.heat_on,
+        heat_page: u64::MAX,
+        heat_run: 0,
+        heat: HashMap::new(),
         reference: cfg.reference_model,
         epoch_cur: 0,
         epoch_valid_until: 0,
@@ -1557,8 +1669,21 @@ pub struct Worker<'a> {
     lat_full: &'a [u64],
     /// Same, divided by MLP for sequential (pipelined) misses.
     lat_seq: &'a [u64],
-    /// Node count, the row stride of the latency tables.
+    /// Node count; the latency tables are indexed
+    /// `[(running * num_nodes + home) * 2 + is_write]`.
     num_nodes: usize,
+    /// Per-node slow-tier flags, for the slow-tier hit counters.
+    tier_slow: &'a [bool],
+    /// Count per-page touches for `EpochView::page_heat` this region.
+    heat_on: bool,
+    /// One-entry run memo batching consecutive same-page heat counts
+    /// (`u64::MAX` = empty).
+    heat_page: u64,
+    /// Touches accumulated on `heat_page` since the memo last spilled.
+    heat_run: u64,
+    /// Spilled per-page touch counts (sorted into `ThreadOutcome2::heat`
+    /// at `finish`).
+    heat: HashMap<u64, u64>,
     /// Run the per-line reference model instead of the fast path.
     reference: bool,
     /// Cached AutoNUMA scan epoch (`(clock / period) & 0xFF`) ...
@@ -1808,6 +1933,9 @@ impl<'a> Worker<'a> {
     fn touch_line(&mut self, line_addr: VAddr, access: Access) {
         let costs = &self.cfg.costs;
         self.clock += costs.touch_base_cycles;
+        if self.heat_on {
+            self.heat_note(line_addr / SMALL_PAGE);
+        }
 
         // Private L1 with MESI-style invalidation: a hit is only valid if
         // no other thread wrote the line since we cached it.
@@ -1935,6 +2063,14 @@ impl<'a> Worker<'a> {
                     .faults
                     .path_latency_mult(&self.link_paths[self.node][home]);
             }
+            // The home node's memory tier scales the miss: a slow tier
+            // (NVM/CXL) serves reads and writes at asymmetric latency;
+            // ×1.0 for DRAM homes, bit-identical to the untiered model.
+            let tier = self.cfg.machine.tier_of(home);
+            factor *= match access {
+                Access::Read => tier.read_factor(),
+                Access::Write => tier.write_factor(),
+            };
             let mut dram = (self.cfg.machine.dram_latency_cycles as f64 * factor) as u64;
             if line_addr / LINE == self.last_line + 1 {
                 // Sequential miss: prefetched/pipelined.
@@ -1943,6 +2079,10 @@ impl<'a> Worker<'a> {
             self.clock += dram;
             self.counters.dram_cycles += dram;
             self.dram_lines_by_node[home] += 1;
+            if self.tier_slow[home] {
+                self.counters.slow_tier_hits += 1;
+                self.counters.slow_tier_lines += 1;
+            }
             if home == self.node {
                 self.counters.local_accesses += 1;
             } else {
@@ -1966,6 +2106,9 @@ impl<'a> Worker<'a> {
     fn touch_line_fast(&mut self, line_addr: VAddr, access: Access) {
         let costs = &self.cfg.costs;
         self.clock += costs.touch_base_cycles;
+        if self.heat_on {
+            self.heat_note(line_addr / SMALL_PAGE);
+        }
 
         // The writer-table probe is a random read into a multi-megabyte
         // host array. Its value only matters when the line is stored
@@ -2128,7 +2271,8 @@ impl<'a> Worker<'a> {
             self.counters.cache_hits += 1;
         } else {
             self.counters.cache_misses += 1;
-            let idx = self.node * self.num_nodes + home;
+            let idx = (self.node * self.num_nodes + home) * 2
+                + usize::from(access == Access::Write);
             let dram = if line == self.last_line + 1 {
                 // Sequential miss: prefetched/pipelined.
                 self.lat_seq[idx]
@@ -2138,6 +2282,10 @@ impl<'a> Worker<'a> {
             self.clock += dram;
             self.counters.dram_cycles += dram;
             self.dram_lines_by_node[home] += 1;
+            if self.tier_slow[home] {
+                self.counters.slow_tier_hits += 1;
+                self.counters.slow_tier_lines += 1;
+            }
             if home == self.node {
                 self.counters.local_accesses += 1;
             } else {
@@ -2165,6 +2313,30 @@ impl<'a> Worker<'a> {
             self.epoch_valid_until = q.saturating_add(1).saturating_mul(period);
         }
         self.epoch_cur
+    }
+
+    /// Count one page touch for the heat map. Both touch paths call
+    /// this at the same point (once per line touched), so heat is
+    /// identical under the fast and reference models; it never charges
+    /// cycles, so collection cannot perturb results. The one-entry run
+    /// memo batches consecutive same-page touches into one map update.
+    #[inline]
+    fn heat_note(&mut self, page: u64) {
+        if page == self.heat_page {
+            self.heat_run += 1;
+        } else {
+            self.heat_flush();
+            self.heat_page = page;
+            self.heat_run = 1;
+        }
+    }
+
+    /// Spill the heat run memo into the per-page map.
+    fn heat_flush(&mut self) {
+        if self.heat_run > 0 {
+            *self.heat.entry(self.heat_page).or_insert(0) += self.heat_run;
+        }
+        self.heat_run = 0;
     }
 
     /// Charge an uncached, streamed kernel copy of `lines` cache lines
@@ -2201,6 +2373,9 @@ impl<'a> Worker<'a> {
             }
             res.node
         };
+        // Kernel copies stream as reads: the slow tier's read factor
+        // applies (its write half is charged where the copy lands, a
+        // refinement the model folds into the read-side charge).
         let per_line = if self.reference {
             let mut factor = self.cfg.machine.topology.latency_factor(self.node, home);
             if !self.faults_quiet && home != self.node {
@@ -2208,15 +2383,19 @@ impl<'a> Worker<'a> {
                     .faults
                     .path_latency_mult(&self.link_paths[self.node][home]);
             }
+            factor *= self.cfg.machine.tier_of(home).read_factor();
             ((self.cfg.machine.dram_latency_cycles as f64 * factor) as u64
                 / self.cfg.costs.mlp.max(1))
             .max(1)
         } else {
-            self.lat_seq[self.node * self.num_nodes + home].max(1)
+            self.lat_seq[(self.node * self.num_nodes + home) * 2].max(1)
         };
         self.clock += per_line * lines;
         self.counters.dram_cycles += per_line * lines;
         self.dram_lines_by_node[home] += lines;
+        if self.tier_slow[home] {
+            self.counters.slow_tier_lines += lines;
+        }
         // Kernel copies consume bandwidth (and cross links) but are not
         // application memory accesses: they stay out of the LAR counters.
         if home != self.node {
@@ -2449,6 +2628,7 @@ impl<'a> Worker<'a> {
 
     fn finish(mut self) -> ThreadOutcome {
         self.core_time.push((self.core, self.clock - self.core_since));
+        self.heat_flush();
         let Worker {
             clock,
             core_time,
@@ -2456,6 +2636,7 @@ impl<'a> Worker<'a> {
             locks,
             dram_lines_by_node,
             link_lines,
+            heat,
             fault,
             tlb4,
             tlb2,
@@ -2486,6 +2667,8 @@ impl<'a> Worker<'a> {
             }),
             _ => None,
         };
+        let mut heat: Vec<(u64, u64)> = heat.into_iter().collect();
+        heat.sort_unstable();
         ThreadOutcome {
             stats: ThreadOutcome2 {
                 clock,
@@ -2494,6 +2677,7 @@ impl<'a> Worker<'a> {
                 locks,
                 dram_lines_by_node,
                 link_lines,
+                heat,
                 fault,
             },
             tlb4,

@@ -59,7 +59,7 @@ mod trace;
 mod tune;
 
 pub use cache::Llc;
-pub use config::{CostParams, MemPolicy, SimConfig, ThreadPlacement};
+pub use config::{machine_by_name, CostParams, MemPolicy, SimConfig, ThreadPlacement};
 pub use engine::{Access, NumaSim, Worker};
 pub use error::{SimError, SimResult};
 pub use fault::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
@@ -70,5 +70,5 @@ pub use tlb::Tlb;
 pub use trace::{
     EpochSample, PhaseSpan, TraceConfig, TraceEvent, TraceLog, TraceRecord, NO_TID,
 };
-pub use tune::{EpochView, RegionHook, TuneAction, TuneFactory};
+pub use tune::{EpochView, HookChain, PageHeat, RegionHook, TuneAction, TuneFactory};
 

@@ -82,7 +82,12 @@ pub struct Memory {
     /// Next unmapped virtual address (bump-allocated address space).
     next: VAddr,
     node_used_pages: Vec<u64>,
-    node_capacity_pages: u64,
+    /// Per-node page budget: slow-tier nodes (CXL expanders, NVM banks)
+    /// are usually far larger than the DRAM nodes in front of them.
+    node_capacity_pages: Vec<u64>,
+    /// Which nodes hold slow-tier memory (`MemTier::SlowTier`), for the
+    /// tier daemon's promote/demote page walks.
+    slow_node: Vec<bool>,
     /// Round-robin cursor for the Interleave policy.
     interleave_cursor: usize,
     num_nodes: usize,
@@ -106,7 +111,10 @@ impl Memory {
             // Leave page 0 unmapped so address 0 acts as null.
             next: SMALL_PAGE,
             node_used_pages: vec![0; num_nodes],
-            node_capacity_pages: machine.mem_per_node_bytes / SMALL_PAGE,
+            node_capacity_pages: (0..num_nodes)
+                .map(|n| machine.mem_bytes_of_node(n) / SMALL_PAGE)
+                .collect(),
+            slow_node: (0..num_nodes).map(|n| machine.is_slow_tier(n)).collect(),
             interleave_cursor: 0,
             num_nodes,
             fallback,
@@ -259,7 +267,7 @@ impl Memory {
                 if self.offline[node] {
                     return Err(SimError::NodeOffline { node });
                 }
-                if self.node_used_pages[node] + unit_pages > self.node_capacity_pages {
+                if self.node_used_pages[node] + unit_pages > self.node_capacity_pages[node] {
                     return Err(SimError::OutOfMemory {
                         node,
                         requested_pages: unit_pages,
@@ -287,7 +295,7 @@ impl Memory {
     fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> Option<NodeId> {
         self.fallback[desired].iter().copied().find(|&n| {
             !self.offline[n]
-                && self.node_used_pages[n] + unit_pages <= self.node_capacity_pages
+                && self.node_used_pages[n] + unit_pages <= self.node_capacity_pages[n]
         })
     }
 
@@ -414,6 +422,16 @@ impl Memory {
         } else {
             (page, 1)
         };
+        let full = self.node_used_pages[toucher_node] + count as u64
+            > self.node_capacity_pages[toucher_node];
+        if full {
+            // migrate_pages fails when the target node cannot allocate;
+            // reset the hit count like the isolate_lru-failure path.
+            // Matters only on tier machines with deliberately tiny DRAM
+            // nodes — Table II capacities are never approached.
+            self.pages[page].remote_hits = 0;
+            return (0, false);
+        }
         let old = self.pages[page].node as usize;
         self.node_used_pages[old] -= count as u64;
         self.node_used_pages[toucher_node] += count as u64;
@@ -585,7 +603,8 @@ impl Memory {
                 || self.offline[target]
                 || e.node as usize == target
                 || moved + unit as u64 > max_pages
-                || self.node_used_pages[target] + unit as u64 > self.node_capacity_pages
+                || self.node_used_pages[target] + unit as u64
+                    > self.node_capacity_pages[target]
             {
                 continue;
             }
@@ -599,6 +618,79 @@ impl Memory {
             moved += unit as u64;
         }
         moved
+    }
+
+    /// Move specific pages between memory tiers — the tier daemon's
+    /// apply path. `pages` are 4 KB page indices (`addr / SMALL_PAGE`)
+    /// in the order the daemon ranked them; `to_slow = false` promotes
+    /// them to DRAM nodes, `to_slow = true` demotes them to slow-tier
+    /// nodes. At most `max_pages` 4 KB pages move (the per-epoch
+    /// migration budget); huge frames move whole or not at all.
+    ///
+    /// Targets are dealt round-robin across live nodes of the requested
+    /// tier with space, with a fresh cursor per call, so the outcome is
+    /// a pure function of (`pages` order, page-table state) — the
+    /// determinism the tiering differential tests pin. Pages already in
+    /// the requested tier, unmapped/unfaulted pages, and units that
+    /// would exceed the budget or target capacity are skipped, never an
+    /// error: retiering is advisory, like [`Memory::rehome_pages`].
+    ///
+    /// Returns the number of 4 KB pages moved; the engine charges them
+    /// as migration traffic and counts promotions/demotions.
+    pub fn retier_pages(&mut self, pages: &[u64], to_slow: bool, max_pages: u64) -> u64 {
+        let targets: Vec<NodeId> = (0..self.num_nodes)
+            .filter(|&n| !self.offline[n] && self.slow_node[n] == to_slow)
+            .collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        let mut cursor = 0usize;
+        let mut moved = 0u64;
+        for &page in pages {
+            if moved >= max_pages {
+                break;
+            }
+            let p = page as usize;
+            let Some(e) = self.pages.get(p).copied() else { continue };
+            if !(e.mapped && e.faulted && e.node != NO_NODE)
+                || self.slow_node[e.node as usize] == to_slow
+            {
+                continue;
+            }
+            let (start, unit) = if e.huge {
+                let start = p - p % PAGES_PER_HUGE as usize;
+                (start, PAGES_PER_HUGE as usize)
+            } else {
+                (p, 1)
+            };
+            if moved + unit as u64 > max_pages {
+                continue;
+            }
+            // Deal the unit to the next tier node with room. The cursor
+            // advances only on a successful move, so one full node never
+            // starves the rest of the rotation.
+            let target = (0..targets.len())
+                .map(|i| targets[(cursor + i) % targets.len()])
+                .find(|&t| {
+                    self.node_used_pages[t] + unit as u64 <= self.node_capacity_pages[t]
+                });
+            let Some(target) = target else { continue };
+            cursor += 1;
+            self.node_used_pages[e.node as usize] -= unit as u64;
+            self.node_used_pages[target] += unit as u64;
+            for q in start..start + unit {
+                self.pages[q].node = target as u8;
+                self.pages[q].remote_hits = 0;
+                self.pages[q].last_remote = NO_NODE;
+            }
+            moved += unit as u64;
+        }
+        moved
+    }
+
+    /// Whether `node` holds slow-tier memory.
+    pub fn is_slow_node(&self, node: NodeId) -> bool {
+        self.slow_node.get(node).copied().unwrap_or(false)
     }
 
     /// The TLB tag for `addr`: huge frames translate at 2 MB granularity.
@@ -761,7 +853,8 @@ impl<'a> ShardMemView<'a> {
     fn node_with_space(&self, desired: NodeId, unit_pages: u64) -> Option<NodeId> {
         self.base.fallback[desired].iter().copied().find(|&n| {
             !self.base.offline[n]
-                && self.node_used_pages[n] + unit_pages <= self.base.node_capacity_pages
+                && self.node_used_pages[n] + unit_pages
+                    <= self.base.node_capacity_pages[n]
         })
     }
 
@@ -1083,6 +1176,33 @@ mod tests {
         let mut m = mem();
         let a = m.map(4 * HUGE_PAGE, MemPolicy::FirstTouch, 0, false).unwrap();
         assert!(!m.is_huge(a));
+    }
+
+    #[test]
+    fn retier_pages_moves_between_tiers_within_budget() {
+        let mut m = Memory::new(&machines::machine_b_cxl());
+        assert!(m.is_slow_node(4) && !m.is_slow_node(0));
+        let a = m.map(SMALL_PAGE * 4, MemPolicy::Preferred(0), 0, false).unwrap();
+        for p in 0..4 {
+            m.resolve_touch(a + p * SMALL_PAGE, 0).unwrap();
+        }
+        let pages: Vec<u64> = (0..4).map(|p| a / SMALL_PAGE + p).collect();
+        // Budget of 3: only the first three pages demote to the slow node.
+        assert_eq!(m.retier_pages(&pages, true, 3), 3);
+        assert_eq!(m.node_of(a), Some(4));
+        assert_eq!(m.node_of(a + 3 * SMALL_PAGE), Some(0));
+        // Already-slow pages are skipped, so a second pass moves the rest.
+        assert_eq!(m.retier_pages(&pages, true, 8), 1);
+        // Promotion brings all four back to DRAM, within node capacities.
+        assert_eq!(m.retier_pages(&pages, false, 8), 4);
+        for p in 0..4 {
+            let n = m.node_of(a + p * SMALL_PAGE).unwrap();
+            assert!(!m.is_slow_node(n));
+        }
+        let machine = machines::machine_b_cxl();
+        for (n, used) in m.node_used_pages().iter().enumerate() {
+            assert!(*used <= machine.mem_bytes_of_node(n) / SMALL_PAGE);
+        }
     }
 
     #[test]

@@ -53,6 +53,15 @@ pub struct Counters {
     /// Node-offline events applied (a nonzero value marks the trial as
     /// degraded: it completed without part of the machine).
     pub nodes_offlined: u64,
+    /// 4 KB pages the tier daemon moved from a slow tier up to DRAM.
+    pub promotions: u64,
+    /// 4 KB pages the tier daemon moved from DRAM down to a slow tier.
+    pub demotions: u64,
+    /// DRAM touches (LLC misses) served by a slow-tier home node.
+    pub slow_tier_hits: u64,
+    /// Cache lines transferred to/from slow-tier nodes, including bulk
+    /// DMA traffic (`slow_tier_hits` counts only demand misses).
+    pub slow_tier_lines: u64,
 }
 
 /// Apply a macro to the full counter field list. Single source of truth
@@ -81,14 +90,18 @@ macro_rules! for_each_counter {
             page_migration_failures,
             preemptions,
             evacuated_pages,
-            nodes_offlined
+            nodes_offlined,
+            promotions,
+            demotions,
+            slow_tier_hits,
+            slow_tier_lines
         )
     };
 }
 
 impl Counters {
     /// Number of counter fields, = `fields().len()`.
-    pub const FIELD_COUNT: usize = 20;
+    pub const FIELD_COUNT: usize = 24;
 
     /// All counters as `(name, value)` pairs in declaration order, for
     /// serialisers and report formatters that must stay in sync with the
@@ -157,6 +170,18 @@ impl Counters {
             1.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of DRAM accesses served by a slow-tier node — the
+    /// tiering study's headline ratio. Returns 0.0 when no DRAM access
+    /// occurred (an all-DRAM machine reports 0 by construction).
+    pub fn slow_tier_hit_ratio(&self) -> f64 {
+        let total = self.dram_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.slow_tier_hits as f64 / total as f64
         }
     }
 

@@ -86,7 +86,9 @@ impl ThreadSchedule {
 pub fn plan_region(cfg: &SimConfig, nthreads: usize, region_idx: u64) -> Vec<ThreadSchedule> {
     let machine = &cfg.machine;
     let total = machine.total_hw_threads();
-    let nodes = machine.topology.num_nodes();
+    // Only compute nodes have cores: memory-only slow-tier nodes are
+    // skipped by every placement.
+    let nodes = machine.compute_nodes();
     let tpn = machine.threads_per_node;
     match cfg.thread_placement {
         ThreadPlacement::Sparse => (0..nthreads)

@@ -93,6 +93,10 @@ pub enum TraceEvent {
     /// transition (`freeze`, `rearm:…`, `rollback:…`, `commit:…`).
     /// The decision token is a single word with no spaces.
     AdvisorDecision { region: u64, decision: String },
+    /// The tier daemon acted at the end of `region`: a promotion or
+    /// demotion batch (`promote:moved=…` / `demote:moved=…`) or a
+    /// policy breadcrumb. Single-word token, like `AdvisorDecision`.
+    TierDecision { region: u64, decision: String },
 }
 
 /// A `TraceEvent` plus when and on which logical thread it happened.

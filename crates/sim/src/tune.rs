@@ -21,6 +21,23 @@ use std::sync::Arc;
 use crate::config::{MemPolicy, ThreadPlacement};
 use crate::metrics::Counters;
 
+/// Per-page access intensity over the region that just resolved, fed
+/// to heat-driven hooks (the tier daemon). Collected only when the
+/// installed [`TuneFactory`] asks for it (`wants_page_heat`), counted
+/// identically by the fast and reference touch paths (one increment
+/// per touch call), merged across workers in ascending-tid order, and
+/// reported sorted by page — so the vector is a pure function of the
+/// simulated execution, like every other `EpochView` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeat {
+    /// 4 KB page index (`addr / SMALL_PAGE`).
+    pub page: u64,
+    /// The page's home node after the region's merges resolved.
+    pub home: usize,
+    /// Touches the page received during the region (all workers).
+    pub touches: u64,
+}
+
 /// What a controller sees at a region boundary: model-cycle state only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochView<'a> {
@@ -49,6 +66,11 @@ pub struct EpochView<'a> {
     /// link degradation, node outages). Controllers should freeze
     /// rather than tune through a fault window.
     pub fault_active: bool,
+    /// Pages touched during the region with their touch counts, sorted
+    /// by page. Empty unless the installed factory set
+    /// [`TuneFactory::wants_page_heat`] (collecting it costs host time
+    /// on the touch hot path, so it is strictly opt-in).
+    pub page_heat: &'a [PageHeat],
 }
 
 /// One knob turn a controller asks the engine to apply. Every action
@@ -76,6 +98,25 @@ pub enum TuneAction {
         /// Budget in 4 KB pages; a frame that would exceed it stays.
         max_pages: u64,
     },
+    /// Move specific slow-tier pages up to DRAM, in the given order,
+    /// within a 4 KB-page budget. Pages already on DRAM (or unmapped)
+    /// are skipped; huge frames move whole. Charged like kernel page
+    /// migrations and counted in `Counters::promotions`.
+    PromotePages {
+        /// 4 KB page indices, hottest first.
+        pages: Vec<u64>,
+        /// Budget in 4 KB pages for this epoch.
+        max_pages: u64,
+    },
+    /// Move specific DRAM pages down to the slow tier (to make room for
+    /// promotions, or to park cold data). The mirror image of
+    /// [`TuneAction::PromotePages`]; counted in `Counters::demotions`.
+    DemotePages {
+        /// 4 KB page indices, coldest first.
+        pages: Vec<u64>,
+        /// Budget in 4 KB pages for this epoch.
+        max_pages: u64,
+    },
     /// Record a controller state transition (freeze, re-arm, rollback,
     /// commit) as a trace event without touching any knob. Free.
     Note(String),
@@ -88,13 +129,27 @@ pub trait RegionHook {
     fn on_region_end(&mut self, view: &EpochView<'_>) -> Vec<TuneAction>;
 }
 
+/// Runs several hooks in order at each region boundary, concatenating
+/// their actions (earlier hooks' actions apply first). Lets one
+/// simulator carry both the online advisor and the tier daemon.
+pub struct HookChain(pub Vec<Box<dyn RegionHook + Send>>);
+
+impl RegionHook for HookChain {
+    fn on_region_end(&mut self, view: &EpochView<'_>) -> Vec<TuneAction> {
+        self.0.iter_mut().flat_map(|h| h.on_region_end(view)).collect()
+    }
+}
+
 /// Clonable constructor for a [`RegionHook`], carried on
 /// [`crate::SimConfig`]. Each `NumaSim::new` builds a *fresh* hook, so
 /// a cloned config replayed for a retry or a resumed sweep cell starts
 /// the controller from the same initial state — the determinism
 /// contract would break if controller state leaked between trials.
 #[derive(Clone)]
-pub struct TuneFactory(Arc<dyn Fn() -> Box<dyn RegionHook + Send> + Send + Sync>);
+pub struct TuneFactory {
+    make: Arc<dyn Fn() -> Box<dyn RegionHook + Send> + Send + Sync>,
+    wants_page_heat: bool,
+}
 
 impl TuneFactory {
     /// Wrap a constructor closure.
@@ -102,13 +157,29 @@ impl TuneFactory {
     where
         F: Fn() -> Box<dyn RegionHook + Send> + Send + Sync + 'static,
     {
-        TuneFactory(Arc::new(make))
+        TuneFactory { make: Arc::new(make), wants_page_heat: false }
+    }
+
+    /// Opt the hook into per-page heat collection: every region's
+    /// [`EpochView::page_heat`] is populated. Heat never changes model
+    /// cycles — it only costs host time — so a heat-blind hook behaves
+    /// identically with or without this.
+    #[must_use]
+    pub fn with_page_heat(mut self) -> Self {
+        self.wants_page_heat = true;
+        self
+    }
+
+    /// Whether hooks built by this factory want [`EpochView::page_heat`].
+    #[must_use]
+    pub fn wants_page_heat(&self) -> bool {
+        self.wants_page_heat
     }
 
     /// Build a fresh hook instance.
     #[must_use]
     pub fn build(&self) -> Box<dyn RegionHook + Send> {
-        (self.0)()
+        (self.make)()
     }
 }
 
@@ -144,6 +215,7 @@ mod tests {
             autonuma: false,
             threads: 1,
             fault_active: false,
+            page_heat: &[],
         };
         let mut a = factory.build();
         a.on_region_end(&view);

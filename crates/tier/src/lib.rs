@@ -1,0 +1,47 @@
+// Harness-path code must surface faults, never panic on them: unwrap()
+// and expect() are denied outside tests (enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! Tiered-memory management: an epoch-driven daemon that migrates pages
+//! between DRAM and slow-tier (NVM/CXL) memory nodes.
+//!
+//! Machines like [`nqp_topology::machines::machine_b_cxl`] model a
+//! hybrid memory system the way *Emulating Hybrid Memory on NUMA
+//! Hardware* does on real hardware: the slow tier is a memory-only NUMA
+//! node — no cores, asymmetric read/write latency, a fraction of DRAM
+//! bandwidth. Data that spills past the small DRAM capacities lands
+//! there, and an untiered run pays slow-tier latency on every miss for
+//! the rest of the trial.
+//!
+//! The [`TierDaemon`] is the OS-style fix, reproduced inside the
+//! simulator's determinism contract. It plugs into the
+//! [`nqp_sim::RegionHook`] seam: at every region boundary it sees an
+//! [`nqp_sim::EpochView`] carrying per-page touch counts
+//! ([`nqp_sim::PageHeat`], collected because the daemon's factory sets
+//! `wants_page_heat`), folds them into *telescoping decayed hotness*
+//! (each epoch halves the old score and adds the new touches — the
+//! exponential moving average kernels use for page aging), and returns
+//! `PromotePages`/`DemotePages` actions the engine applies and charges
+//! before the next region runs. Decisions are pure functions of
+//! model-cycle state: serial, `--jobs N`, `--shards N`, and
+//! killed-then-resumed sweeps see byte-identical decision sequences.
+//!
+//! Two active policies (plus `none`):
+//!
+//! * [`TierPolicy::HotWatermark`] — promote slow pages whose decayed
+//!   heat reaches the promote watermark `pwm`; when DRAM free pages
+//!   fall under the demote watermark `dwm`, demote the coldest DRAM
+//!   pages to make room. The watermark pair mirrors kernel
+//!   `zone_watermark` / kswapd behaviour.
+//! * [`TierPolicy::LruEpoch`] — promote every slow page touched in the
+//!   epoch; demote DRAM pages untouched for `idle` consecutive epochs
+//!   (a coarse CLOCK approximation).
+//!
+//! Every migration is billed by the engine at kernel page-migration
+//! rates and bounded by the per-epoch `budget` — a daemon that thrashes
+//! pays for it in the cycles it is judged on.
+
+mod daemon;
+mod spec;
+
+pub use daemon::TierDaemon;
+pub use spec::{TierPolicy, TierSpec};

@@ -1,0 +1,186 @@
+//! `--tier` flag grammar: policy name plus `k=v` knobs.
+
+use nqp_sim::SimError;
+
+/// Default per-epoch migration budget, in 4 KB pages. Roughly what one
+/// kswapd wakeup moves; big enough to drain a hot working set in a few
+/// epochs, small enough that a bad decision is cheap to undo.
+pub const DEFAULT_BUDGET_PAGES: u64 = 512;
+/// Default promote watermark: decayed touches a slow page needs before
+/// the copy pays for itself.
+pub const DEFAULT_PWM: u64 = 4;
+/// Default demote watermark, in free DRAM pages: below this the daemon
+/// starts parking cold pages on the slow tier.
+pub const DEFAULT_DWM: u64 = 128;
+/// Default LRU idle horizon, in epochs.
+pub const DEFAULT_IDLE: u64 = 2;
+
+/// Which promotion/demotion policy the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierPolicy {
+    /// No daemon: pages stay where placement put them.
+    None,
+    /// Promote slow pages touched this epoch; demote DRAM pages
+    /// untouched for `idle` epochs.
+    LruEpoch {
+        /// Consecutive untouched epochs before a DRAM page is demoted.
+        idle: u64,
+    },
+    /// Promote slow pages whose decayed heat reaches `pwm`; demote the
+    /// coldest DRAM pages when free DRAM falls under `dwm` pages.
+    HotWatermark {
+        /// Demote watermark: minimum free DRAM pages to maintain.
+        dwm: u64,
+        /// Promote watermark: decayed heat threshold.
+        pwm: u64,
+    },
+}
+
+/// A parsed `--tier` spec: the policy and its per-epoch page budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// The promotion/demotion policy.
+    pub policy: TierPolicy,
+    /// Migration budget per epoch, in 4 KB pages (promote and demote
+    /// each get the full budget — matching kernel behaviour, where
+    /// reclaim and promotion run on separate threads).
+    pub budget_pages: u64,
+}
+
+impl TierSpec {
+    /// The do-nothing spec (`--tier none`, and the default).
+    pub const NONE: TierSpec =
+        TierSpec { policy: TierPolicy::None, budget_pages: DEFAULT_BUDGET_PAGES };
+
+    /// Whether this spec installs no daemon.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.policy == TierPolicy::None
+    }
+
+    /// Parse a `--tier` token: `none`, `lru-epoch[:idle=N,budget=N]`,
+    /// or `hot-watermark[:dwm=N,pwm=N,budget=N]`. Malformed input is a
+    /// typed [`SimError::BadSpec`] naming the flag and the bad token.
+    pub fn parse(s: &str) -> Result<TierSpec, SimError> {
+        let bad = |token: &str, why: &str| SimError::BadSpec {
+            flag: "--tier".into(),
+            token: token.into(),
+            why: why.into(),
+        };
+        let (name, args) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let mut budget = DEFAULT_BUDGET_PAGES;
+        let mut dwm = DEFAULT_DWM;
+        let mut pwm = DEFAULT_PWM;
+        let mut idle = DEFAULT_IDLE;
+        if let Some(args) = args {
+            for kv in args.split(',').filter(|t| !t.is_empty()) {
+                let Some((k, v)) = kv.split_once('=') else {
+                    return Err(bad(kv, "expected key=value"));
+                };
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| bad(kv, "value must be a non-negative integer"))?;
+                match k {
+                    "budget" => budget = v,
+                    "dwm" if name == "hot-watermark" => dwm = v,
+                    "pwm" if name == "hot-watermark" => pwm = v,
+                    "idle" if name == "lru-epoch" => idle = v.max(1),
+                    _ => return Err(bad(kv, "unknown key for this policy")),
+                }
+            }
+        }
+        let policy = match name {
+            "none" => {
+                if args.is_some() {
+                    return Err(bad(s, "`none` takes no arguments"));
+                }
+                TierPolicy::None
+            }
+            "lru-epoch" => TierPolicy::LruEpoch { idle },
+            "hot-watermark" => TierPolicy::HotWatermark { dwm, pwm },
+            other => {
+                return Err(bad(
+                    other,
+                    "unknown tier policy (none, lru-epoch, hot-watermark)",
+                ))
+            }
+        };
+        if policy != TierPolicy::None && budget == 0 {
+            return Err(bad(s, "budget must be at least 1 page"));
+        }
+        Ok(TierSpec { policy, budget_pages: budget })
+    }
+
+    /// Canonical display label (round-trips through [`TierSpec::parse`]).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.policy {
+            TierPolicy::None => "none".into(),
+            TierPolicy::LruEpoch { idle } => {
+                format!("lru-epoch:idle={idle},budget={}", self.budget_pages)
+            }
+            TierPolicy::HotWatermark { dwm, pwm } => {
+                format!("hot-watermark:dwm={dwm},pwm={pwm},budget={}", self.budget_pages)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_policies_with_defaults() {
+        assert_eq!(TierSpec::parse("none").unwrap(), TierSpec::NONE);
+        assert_eq!(
+            TierSpec::parse("lru-epoch").unwrap().policy,
+            TierPolicy::LruEpoch { idle: DEFAULT_IDLE }
+        );
+        assert_eq!(
+            TierSpec::parse("hot-watermark").unwrap().policy,
+            TierPolicy::HotWatermark { dwm: DEFAULT_DWM, pwm: DEFAULT_PWM }
+        );
+    }
+
+    #[test]
+    fn parses_knobs() {
+        let s = TierSpec::parse("hot-watermark:dwm=64,pwm=9,budget=128").unwrap();
+        assert_eq!(s.policy, TierPolicy::HotWatermark { dwm: 64, pwm: 9 });
+        assert_eq!(s.budget_pages, 128);
+        let s = TierSpec::parse("lru-epoch:idle=5").unwrap();
+        assert_eq!(s.policy, TierPolicy::LruEpoch { idle: 5 });
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for spec in [
+            TierSpec::parse("lru-epoch:idle=3,budget=64").unwrap(),
+            TierSpec::parse("hot-watermark:dwm=32,pwm=2").unwrap(),
+            TierSpec::NONE,
+        ] {
+            assert_eq!(TierSpec::parse(&spec.label()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs_typed() {
+        for bad in [
+            "warm",
+            "hot-watermark:dwm",
+            "hot-watermark:dwm=x",
+            "hot-watermark:idle=3",
+            "lru-epoch:pwm=1",
+            "none:budget=4",
+            "hot-watermark:budget=0",
+        ] {
+            match TierSpec::parse(bad) {
+                Err(SimError::BadSpec { flag, .. }) => assert_eq!(flag, "--tier"),
+                other => panic!("{bad:?} parsed as {other:?}"),
+            }
+        }
+    }
+}

@@ -34,5 +34,5 @@ mod render;
 
 pub use builders::{fully_connected, mesh, ring, twisted_ladder};
 pub use graph::{NodeId, Topology, TopologyError};
-pub use machine::{CacheSpec, CoreId, MachineSpec, TlbSpec};
+pub use machine::{CacheSpec, CoreId, MachineSpec, MemTier, TlbSpec};
 pub use render::render_ascii;

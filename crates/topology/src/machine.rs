@@ -49,6 +49,64 @@ impl TlbSpec {
     }
 }
 
+/// Memory tier of one NUMA node's local memory.
+///
+/// Following *Emulating Hybrid Memory on NUMA Hardware* (PAPERS.md), a
+/// slow tier (NVM DIMM bank or CXL memory expander) is modelled as a
+/// NUMA node whose memory is slower than DRAM by constant factors:
+/// asymmetric read/write latency multipliers applied on top of the
+/// topology's hop-distance factor, plus a bandwidth derating on the
+/// node's memory controller. A slow-tier node is usually also
+/// *memory-only* (no cores), expressed separately by
+/// [`MachineSpec::memory_only_nodes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemTier {
+    /// Ordinary DRAM — every factor is 1.0, so an all-DRAM machine is
+    /// bit-identical to one with no tier annotations at all.
+    Dram,
+    /// NVM / CXL-attached memory.
+    SlowTier {
+        /// Read latency multiplier relative to DRAM (>= 1.0).
+        read_factor: f64,
+        /// Write latency multiplier relative to DRAM. NVM writes are
+        /// far slower than reads, so typically `write > read`.
+        write_factor: f64,
+        /// Fraction of DRAM controller bandwidth available (0 < f <= 1).
+        bandwidth_factor: f64,
+    },
+}
+
+impl MemTier {
+    /// Whether this tier is slower than DRAM.
+    pub fn is_slow(&self) -> bool {
+        matches!(self, MemTier::SlowTier { .. })
+    }
+
+    /// Read latency multiplier (1.0 for DRAM).
+    pub fn read_factor(&self) -> f64 {
+        match self {
+            MemTier::Dram => 1.0,
+            MemTier::SlowTier { read_factor, .. } => *read_factor,
+        }
+    }
+
+    /// Write latency multiplier (1.0 for DRAM).
+    pub fn write_factor(&self) -> f64 {
+        match self {
+            MemTier::Dram => 1.0,
+            MemTier::SlowTier { write_factor, .. } => *write_factor,
+        }
+    }
+
+    /// Memory-controller bandwidth derating (1.0 for DRAM).
+    pub fn bandwidth_factor(&self) -> f64 {
+        match self {
+            MemTier::Dram => 1.0,
+            MemTier::SlowTier { bandwidth_factor, .. } => *bandwidth_factor,
+        }
+    }
+}
+
 /// Full specification of one of the evaluation machines.
 #[derive(Debug, Clone)]
 pub struct MachineSpec {
@@ -80,22 +138,70 @@ pub struct MachineSpec {
     pub controller_lines_per_cycle: f64,
     /// Per-link interconnect bandwidth, in cache lines per cycle.
     pub link_lines_per_cycle: f64,
+    /// Memory tier of each node's local memory, indexed by node id.
+    /// Empty means every node is plain [`MemTier::Dram`] (all existing
+    /// machines), which keeps the common case allocation-free.
+    pub mem_tiers: Vec<MemTier>,
+    /// Number of *trailing* nodes that contribute memory but no cores
+    /// (CXL expanders, NVM banks behind their own home agent). Compute
+    /// nodes are `0..num_nodes - memory_only_nodes`; threads are never
+    /// scheduled on the tail.
+    pub memory_only_nodes: usize,
+    /// Memory capacity of each slow-tier node, overriding
+    /// `mem_per_node_bytes` there. Slow tiers are usually much larger
+    /// than the DRAM in front of them — that asymmetry is the whole
+    /// point of tiering.
+    pub slow_mem_per_node_bytes: Option<u64>,
 }
 
 impl MachineSpec {
-    /// Total hardware threads across all nodes.
-    pub fn total_hw_threads(&self) -> usize {
-        self.threads_per_node * self.topology.num_nodes()
+    /// Nodes that have cores (can run threads). Memory-only nodes are
+    /// the trailing `memory_only_nodes` ids, so compute nodes are
+    /// always the prefix `0..compute_nodes()`.
+    pub fn compute_nodes(&self) -> usize {
+        self.topology.num_nodes().saturating_sub(self.memory_only_nodes)
     }
 
-    /// Total physical cores across all nodes.
+    /// Total hardware threads across all *compute* nodes (memory-only
+    /// nodes contribute none).
+    pub fn total_hw_threads(&self) -> usize {
+        self.threads_per_node * self.compute_nodes()
+    }
+
+    /// Total physical cores across all compute nodes.
     pub fn total_cores(&self) -> usize {
-        self.cores_per_node * self.topology.num_nodes()
+        self.cores_per_node * self.compute_nodes()
+    }
+
+    /// Memory tier of `node`'s local memory.
+    pub fn tier_of(&self, node: NodeId) -> MemTier {
+        self.mem_tiers.get(node).copied().unwrap_or(MemTier::Dram)
+    }
+
+    /// Whether `node`'s memory is slower than DRAM.
+    pub fn is_slow_tier(&self, node: NodeId) -> bool {
+        self.tier_of(node).is_slow()
+    }
+
+    /// Whether any node carries a slow memory tier.
+    pub fn has_slow_tier(&self) -> bool {
+        self.mem_tiers.iter().any(MemTier::is_slow)
+    }
+
+    /// Memory capacity of `node`, in bytes. Slow-tier nodes use
+    /// `slow_mem_per_node_bytes` when set.
+    pub fn mem_bytes_of_node(&self, node: NodeId) -> u64 {
+        match self.slow_mem_per_node_bytes {
+            Some(bytes) if self.is_slow_tier(node) => bytes,
+            _ => self.mem_per_node_bytes,
+        }
     }
 
     /// Total memory across all nodes, in bytes.
     pub fn total_mem_bytes(&self) -> u64 {
-        self.mem_per_node_bytes * self.topology.num_nodes() as u64
+        (0..self.topology.num_nodes())
+            .map(|n| self.mem_bytes_of_node(n))
+            .sum()
     }
 
     /// The NUMA node that owns hardware thread `core`.
@@ -137,7 +243,26 @@ mod tests {
             dram_latency_cycles: 200,
             controller_lines_per_cycle: 0.5,
             link_lines_per_cycle: 0.25,
+            mem_tiers: vec![],
+            memory_only_nodes: 0,
+            slow_mem_per_node_bytes: None,
         }
+    }
+
+    /// The test spec plus a fifth, memory-only NVM node.
+    fn tiered_spec() -> MachineSpec {
+        let mut m = spec();
+        m.topology = fully_connected(5, vec![1.0, 1.5]).unwrap();
+        m.mem_tiers = vec![
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::SlowTier { read_factor: 3.0, write_factor: 8.0, bandwidth_factor: 0.25 },
+        ];
+        m.memory_only_nodes = 1;
+        m.slow_mem_per_node_bytes = Some(8 << 30);
+        m
     }
 
     #[test]
@@ -178,5 +303,46 @@ mod tests {
         let m = spec();
         assert_eq!(m.core_latency_factor(0, 7), 1.0); // same node
         assert_eq!(m.core_latency_factor(0, 8), 1.5); // one hop
+    }
+
+    #[test]
+    fn untied_machine_defaults_to_dram_everywhere() {
+        let m = spec();
+        assert!(!m.has_slow_tier());
+        assert_eq!(m.compute_nodes(), 4);
+        for n in 0..4 {
+            assert_eq!(m.tier_of(n), MemTier::Dram);
+            assert_eq!(m.tier_of(n).read_factor(), 1.0);
+            assert_eq!(m.tier_of(n).write_factor(), 1.0);
+            assert_eq!(m.tier_of(n).bandwidth_factor(), 1.0);
+            assert_eq!(m.mem_bytes_of_node(n), 1 << 30);
+        }
+    }
+
+    #[test]
+    fn memory_only_nodes_have_no_threads() {
+        let m = tiered_spec();
+        assert_eq!(m.topology.num_nodes(), 5);
+        assert_eq!(m.compute_nodes(), 4);
+        // Threads and cores count compute nodes only.
+        assert_eq!(m.total_hw_threads(), 32);
+        assert_eq!(m.total_cores(), 16);
+        // The last valid core still maps to the last compute node.
+        assert_eq!(m.node_of_core(31), 3);
+    }
+
+    #[test]
+    fn slow_tier_factors_and_capacity() {
+        let m = tiered_spec();
+        assert!(m.has_slow_tier());
+        assert!(!m.is_slow_tier(0) && m.is_slow_tier(4));
+        let t = m.tier_of(4);
+        assert_eq!(t.read_factor(), 3.0);
+        assert_eq!(t.write_factor(), 8.0);
+        assert_eq!(t.bandwidth_factor(), 0.25);
+        // The slow node is big, the DRAM nodes keep their own size.
+        assert_eq!(m.mem_bytes_of_node(4), 8 << 30);
+        assert_eq!(m.mem_bytes_of_node(0), 1 << 30);
+        assert_eq!(m.total_mem_bytes(), (4 << 30) + (8 << 30));
     }
 }

@@ -8,7 +8,7 @@
 //! comparisons (Figure 5d, Figure 6) depend on.
 
 use crate::builders::{fully_connected, twisted_ladder};
-use crate::machine::{CacheSpec, MachineSpec, TlbSpec};
+use crate::machine::{CacheSpec, MachineSpec, MemTier, TlbSpec};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * KB;
@@ -36,6 +36,9 @@ pub fn machine_a() -> MachineSpec {
         dram_latency_cycles: 320,
         controller_lines_per_cycle: 0.0035,
         link_lines_per_cycle: 0.008,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 
@@ -61,6 +64,9 @@ pub fn machine_b() -> MachineSpec {
         dram_latency_cycles: 240,
         controller_lines_per_cycle: 0.020,
         link_lines_per_cycle: 0.035,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 
@@ -85,6 +91,9 @@ pub fn machine_c() -> MachineSpec {
         dram_latency_cycles: 180,
         controller_lines_per_cycle: 0.045,
         link_lines_per_cycle: 0.080,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 
@@ -106,6 +115,9 @@ pub fn uma_single_node() -> MachineSpec {
         dram_latency_cycles: 200,
         controller_lines_per_cycle: 0.030,
         link_lines_per_cycle: 0.030,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 
@@ -131,15 +143,97 @@ pub fn numa_small() -> MachineSpec {
         dram_latency_cycles: 300,
         controller_lines_per_cycle: 0.004,
         link_lines_per_cycle: 0.012,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 
-/// All three paper machines, in Table II order.
-pub fn paper_machines() -> Vec<MachineSpec> {
-    vec![machine_a(), machine_b(), machine_c()]
+/// Machine B plus a CXL memory expander: a fifth, memory-only node
+/// behind the fabric whose memory is ~2.5× slower to read, ~3.5× slower
+/// to write, and delivers half the controller bandwidth — the CXL 1.1
+/// direct-attach profile of *Emulating Hybrid Memory on NUMA Hardware*.
+///
+/// Like `numa_small`, this is a scaled *emulation testbed*, not a paper
+/// machine: each DRAM node keeps only a sliver of capacity (8 MB) so
+/// test-sized working sets overflow DRAM and spill onto the expander,
+/// which holds the bulk of the machine's memory (16 GB). That makes the
+/// no-daemon baseline ("all data on the slow tier") reachable at test
+/// scale, which is what the tiering study measures against.
+pub fn machine_b_cxl() -> MachineSpec {
+    MachineSpec {
+        name: "B_CXL".into(),
+        cpu_model: "4x Intel Xeon E7520 + CXL expander".into(),
+        cpu_mhz: 2100,
+        topology: fully_connected(5, vec![1.0, 1.1])
+            .expect("machine B+CXL topology is statically valid"),
+        threads_per_node: 8,
+        cores_per_node: 4,
+        llc: CacheSpec { size_bytes: 18 * MB, line_bytes: 64, hit_cycles: 45 },
+        tlb_4k: TlbSpec { l1_entries: 64, l2_entries: 512 },
+        tlb_2m: TlbSpec { l1_entries: 32, l2_entries: 0 },
+        mem_per_node_bytes: 8 * MB,
+        dram_latency_cycles: 240,
+        controller_lines_per_cycle: 0.020,
+        link_lines_per_cycle: 0.035,
+        mem_tiers: vec![
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::SlowTier { read_factor: 2.5, write_factor: 3.5, bandwidth_factor: 0.5 },
+        ],
+        memory_only_nodes: 1,
+        slow_mem_per_node_bytes: Some(16 * GB),
+    }
 }
 
-/// Look a machine up by its Table II name (`"A"`, `"B"`, `"C"`,
+/// The `numa_small` testbed plus an NVM bank as a fifth, memory-only
+/// node: Optane-like asymmetry (reads 3× DRAM, writes 8×, a quarter of
+/// the bandwidth). DRAM nodes shrink to 2 MB each so even the smallest
+/// test workloads overflow into the 1 GB NVM node; used by the tier
+/// daemon's unit gates, not by the paper study.
+pub fn numa_small_nvm() -> MachineSpec {
+    MachineSpec {
+        name: "S_NVM".into(),
+        cpu_model: "4x Scaled Testbed + NVM".into(),
+        cpu_mhz: 2000,
+        topology: fully_connected(5, vec![1.0, 2.0])
+            .expect("testbed+NVM topology is statically valid"),
+        threads_per_node: 2,
+        cores_per_node: 2,
+        llc: CacheSpec { size_bytes: 64 * KB, line_bytes: 64, hit_cycles: 40 },
+        tlb_4k: TlbSpec { l1_entries: 32, l2_entries: 256 },
+        tlb_2m: TlbSpec { l1_entries: 8, l2_entries: 0 },
+        mem_per_node_bytes: 2 * MB,
+        dram_latency_cycles: 300,
+        controller_lines_per_cycle: 0.004,
+        link_lines_per_cycle: 0.012,
+        mem_tiers: vec![
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::Dram,
+            MemTier::SlowTier { read_factor: 3.0, write_factor: 8.0, bandwidth_factor: 0.25 },
+        ],
+        memory_only_nodes: 1,
+        slow_mem_per_node_bytes: Some(GB),
+    }
+}
+
+/// All three paper machines, in Table II order, plus the tiered
+/// B+CXL encoding the tiering study runs on.
+pub fn paper_machines() -> Vec<MachineSpec> {
+    vec![machine_a(), machine_b(), machine_c(), machine_b_cxl()]
+}
+
+/// Every name `by_name` accepts, in display order — the list CLI
+/// errors print when an unknown machine is requested.
+pub const MACHINE_NAMES: &[&str] =
+    &["A", "B", "C", "S", "UMA", "machine_b_cxl", "numa_small_nvm"];
+
+/// Look a machine up by name (`"A"`, `"B"`, `"C"`, `"S"`, `"UMA"`,
+/// `"machine_b_cxl"`/`"B_CXL"`, `"numa_small_nvm"`/`"S_NVM"`,
 /// case-insensitive). Returns `None` for unknown names.
 pub fn by_name(name: &str) -> Option<MachineSpec> {
     match name.to_ascii_uppercase().as_str() {
@@ -148,6 +242,8 @@ pub fn by_name(name: &str) -> Option<MachineSpec> {
         "C" => Some(machine_c()),
         "UMA" => Some(uma_single_node()),
         "S" => Some(numa_small()),
+        "B_CXL" | "MACHINE_B_CXL" => Some(machine_b_cxl()),
+        "S_NVM" | "NUMA_SMALL_NVM" => Some(numa_small_nvm()),
         _ => None,
     }
 }
@@ -207,6 +303,27 @@ mod tests {
         assert_eq!(by_name("a").map(|m| m.name), Some("A".into()));
         assert_eq!(by_name("C").map(|m| m.name), Some("C".into()));
         assert!(by_name("Z").is_none());
+        assert_eq!(by_name("machine_b_cxl").map(|m| m.name), Some("B_CXL".into()));
+        assert_eq!(by_name("b_cxl").map(|m| m.name), Some("B_CXL".into()));
+        assert_eq!(by_name("NUMA_SMALL_NVM").map(|m| m.name), Some("S_NVM".into()));
+        // Every advertised name resolves.
+        for name in MACHINE_NAMES {
+            assert!(by_name(name).is_some(), "{name} should resolve");
+        }
+    }
+
+    #[test]
+    fn tiered_machines_are_memory_only_tails() {
+        for m in [machine_b_cxl(), numa_small_nvm()] {
+            assert_eq!(m.topology.num_nodes(), 5);
+            assert_eq!(m.compute_nodes(), 4, "{}", m.name);
+            assert!(m.is_slow_tier(4) && !m.is_slow_tier(0));
+            // The slow tier holds (nearly) all of the machine's memory.
+            assert!(m.mem_bytes_of_node(4) > 100 * m.mem_bytes_of_node(0));
+            // Base machine thread counts are unchanged by the expander.
+            let base = if m.name == "B_CXL" { machine_b() } else { numa_small() };
+            assert_eq!(m.total_hw_threads(), base.total_hw_threads());
+        }
     }
 
     #[test]

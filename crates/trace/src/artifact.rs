@@ -453,6 +453,9 @@ fn event_text(e: &TraceEvent) -> String {
         TraceEvent::AdvisorDecision { region, decision } => {
             format!("kind=advisor region={region} decision={}", esc(decision))
         }
+        TraceEvent::TierDecision { region, decision } => {
+            format!("kind=tier region={region} decision={}", esc(decision))
+        }
     }
 }
 
@@ -500,6 +503,10 @@ fn event_parse(kv: &Fields<'_>, lineno: usize) -> Result<TraceEvent, TraceError>
             elapsed_cycles: kv.num("elapsed", lineno)?,
         },
         "advisor" => TraceEvent::AdvisorDecision {
+            region: kv.num("region", lineno)?,
+            decision: kv.text("decision", lineno)?,
+        },
+        "tier" => TraceEvent::TierDecision {
             region: kv.num("region", lineno)?,
             decision: kv.text("decision", lineno)?,
         },

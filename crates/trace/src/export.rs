@@ -252,6 +252,10 @@ fn chrome_event(e: &TraceEvent) -> (&'static str, String) {
             "advisor decision",
             format!("\"region\":{region},\"decision\":\"{}\"", esc_json(decision)),
         ),
+        TraceEvent::TierDecision { region, decision } => (
+            "tier decision",
+            format!("\"region\":{region},\"decision\":\"{}\"", esc_json(decision)),
+        ),
     }
 }
 

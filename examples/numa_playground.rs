@@ -25,6 +25,9 @@ fn ring_machine() -> MachineSpec {
         dram_latency_cycles: 250,
         controller_lines_per_cycle: 0.01,
         link_lines_per_cycle: 0.02,
+        mem_tiers: vec![],
+        memory_only_nodes: 0,
+        slow_mem_per_node_bytes: None,
     }
 }
 

@@ -14,7 +14,10 @@
 #     scaled testbed, online mean vs the best static mean (model
 #     cycles, deterministic),
 #   - shard speedup: wall-clock of one large W3 trial at --shards 1 vs
-#     --shards 4 (host-time), gated on byte-identical CSVs first.
+#     --shards 4 (host-time), gated on byte-identical CSVs first,
+#   - tiering study (DESIGN.md §4i): W3 on the CXL machine, untreated
+#     vs the tiering policies — slow-tier hit ratios and the best
+#     policy's mean cycles (model cycles, deterministic).
 #
 # Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
 set -euo pipefail
@@ -161,6 +164,38 @@ if awk "BEGIN { exit !($ADVISOR_GAIN < 1.0) }"; then
   echo "bench.sh: WARNING: online advisor gain $ADVISOR_GAIN fell below 1.0" >&2
 fi
 
+# Tiering study (DESIGN.md §4i): the knobs × tiering-policies sweep on
+# the CXL machine. Under the tuned interleave placement one page in
+# five lands on the expander; the daemon's worth is the untreated mean
+# over the best policy's mean. Hit ratios come from single workload
+# runs (the sweep table doesn't carry counters). All model-clock
+# numbers — they move only with a declared cost-model or policy change.
+TIER_ARGS=(sweep w3 --machine machine_b_cxl --threads 8 --n 50000 --trials 2
+           --tier none+lru-epoch+hot-watermark)
+"$CLI" "${TIER_ARGS[@]}" > "$WORK/tier.txt"
+tier_mean() { # <exact config name> -> mean cycles
+  awk -F': mean | cycles' -v n="$1" '$1 == n { print $2 }' "$WORK/tier.txt"
+}
+TIER_NONE_MEAN=$(tier_mean "tuned (+flags)")
+TIER_LRU_MEAN=$(tier_mean "tuned (+flags) tier=lru-epoch:idle=2,budget=512")
+TIER_HW_MEAN=$(tier_mean "tuned (+flags) tier=hot-watermark:dwm=128,pwm=4,budget=512")
+if [ "$TIER_HW_MEAN" -le "$TIER_LRU_MEAN" ]; then
+  TIER_BEST_NAME="hot-watermark"; TIER_BEST_MEAN=$TIER_HW_MEAN
+else
+  TIER_BEST_NAME="lru-epoch"; TIER_BEST_MEAN=$TIER_LRU_MEAN
+fi
+TIER_GAIN=$(awk "BEGIN { printf \"%.3f\", $TIER_NONE_MEAN / $TIER_BEST_MEAN }")
+if awk "BEGIN { exit !($TIER_GAIN < 1.0) }"; then
+  echo "bench.sh: WARNING: tiering gain $TIER_GAIN fell below 1.0 on the CXL machine" >&2
+fi
+TIERW_ARGS=(workload w3 --machine machine_b_cxl --threads 8 --policy interleave)
+tier_ratio() { # <tier spec> -> slow-tier demand-hit ratio in percent
+  "$CLI" "${TIERW_ARGS[@]}" --tier "$1" \
+    | sed -n 's/.*slow-tier-hit-ratio=\([0-9.]*\)%.*/\1/p'
+}
+TIER_RATIO_NONE=$(tier_ratio none)
+TIER_RATIO_BEST=$(tier_ratio "$TIER_BEST_NAME")
+
 cat > "$OUT" <<EOF
 {
   "schema": "nqp-bench-sweep-v1",
@@ -179,6 +214,18 @@ $CONFIGS_JSON
     "autonuma_mean_cycles": $AUTONUMA_MEAN,
     "online_mean_cycles": $ONLINE_MEAN,
     "gain_vs_best_static": $ADVISOR_GAIN
+  },
+  "tier": {
+    "grid": "${TIER_ARGS[*]}",
+    "none_mean_cycles": $TIER_NONE_MEAN,
+    "lru_epoch_mean_cycles": $TIER_LRU_MEAN,
+    "hot_watermark_mean_cycles": $TIER_HW_MEAN,
+    "best_policy": "$TIER_BEST_NAME",
+    "best_policy_mean_cycles": $TIER_BEST_MEAN,
+    "gain_vs_none": $TIER_GAIN,
+    "workload_grid": "${TIERW_ARGS[*]}",
+    "slow_tier_hit_ratio_none_pct": $TIER_RATIO_NONE,
+    "slow_tier_hit_ratio_best_pct": $TIER_RATIO_BEST
   },
   "shard_speedup": {
     "grid": "${SHARD_ARGS[*]}",

@@ -17,7 +17,7 @@ cargo test -q --offline
 # errors). The crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
-cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve -p nqp-advisor --lib --offline
+cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve -p nqp-advisor -p nqp-tier --lib --offline
 
 # Crash-safe resume smoke test: interrupt a journaled sweep after two
 # cells, resume it from the journal, and require the resumed table to
@@ -146,6 +146,37 @@ diff "$SMOKE/afull.txt" "$SMOKE/ajobs.txt"
 grep -q "interrupted" "$SMOKE/apart.err"
 "$CLI" "${AARGS[@]}" --resume "$SMOKE/aj.jsonl" > "$SMOKE/aresumed.txt" 2> /dev/null
 diff "$SMOKE/afull.txt" "$SMOKE/aresumed.txt"
+
+# Tiering smoke (DESIGN.md §4i): a knobs × tiering-policies sweep on
+# the CXL machine, killed mid-grid and resumed, must be byte-identical
+# to the uninterrupted run — the tier daemon's decisions are epoch
+# state, so kill-and-resume replays them exactly. `--tier` is part of
+# the grid fingerprint (it changes what runs), so the resume must also
+# reconstruct the crossed grid itself.
+TARGS=(sweep w3 --machine machine_b_cxl --threads 4 --n 6000 --trials 2
+       --tier none+hot-watermark:pwm=2)
+"$CLI" "${TARGS[@]}" --csv "$SMOKE/ta.csv" > "$SMOKE/tfull.txt"
+"$CLI" "${TARGS[@]}" --journal "$SMOKE/tj.jsonl" --max-cells 2 > /dev/null 2> "$SMOKE/tpart.err"
+grep -q "interrupted" "$SMOKE/tpart.err"
+"$CLI" "${TARGS[@]}" --resume "$SMOKE/tj.jsonl" --csv "$SMOKE/tb.csv" > "$SMOKE/tresumed.txt" 2> /dev/null
+diff "$SMOKE/tfull.txt" "$SMOKE/tresumed.txt"
+diff "$SMOKE/ta.csv" "$SMOKE/tb.csv"
+grep -q "tier=hot-watermark" "$SMOKE/tfull.txt"
+
+# Malformed --tier specs and unknown machines are typed BadSpec errors:
+# nonzero exit, the flag and token named — never a panic.
+if "$CLI" sweep w3 --machine machine_b_cxl --trials 1 --tier bogus > /dev/null 2> "$SMOKE/tbad.err"; then
+  echo "check.sh: \`--tier bogus\` must exit nonzero" >&2
+  exit 1
+fi
+grep -q -- "--tier" "$SMOKE/tbad.err"
+grep -q "malformed" "$SMOKE/tbad.err"
+if "$CLI" sweep w1 --machine machine_z --trials 1 > /dev/null 2> "$SMOKE/mbad.err"; then
+  echo "check.sh: unknown --machine must exit nonzero" >&2
+  exit 1
+fi
+grep -q "machine_z" "$SMOKE/mbad.err"
+grep -q "machine_b_cxl" "$SMOKE/mbad.err"   # the error lists the valid names
 
 # Malformed runtime specs must exit nonzero with a typed error naming
 # the offending token — never a panic, never a silent default.

@@ -8,11 +8,11 @@
 //!                [--alloc NAME] [--policy first-touch|interleave|localalloc|preferred|bind]
 //!                [--placement sparse|dense|none] [--autonuma on|off]
 //!                [--thp on|off] [--n N] [--card N] [--index NAME] [--seed N]
-//!                [--faults SPEC] [--trial-budget CYCLES]
+//!                [--faults SPEC] [--trial-budget CYCLES] [--tier SPEC]
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
 //! nqp-cli sweep w1|w2|w3|w4|wshift [--trials N] [--retries N] [--faults SPEC]
-//!                [--trial-budget CYCLES] [--machine A|B|C|S] [--jobs N]
-//!                [--shards N] [--advisor online[,autonuma]]
+//!                [--trial-budget CYCLES] [--machine A|B|C|S|machine_b_cxl] [--jobs N]
+//!                [--shards N] [--advisor online[,autonuma]] [--tier SPEC[+SPEC..]]
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
@@ -45,6 +45,14 @@
 //! *single* trial across N host threads; like `--jobs`, every output is
 //! byte-identical for any shard count, so the two compose freely and
 //! neither enters the grid fingerprint.
+//!
+//! `--tier` installs the tiered-memory daemon on machines with a slow
+//! tier (`machine_b_cxl`, `numa_small_nvm`): `none`,
+//! `lru-epoch[:idle=N,budget=N]`, or
+//! `hot-watermark[:dwm=N,pwm=N,budget=N]`. On `sweep` a `+`-separated
+//! list crosses every contender with each policy (the knobs × tiering
+//! study); unlike `--jobs`/`--shards` it changes what runs, so it
+//! enters the grid fingerprint.
 
 use nqp::advisor::ControllerConfig;
 use nqp::alloc::AllocatorKind;
@@ -71,6 +79,7 @@ use nqp::serve::{
     arrival::parse_milli, run_cells, ArrivalSpec, CellInput, CellStats, ClassProfile,
     OutageSpec, ServeAdvisor, ServeSpec, Session,
 };
+use nqp::tier::TierSpec;
 use nqp::topology::{machines, MachineSpec};
 use nqp::trace::{artifact_name, sessions_to_chrome_json, slug, SessionSpan, Trace, TraceMeta};
 use std::collections::HashMap;
@@ -111,21 +120,23 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   nqp-cli machines
   nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed] [--alloc-light] [--mem-tight]
-  nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES]
+  nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES] [--tier SPEC]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
   nqp-cli sweep <w1|w2|w3|w4|wshift> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
-                [--advisor online[,autonuma]] [--jobs N] [--shards N] [--journal PATH | --resume PATH]
+                [--advisor online[,autonuma]] [--tier SPEC[+SPEC..]]
+                [--jobs N] [--shards N] [--journal PATH | --resume PATH]
                 [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
                 [--trace-dir DIR] [--trace-epoch CYCLES]
   nqp-cli serve <w1|w2|w3|w4[,..]> [--tenants N] [--duration MCYCLES] [--arrivals SPEC]
                 [--lanes N] [--queue-cap N] [--tokens N] [--refill R] [--deadline MCYCLES]
                 [--breaker K] [--epoch MCYCLES] [--outage T1..T2:node=N]
-                [--advisor static|online[:rearm=N]]
+                [--advisor static|online[:rearm=N]] [--tier SPEC]
                 [--configs both|os-default|tuned] [--jobs N] [--shards N]
                 [--journal PATH | --resume PATH] [--max-cells N]
                 [--csv FILE] [--json FILE] [--trace-dir DIR]
                 (arrivals: poisson:rate=R | burst:rate=R,x=M,on=A,off=B | diurnal:rate=R,x=M,period=P)
+                (tier: none | lru-epoch[:idle=N,budget=N] | hot-watermark[:dwm=N,pwm=N,budget=N])
   nqp-cli hotpath <w1|w3> [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
                 [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
   nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--decisions OUT.csv] [--report]
@@ -156,14 +167,62 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
 
 fn machine_arg(flags: &HashMap<String, String>) -> Result<MachineSpec, String> {
     let name = flags.get("machine").map(String::as_str).unwrap_or("A");
-    machines::by_name(name)
-        .ok_or_else(|| format!("unknown machine `{name}` (A, B, C, S, UMA)"))
+    nqp::sim::machine_by_name(name).map_err(|e| e.to_string())
+}
+
+/// Parse `--tier` as a `+`-separated list of tiering specs — commas
+/// belong to each spec's knob grammar (`hot-watermark:dwm=64,pwm=4`),
+/// so crossing several policies in one sweep uses `+`:
+/// `--tier none+lru-epoch+hot-watermark:pwm=2`. Absent flag = `none`.
+fn tier_arg(flags: &HashMap<String, String>) -> Result<Vec<TierSpec>, String> {
+    let Some(list) = flags.get("tier") else {
+        return Ok(vec![TierSpec::NONE]);
+    };
+    let specs: Vec<TierSpec> = list
+        .split('+')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| TierSpec::parse(s).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if specs.is_empty() {
+        return Err("empty --tier list (none, lru-epoch, hot-watermark)".to_string());
+    }
+    Ok(specs)
+}
+
+/// The single-policy form of [`tier_arg`], for commands that run one
+/// configuration rather than a sweep grid.
+fn single_tier_arg(flags: &HashMap<String, String>) -> Result<TierSpec, String> {
+    let specs = tier_arg(flags)?;
+    match specs[..] {
+        [one] => Ok(one),
+        _ => Err("this command takes a single --tier policy (`+` lists are for sweep)"
+            .to_string()),
+    }
 }
 
 fn cmd_machines() -> Result<(), String> {
     for m in machines::paper_machines() {
+        // Memory sizes in MB: the tiering machines carry deliberately
+        // tiny DRAM nodes (a GB display would round them to 0).
+        let mem: Vec<String> = (0..m.topology.num_nodes())
+            .map(|n| {
+                let mb = m.mem_bytes_of_node(n) >> 20;
+                let tier = m.tier_of(n);
+                if tier.is_slow() {
+                    format!(
+                        "{mb}MB slow(r×{} w×{} bw×{})",
+                        tier.read_factor(),
+                        tier.write_factor(),
+                        tier.bandwidth_factor()
+                    )
+                } else {
+                    format!("{mb}MB")
+                }
+            })
+            .collect();
         println!(
-            "Machine {}: {} — {} nodes ({}), {} cores / {} threads, LLC {} MB/node, {} GB/node, latency tiers {:?}",
+            "Machine {}: {} — {} nodes ({}), {} cores / {} threads, LLC {} MB/node, mem/node [{}], latency tiers {:?}",
             m.name,
             m.cpu_model,
             m.topology.num_nodes(),
@@ -171,7 +230,7 @@ fn cmd_machines() -> Result<(), String> {
             m.total_cores(),
             m.total_hw_threads(),
             m.llc.size_bytes >> 20,
-            m.mem_per_node_bytes >> 30,
+            mem.join(", "),
             m.topology.latency_tiers(),
         );
     }
@@ -387,18 +446,28 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
         .get("threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(machine.total_hw_threads());
-    let cfg = config_from_flags(machine, &flags)?;
+    let cfg = config_from_flags(machine, &flags)?.with_tier(single_tier_arg(&flags)?);
     let (cycles, counters) = run_workload(which, &cfg, threads, &flags)?;
     println!("{which} on machine {} with {} threads:", cfg.sim.machine.name, threads);
     println!(
-        "  placement={} policy={} autonuma={} thp={} allocator={}",
+        "  placement={} policy={} autonuma={} thp={} allocator={} tier={}",
         cfg.sim.thread_placement.label(),
         cfg.sim.mem_policy.label(),
         cfg.sim.autonuma,
         cfg.sim.thp,
-        cfg.allocator.label()
+        cfg.allocator.label(),
+        cfg.tier.label()
     );
     println!("  cycles: {cycles}");
+    if cfg.sim.machine.has_slow_tier() {
+        println!(
+            "  promotions={} demotions={} slow-tier-hits={} slow-tier-hit-ratio={:.1}%",
+            counters.promotions,
+            counters.demotions,
+            counters.slow_tier_hits,
+            counters.slow_tier_hit_ratio() * 100.0
+        );
+    }
     println!("  {}", counters_summary(&counters));
     Ok(())
 }
@@ -723,6 +792,25 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 }
             });
         }
+    }
+    // `--tier P1+P2+...` crosses every contender above with each tiering
+    // policy — the knobs × policies study. A `none` entry keeps the base
+    // column untouched (same name, no daemon), so `--tier none` yields a
+    // table byte-identical to omitting the flag.
+    let tiers = tier_arg(&flags)?;
+    if tiers.iter().any(|t| !t.is_none()) {
+        let mut crossed = Vec::with_capacity(configs.len() * tiers.len());
+        for cfg in &configs {
+            for t in &tiers {
+                crossed.push(if t.is_none() {
+                    cfg.clone()
+                } else {
+                    let name = format!("{} tier={}", cfg.name, t.label());
+                    cfg.clone().with_tier(*t).named(name)
+                });
+            }
+        }
+        configs = crossed;
     }
     if trace_dir.is_some() {
         // Tracing is pay-for-what-you-use: the hooks charge no cycles,
@@ -1083,6 +1171,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 ))
             }
         };
+    // One --tier policy applies to every serve configuration: the serve
+    // loop replays calibrated engine profiles, so the daemon's effect is
+    // captured during each configuration's calibration run.
+    let tier = single_tier_arg(&flags)?;
+    let configs: Vec<TuningConfig> = if tier.is_none() {
+        configs
+    } else {
+        configs
+            .into_iter()
+            .map(|c| {
+                let name = format!("{} tier={}", c.name, tier.label());
+                c.with_tier(tier).named(name)
+            })
+            .collect()
+    };
     let cells: Vec<CellInput> = configs
         .iter()
         .map(|c| CellInput { config: c.name.clone(), spec: spec.clone() })

@@ -19,6 +19,8 @@
 //!   `trace_event` JSON, CSV timelines, `perf stat`-style reports).
 //! * [`serve`] — open-loop multi-tenant serve driver: admission
 //!   control, deadlines, load shedding, tail-latency SLO reporting.
+//! * [`tier`] — tiered-memory daemon: epoch-driven page promotion and
+//!   demotion between DRAM and NVM/CXL slow-tier nodes.
 
 pub use nqp_advisor as advisor;
 pub use nqp_alloc as alloc;
@@ -30,5 +32,6 @@ pub use nqp_query as query;
 pub use nqp_serve as serve;
 pub use nqp_sim as sim;
 pub use nqp_storage as storage;
+pub use nqp_tier as tier;
 pub use nqp_topology as topology;
 pub use nqp_trace as trace;
