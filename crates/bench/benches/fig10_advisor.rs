@@ -52,6 +52,8 @@ fn main() {
         sim: plan.apply(default.sim.clone()),
         allocator: plan.allocator_or_default(),
         threads: 16,
+        engine: nqp_query::EngineKind::Tuple,
+        batch: nqp_query::DEFAULT_BATCH_SIZE,
     };
     let d = run_aggregation_on(&default.env(16), &cfg, &records).exec_cycles;
     let a = run_aggregation_on(&advised, &cfg, &records).exec_cycles;

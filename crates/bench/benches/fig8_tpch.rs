@@ -36,6 +36,8 @@ fn main() {
         sim: SimConfig::os_default(machine.clone()),
         allocator: AllocatorKind::Ptmalloc,
         threads,
+        engine: nqp_query::EngineKind::Tuple,
+        batch: nqp_query::DEFAULT_BATCH_SIZE,
     };
     let tuned_env = |thp: bool| WorkloadEnv {
         // The paper's W5 tuning changes no thread placement: First Touch,
@@ -46,6 +48,8 @@ fn main() {
             .with_thp(thp),
         allocator: AllocatorKind::Tbbmalloc,
         threads,
+        engine: nqp_query::EngineKind::Tuple,
+        batch: nqp_query::DEFAULT_BATCH_SIZE,
     };
 
     let mut t = Tbl::new(

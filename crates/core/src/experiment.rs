@@ -3,7 +3,7 @@
 
 use nqp_advisor::{ControllerConfig, OnlineController};
 use nqp_alloc::AllocatorKind;
-use nqp_query::WorkloadEnv;
+use nqp_query::{EngineKind, WorkloadEnv, DEFAULT_BATCH_SIZE};
 use nqp_sim::{HookChain, MemPolicy, RegionHook, SimConfig, ThreadPlacement, TuneFactory};
 use nqp_tier::{TierDaemon, TierSpec};
 use nqp_topology::MachineSpec;
@@ -35,6 +35,12 @@ pub struct TuningConfig {
     /// Tiered-memory policy; [`TierSpec::NONE`] (the default) installs
     /// no daemon and leaves pages where placement put them.
     pub tier: TierSpec,
+    /// Operator architecture: tuple-at-a-time (the default and the
+    /// differential oracle) or the vectorized batch-at-a-time path.
+    pub engine: EngineKind,
+    /// Host-side batch size for the vectorized path (never affects
+    /// simulated cycles; see `nqp_query::vector`).
+    pub batch: usize,
 }
 
 impl TuningConfig {
@@ -47,6 +53,8 @@ impl TuningConfig {
             allocator: AllocatorKind::Ptmalloc,
             advisor: AdvisorMode::Static,
             tier: TierSpec::NONE,
+            engine: EngineKind::Tuple,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -58,6 +66,8 @@ impl TuningConfig {
             allocator: AllocatorKind::Tbbmalloc,
             advisor: AdvisorMode::Static,
             tier: TierSpec::NONE,
+            engine: EngineKind::Tuple,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -129,6 +139,20 @@ impl TuningConfig {
         self
     }
 
+    /// Builder-style engine override: `EngineKind::Vectorized` routes
+    /// every workload this configuration runs through the batch-at-a-
+    /// time operator path (same results, different cycle profile).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builder-style batch-size override for the vectorized path.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Convert to the workload environment the W1–W4 runners take.
     pub fn env(&self, threads: usize) -> WorkloadEnv {
         let mut sim = self.sim.clone();
@@ -158,7 +182,13 @@ impl TuningConfig {
             }
             sim = sim.with_tune(factory);
         }
-        WorkloadEnv { sim, allocator: self.allocator, threads }
+        WorkloadEnv {
+            sim,
+            allocator: self.allocator,
+            threads,
+            engine: self.engine,
+            batch: self.batch,
+        }
     }
 }
 

@@ -3,8 +3,9 @@
 
 use crate::profiles::EngineProfile;
 use crate::storage::TpchDb;
+use nqp_query::EngineKind;
 use nqp_sim::{Access, NumaSim, VAddr, Worker};
-use nqp_storage::SimHeap;
+use nqp_storage::{SimHeap, COLUMN_RUN_WORDS};
 
 /// Cycles to hash a join/group key.
 const HASH_CYCLES: u64 = 6;
@@ -15,13 +16,18 @@ const ENTRY_BYTES: u64 = 32;
 /// Cycles charged per `LIKE`/substring predicate evaluation.
 pub const LIKE_CYCLES: u64 = 24;
 
-/// Lightweight context handed to query plans (profile + thread count).
+/// Lightweight context handed to query plans (profile + thread count +
+/// operator architecture).
 #[derive(Debug, Clone)]
 pub struct QueryCtx {
     /// The engine architecture running the query.
     pub profile: EngineProfile,
     /// Worker threads for this query.
     pub threads: usize,
+    /// Tuple-at-a-time (per-row interpretation overhead) or vectorized
+    /// (overhead amortised over each batch of rows). Results are
+    /// identical either way — only the charged cycles move.
+    pub engine: EngineKind,
 }
 
 /// Cost shadow of a hash table (join build side or aggregation state):
@@ -133,6 +139,7 @@ where
     let mut build = Some(build);
     let overhead = ctx.profile.row_overhead_cycles;
     let startup = ctx.profile.phase_startup_cycles;
+    let engine = ctx.engine;
     sim.phase_begin(&format!("scan:{table}"));
     let stats = sim.parallel(ctx.threads, &mut shared, |w, sh| {
         if w.tid() == 0 {
@@ -144,8 +151,21 @@ where
         let b = sh.build.as_ref().expect("worker 0 built");
         let mut local = L::default();
         let shadow = db.table(table);
-        for row in shadow.partition(w.tid(), ctx.threads) {
-            w.compute(overhead);
+        let range = shadow.partition(w.tid(), ctx.threads);
+        for (i, row) in range.enumerate() {
+            match engine {
+                // Per-row interpretation overhead: the classic Volcano
+                // next() tax every profile pays in the paper.
+                EngineKind::Tuple => w.compute(overhead),
+                // Batch-at-a-time: the same interpretation overhead is
+                // paid once per vector of rows, amortising the tax —
+                // the engine-profile face of the vectorized path.
+                EngineKind::Vectorized => {
+                    if i % COLUMN_RUN_WORDS == 0 {
+                        w.compute(overhead);
+                    }
+                }
+            }
             per_row(w, sh.heap, db, b, row, &mut local);
         }
         sh.locals.push(local);
@@ -224,7 +244,11 @@ mod tests {
     #[test]
     fn scan_phase_visits_every_row_once() {
         let (mut sim, mut heap, db) = setup();
-        let ctx = QueryCtx { profile: SystemKind::QuickstepLike.profile(), threads: 3 };
+        let ctx = QueryCtx {
+            profile: SystemKind::QuickstepLike.profile(),
+            threads: 3,
+            engine: EngineKind::Tuple,
+        };
         let total = scan_phase(
             &mut sim,
             &mut heap,
@@ -241,7 +265,11 @@ mod tests {
     #[test]
     fn build_runs_once_and_is_visible_to_all_workers() {
         let (mut sim, mut heap, db) = setup();
-        let ctx = QueryCtx { profile: SystemKind::MonetDbLike.profile(), threads: 4 };
+        let ctx = QueryCtx {
+            profile: SystemKind::MonetDbLike.profile(),
+            threads: 4,
+            engine: EngineKind::Tuple,
+        };
         let seen = scan_phase(
             &mut sim,
             &mut heap,

@@ -57,6 +57,7 @@ pub struct DbSystem {
     db: TpchDb,
     profile: EngineProfile,
     threads: usize,
+    engine: nqp_query::EngineKind,
 }
 
 impl DbSystem {
@@ -71,7 +72,7 @@ impl DbSystem {
         let mut heap = SimHeap::new(env.allocator, &mut sim);
         let threads = profile.worker_threads(env.threads);
         let db = TpchDb::load(&mut sim, &mut heap, data, profile.layout, threads);
-        DbSystem { sim, heap, db, profile, threads }
+        DbSystem { sim, heap, db, profile, threads, engine: env.engine }
     }
 
     /// Run TPC-H query `qnum` (1–22): one untimed cold run has already
@@ -95,6 +96,7 @@ impl DbSystem {
             &self.db,
             &self.profile,
             workers,
+            self.engine,
         )?;
         Ok(QueryOutcome { latency_cycles: self.sim.now_cycles() - before, rows })
     }
@@ -154,5 +156,56 @@ mod tests {
             (1..=QUERY_COUNT).map(|q| db.run(q).latency_cycles).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn vectorized_engine_returns_identical_rows() {
+        // The tuple path is the differential oracle: the vectorized
+        // profile runner must produce the same rows on every query, and
+        // must be strictly cheaper (the amortised per-row overhead).
+        let data = TpchData::generate(0.002, 13);
+        let tuple_env = WorkloadEnv::tuned(machines::machine_b()).with_threads(4);
+        let vec_env = tuple_env.clone().with_engine(nqp_query::EngineKind::Vectorized);
+        let mut t = DbSystem::boot(SystemKind::MonetDbLike, &tuple_env, &data);
+        let mut v = DbSystem::boot(SystemKind::MonetDbLike, &vec_env, &data);
+        let mut tuple_total = 0u64;
+        let mut vec_total = 0u64;
+        for q in 1..=QUERY_COUNT {
+            let a = t.run(q);
+            let b = v.run(q);
+            assert_eq!(a.rows, b.rows, "engines diverged on Q{q}");
+            tuple_total += a.latency_cycles;
+            vec_total += b.latency_cycles;
+        }
+        assert!(
+            vec_total < tuple_total,
+            "vectorized ({vec_total}) should beat tuple ({tuple_total})"
+        );
+    }
+
+    #[test]
+    fn profile_runs_are_byte_identical_at_every_shard_count() {
+        // The TPC-H loads shard across host threads; latencies and rows
+        // must not move with the shard count (the PR-8 invariant,
+        // extended into the engine-profile runners).
+        let data = TpchData::generate(0.002, 14);
+        let run = |shards: usize, engine: nqp_query::EngineKind| {
+            let mut env = WorkloadEnv::tuned(machines::machine_b())
+                .with_threads(4)
+                .with_engine(engine);
+            env.sim = env.sim.with_shards(shards);
+            let mut db = DbSystem::boot(SystemKind::QuickstepLike, &env, &data);
+            (1..=QUERY_COUNT)
+                .map(|q| {
+                    let out = db.run(q);
+                    (out.latency_cycles, out.rows)
+                })
+                .collect::<Vec<_>>()
+        };
+        for engine in [nqp_query::EngineKind::Tuple, nqp_query::EngineKind::Vectorized] {
+            let one = run(1, engine);
+            assert_eq!(one, run(2, engine), "{engine:?} diverged at 2 shards");
+            assert_eq!(one, run(4, engine), "{engine:?} diverged at 4 shards");
+        }
     }
 }

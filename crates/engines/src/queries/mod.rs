@@ -66,8 +66,10 @@ pub fn run_query(
     db: &TpchDb,
     profile: &EngineProfile,
     threads: usize,
+    engine: nqp_query::EngineKind,
 ) -> Vec<Row> {
-    try_run_query(qnum, sim, heap, db, profile, threads).unwrap_or_else(|e| panic!("{e}"))
+    try_run_query(qnum, sim, heap, db, profile, threads, engine)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Execute query `qnum` (1–22), surfacing plan and simulation failures
@@ -79,8 +81,9 @@ pub fn try_run_query(
     db: &TpchDb,
     profile: &EngineProfile,
     threads: usize,
+    engine: nqp_query::EngineKind,
 ) -> Result<Vec<Row>, EngineError> {
-    let ctx = QueryCtx { profile: profile.clone(), threads };
+    let ctx = QueryCtx { profile: profile.clone(), threads, engine };
     match qnum {
         1 => q01_08::q01(sim, heap, db, &ctx),
         2 => q01_08::q02(sim, heap, db, &ctx),

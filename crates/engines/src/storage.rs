@@ -222,10 +222,14 @@ impl TpchDb {
             tables.insert(name, shadow);
         }
         let db = TpchDb { data: data.clone(), tables };
-        // Fault everything in, partitioned across the workers.
+        // Fault everything in, partitioned across the workers. Each
+        // worker writes only its own contiguous row range, so the load
+        // shards across host threads (`SimConfig::shards`) with
+        // deterministic epoch merges — byte-identical at any shard
+        // count, same as the W1–W4 relation loaders.
         for &(name, schema) in SCHEMAS {
             let shadow = &db.tables[name];
-            sim.parallel(threads, &mut (), |w, _| {
+            sim.parallel_sharded(threads, shadow, |w, shadow| {
                 for row in shadow.partition(w.tid(), threads) {
                     match layout {
                         Layout::Row => {

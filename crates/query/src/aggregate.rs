@@ -124,6 +124,9 @@ pub fn try_run_aggregation_on(
     cfg: &AggConfig,
     records: &[Record],
 ) -> SimResult<AggOutcome> {
+    if env.engine == crate::runner::EngineKind::Vectorized {
+        return crate::vector::try_run_aggregation_vec(env, cfg, records);
+    }
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let table = HashTable::new(&mut sim, cfg.cardinality * 2);

@@ -70,6 +70,9 @@ pub fn try_run_hash_join(env: &WorkloadEnv, cfg: &JoinConfig) -> SimResult<JoinO
 
 /// Fallible form of [`run_hash_join_on`].
 pub fn try_run_hash_join_on(env: &WorkloadEnv, data: &JoinDataset) -> SimResult<JoinOutcome> {
+    if env.engine == crate::runner::EngineKind::Vectorized {
+        return crate::vector::try_run_hash_join_vec(env, data);
+    }
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let table = HashTable::new(&mut sim, (data.r.len() as u64) * 2);

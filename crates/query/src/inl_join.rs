@@ -68,6 +68,9 @@ pub fn try_run_inl_join_on(
     kind: IndexKind,
     data: &JoinDataset,
 ) -> SimResult<InlOutcome> {
+    if env.engine == crate::runner::EngineKind::Vectorized {
+        return crate::vector::try_run_inl_join_vec(env, kind, data);
+    }
     let mut sim = NumaSim::new(env.sim.clone());
     let heap = SimHeap::new(env.allocator, &mut sim);
     let threads = env.threads;

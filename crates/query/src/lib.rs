@@ -19,12 +19,15 @@
 //! allocator + thread count) and returns cycle counts plus a checksum
 //! that tests verify against a host-side reference.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod aggregate;
 mod hash_join;
 mod hash_table;
 mod inl_join;
 mod phase_shift;
 mod runner;
+mod vector;
 
 pub use aggregate::{
     reference_checksum, run_aggregation, run_aggregation_on, try_run_aggregation,
@@ -39,4 +42,11 @@ pub use phase_shift::{
     run_phase_shift, try_run_phase_shift, PhaseShiftConfig, PhaseShiftOutcome,
 };
 pub use inl_join::{run_inl_join, run_inl_join_on, try_run_inl_join, try_run_inl_join_on, InlConfig, InlOutcome};
-pub use runner::{load_tuples, try_load_tuples, WorkloadEnv};
+pub use runner::{
+    load_tuples, parse_batch_size, try_load_tuples, EngineKind, WorkloadEnv,
+    DEFAULT_BATCH_SIZE, MAX_BATCH_SIZE,
+};
+pub use vector::{
+    aligned_batch, try_load_columns, try_run_aggregation_vec, try_run_hash_join_vec,
+    try_run_inl_join_vec, Batch,
+};

@@ -5,9 +5,75 @@ use nqp_datagen::Record;
 use nqp_sim::{NumaSim, SimConfig, SimError, SimResult};
 use nqp_storage::TupleArray;
 
+/// Which operator architecture executes the query: the classic
+/// tuple-at-a-time path (the differential oracle) or the batch-at-a-time
+/// vectorized path of [`crate::vector`]. Both produce byte-identical
+/// query results on every input; their simulated cycles and traffic
+/// differ (that delta is the EXPERIMENTS.md §vectorized-vs-tuple study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Tuple-at-a-time over the chained hash table — the paper's engine
+    /// and the differential oracle for the vectorized path.
+    #[default]
+    Tuple,
+    /// Batch-at-a-time column runs + selection vectors + perfect-hash
+    /// slot arrays.
+    Vectorized,
+}
+
+/// Default host-side batch size (lanes per [`crate::vector::Batch`]).
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Largest accepted `--batch-size`; anything bigger is an overflow spec
+/// error rather than a silent multi-megabyte host allocation per worker.
+pub const MAX_BATCH_SIZE: usize = 1 << 20;
+
+impl EngineKind {
+    /// Parse a CLI token (`tuple`, `vec`, `vectorized`); unknown tokens
+    /// become a typed [`SimError::BadSpec`] naming the offender.
+    pub fn parse(token: &str) -> SimResult<EngineKind> {
+        match token {
+            "tuple" => Ok(EngineKind::Tuple),
+            "vec" | "vectorized" => Ok(EngineKind::Vectorized),
+            _ => Err(SimError::BadSpec {
+                flag: "--engine".into(),
+                token: token.into(),
+                why: "unknown engine (expected `tuple` or `vec`)".into(),
+            }),
+        }
+    }
+
+    /// The canonical CLI token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Tuple => "tuple",
+            EngineKind::Vectorized => "vec",
+        }
+    }
+}
+
+/// Parse a `--batch-size` token: rejects non-numbers, zero, and values
+/// past [`MAX_BATCH_SIZE`] as typed [`SimError::BadSpec`]s.
+pub fn parse_batch_size(token: &str) -> SimResult<usize> {
+    let bad = |why: &str| SimError::BadSpec {
+        flag: "--batch-size".into(),
+        token: token.into(),
+        why: why.into(),
+    };
+    let v: u64 = token.parse().map_err(|_| bad("not an unsigned integer"))?;
+    if v == 0 {
+        return Err(bad("batch size must be nonzero"));
+    }
+    if v > MAX_BATCH_SIZE as u64 {
+        return Err(bad("batch size overflows the supported range (max 1048576)"));
+    }
+    Ok(v as usize)
+}
+
 /// Everything Table IV varies besides the workload itself: the machine
 /// and OS knobs (inside [`SimConfig`]), the allocator, and the thread
-/// count.
+/// count — plus the operator architecture (tuple vs vectorized), the one
+/// axis the paper never crossed.
 #[derive(Debug, Clone)]
 pub struct WorkloadEnv {
     /// Machine + thread placement + memory policy + AutoNUMA + THP.
@@ -16,6 +82,12 @@ pub struct WorkloadEnv {
     pub allocator: AllocatorKind,
     /// Worker threads; the paper uses every hardware thread.
     pub threads: usize,
+    /// Tuple-at-a-time (default) or vectorized operator path.
+    pub engine: EngineKind,
+    /// Host-side batch size for the vectorized path. Rounded up to the
+    /// bulk-run granularity at use, so it never changes simulated
+    /// cycles — only host-memory staging.
+    pub batch: usize,
 }
 
 impl WorkloadEnv {
@@ -27,6 +99,8 @@ impl WorkloadEnv {
             sim: SimConfig::os_default(machine),
             allocator: AllocatorKind::Ptmalloc,
             threads,
+            engine: EngineKind::Tuple,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -38,6 +112,8 @@ impl WorkloadEnv {
             sim: SimConfig::tuned(machine),
             allocator: AllocatorKind::Tbbmalloc,
             threads,
+            engine: EngineKind::Tuple,
+            batch: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -50,6 +126,18 @@ impl WorkloadEnv {
     /// Builder-style thread-count override.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style engine override.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builder-style batch-size override (vectorized path only).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 }

@@ -11,11 +11,18 @@
 //!   the input relations of W1–W4.
 //! * [`Chain`] — a chunked linked list of `u64` values allocated from a
 //!   [`SimHeap`]: the per-group value lists of holistic aggregation.
+//! * [`ColumnArray`] / [`ColumnTable`] — dense `u64` columns with
+//!   per-column pages: the SoA relations (and perfect-hash slot arrays)
+//!   of the vectorized batch-at-a-time operator path.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod chain;
+mod column;
 mod heap;
 mod tuple_array;
 
 pub use chain::Chain;
+pub use column::{ColumnArray, ColumnTable, COLUMN_RUN_WORDS};
 pub use heap::SimHeap;
 pub use tuple_array::TupleArray;

@@ -36,6 +36,8 @@ fn main() {
         sim: plan.apply(default.sim.clone()),
         allocator: plan.allocator_or_default(),
         threads: 16,
+        engine: nqp::query::EngineKind::Tuple,
+        batch: nqp::query::DEFAULT_BATCH_SIZE,
     };
     let after = run_aggregation_on(&advised, &cfg, &records);
     println!("\ntuned:             {:>12} cycles", after.exec_cycles);

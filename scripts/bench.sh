@@ -17,7 +17,10 @@
 #     --shards 4 (host-time), gated on byte-identical CSVs first,
 #   - tiering study (DESIGN.md §4i): W3 on the CXL machine, untreated
 #     vs the tiering policies — slow-tier hit ratios and the best
-#     policy's mean cycles (model cycles, deterministic).
+#     policy's mean cycles (model cycles, deterministic),
+#   - vectorized-engine speedup (DESIGN.md §4j): tuple vs vectorized
+#     wall-time on the W1/W3 hotpath streams and full sweeps, gated on
+#     checksum equality first (host-time ratios).
 #
 # Usage: scripts/bench.sh [OUT.json]   (default: BENCH_sweep.json)
 set -euo pipefail
@@ -59,8 +62,11 @@ CONFIGS_JSON=$(awk -F': mean | cycles' '/: mean .* cycles/ {
 # match — a mismatch means the fast path broke bit-identity, and the
 # bench fails rather than publish a speedup for a wrong simulator.
 # Wall-ns are host time; best-of-reps keeps them stable under host
-# noise. The W1 cell is the acceptance gate: >= 1.5x with the fast
-# path on (typical: ~1.7x W1, ~2x W3 on an otherwise idle host).
+# noise. The W1 cell is the acceptance gate: >= 1.2x with the fast
+# path on (typical: ~1.35x W1, ~1.8x W3 on an otherwise idle host —
+# the tuple streams now also charge the operator's per-tuple hash
+# compute, which costs the same under both models and so dilutes the
+# fast-vs-reference ratio below the old ~1.7x/~2x figures).
 hotpath_cell() { # <label> <args...> -> "fast_ns ref_ns cycles lines"
   local label=$1; shift
   local fast ref
@@ -84,8 +90,8 @@ read -r W1_FAST_NS W1_REF_NS W1_CYCLES W1_LINES <<< "$(hotpath_cell w1 "${W1_ARG
 read -r W3_FAST_NS W3_REF_NS W3_CYCLES W3_LINES <<< "$(hotpath_cell w3 "${W3_ARGS[@]}")"
 W1_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W1_REF_NS / $W1_FAST_NS }")
 W3_SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $W3_REF_NS / $W3_FAST_NS }")
-if awk "BEGIN { exit !($W1_SPEEDUP < 1.5) }"; then
-  echo "bench.sh: WARNING: W1 hotpath speedup $W1_SPEEDUP below the 1.5x bar (noisy host?)" >&2
+if awk "BEGIN { exit !($W1_SPEEDUP < 1.2) }"; then
+  echo "bench.sh: WARNING: W1 hotpath speedup $W1_SPEEDUP below the 1.2x bar (noisy host?)" >&2
 fi
 
 # Shard speedup (DESIGN.md's sharded determinism): one large W3 trial
@@ -196,6 +202,58 @@ tier_ratio() { # <tier spec> -> slow-tier demand-hit ratio in percent
 TIER_RATIO_NONE=$(tier_ratio none)
 TIER_RATIO_BEST=$(tier_ratio "$TIER_BEST_NAME")
 
+# Vectorized-engine speedup (DESIGN.md §4j): the batch-at-a-time
+# operator path vs the tuple-at-a-time oracle. Two views:
+#
+#  * hotpath: the raw memory streams each engine drives through the
+#    simulator inner loop (slot-array writes + ranged finalise vs
+#    per-tuple chained-hash walks). W1 is the acceptance gate (>= 1.3x
+#    with the vectorized stream; typical ~3x). W3's stream-only ratio
+#    is recorded but NOT gated: the tuple probe already streams S with
+#    ranged reads, so the stream delta is small (~1.2x) — the real W3
+#    win is in the operator itself (no hash compute, no stripe locks,
+#    no chain allocations), which only the full workload shows.
+#  * sweep wall-time: the full W1/W3 workloads end to end, tuple vs
+#    vectorized, gated on checksum equality first — a result divergence
+#    means the engines disagree and no speedup may be published. Both
+#    are acceptance gates at >= 1.3x (typical: ~1.3-1.5x W1, ~1.6-1.9x
+#    W3; the W1 ratio is diluted by the shared datagen+load prefix).
+read -r W1V_FAST_NS _ _ _ <<< "$(hotpath_cell w1-vec "${W1_ARGS[@]}" --engine vec)"
+read -r W3V_FAST_NS _ _ _ <<< "$(hotpath_cell w3-vec "${W3_ARGS[@]}" --engine vec)"
+VEC_W1_HOT=$(awk "BEGIN { printf \"%.2f\", $W1_FAST_NS / $W1V_FAST_NS }")
+VEC_W3_HOT=$(awk "BEGIN { printf \"%.2f\", $W3_FAST_NS / $W3V_FAST_NS }")
+if awk "BEGIN { exit !($VEC_W1_HOT < 1.3) }"; then
+  echo "bench.sh: WARNING: vectorized W1 hotpath speedup $VEC_W1_HOT below the 1.3x bar (noisy host?)" >&2
+fi
+
+VEC_W1_SWEEP=(sweep w1 --machine B --threads 8 --n 1000000 --card 100000 --trials 1)
+VEC_W3_SWEEP=(sweep w3 --machine B --threads 8 --n 250000 --trials 1)
+vec_sweep_cell() { # <workload> <sweep args...> -> "tuple_ns vec_ns"
+  local wk=$1; shift
+  # Result identity first: the workload checksum must not move with the
+  # engine, or the timing below would compare different computations.
+  diff <("$CLI" workload "$wk" --machine B --threads 8 --n 20000 --card 2000 \
+           --engine tuple | grep checksum) \
+       <("$CLI" workload "$wk" --machine B --threads 8 --n 20000 --card 2000 \
+           --engine vec | grep checksum) >&2
+  local t0 t1 t2
+  t0=$(now_ns)
+  "$CLI" "$@" --engine tuple > /dev/null
+  t1=$(now_ns)
+  "$CLI" "$@" --engine vec > /dev/null
+  t2=$(now_ns)
+  echo "$((t1 - t0)) $((t2 - t1))"
+}
+read -r VEC_W1_TUPLE_NS VEC_W1_VEC_NS <<< "$(vec_sweep_cell w1 "${VEC_W1_SWEEP[@]}")"
+read -r VEC_W3_TUPLE_NS VEC_W3_VEC_NS <<< "$(vec_sweep_cell w3 "${VEC_W3_SWEEP[@]}")"
+VEC_W1_WALL=$(awk "BEGIN { printf \"%.2f\", $VEC_W1_TUPLE_NS / $VEC_W1_VEC_NS }")
+VEC_W3_WALL=$(awk "BEGIN { printf \"%.2f\", $VEC_W3_TUPLE_NS / $VEC_W3_VEC_NS }")
+for pair in "W1:$VEC_W1_WALL" "W3:$VEC_W3_WALL"; do
+  if awk "BEGIN { exit !(${pair#*:} < 1.3) }"; then
+    echo "bench.sh: WARNING: vectorized ${pair%%:*} sweep wall-time speedup ${pair#*:} below the 1.3x bar (noisy host?)" >&2
+  fi
+done
+
 cat > "$OUT" <<EOF
 {
   "schema": "nqp-bench-sweep-v1",
@@ -255,6 +313,33 @@ $CONFIGS_JSON
       "speedup": $W3_SPEEDUP,
       "model_cycles": $W3_CYCLES,
       "lines_per_rep": $W3_LINES
+    }
+  },
+  "vector_speedup": {
+    "hotpath_w1": {
+      "grid": "hotpath ${W1_ARGS[*]} --engine tuple|vec",
+      "tuple_wall_ns": $W1_FAST_NS,
+      "vec_wall_ns": $W1V_FAST_NS,
+      "speedup": $VEC_W1_HOT
+    },
+    "hotpath_w3_stream_only": {
+      "grid": "hotpath ${W3_ARGS[*]} --engine tuple|vec",
+      "tuple_wall_ns": $W3_FAST_NS,
+      "vec_wall_ns": $W3V_FAST_NS,
+      "speedup": $VEC_W3_HOT,
+      "note": "memory-stream delta only; the W3 operator win is the sweep row below"
+    },
+    "sweep_w1": {
+      "grid": "${VEC_W1_SWEEP[*]} --engine tuple|vec",
+      "tuple_wall_ns": $VEC_W1_TUPLE_NS,
+      "vec_wall_ns": $VEC_W1_VEC_NS,
+      "speedup": $VEC_W1_WALL
+    },
+    "sweep_w3": {
+      "grid": "${VEC_W3_SWEEP[*]} --engine tuple|vec",
+      "tuple_wall_ns": $VEC_W3_TUPLE_NS,
+      "vec_wall_ns": $VEC_W3_VEC_NS,
+      "speedup": $VEC_W3_WALL
     }
   }
 }

@@ -17,7 +17,10 @@ cargo test -q --offline
 # errors). The crate roots carry
 #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 # (tests are exempt); this clippy pass makes the deny effective.
-cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve -p nqp-advisor -p nqp-tier --lib --offline
+# nqp-query and nqp-storage joined the deny list with the vectorized
+# operator path: both engines' operators are harness-path code.
+cargo clippy -p nqp-sim -p nqp-core -p nqp-trace -p nqp-serve -p nqp-advisor -p nqp-tier \
+  -p nqp-query -p nqp-storage --lib --offline
 
 # Crash-safe resume smoke test: interrupt a journaled sweep after two
 # cells, resume it from the journal, and require the resumed table to
@@ -203,5 +206,64 @@ grep -q "re-tuned at" "$SMOKE/sofull.txt"
 "$CLI" "${SOARGS[@]}" --journal "$SMOKE/soj.jsonl" --max-cells 1 > /dev/null 2>&1
 "$CLI" "${SOARGS[@]}" --resume "$SMOKE/soj.jsonl" > "$SMOKE/soresumed.txt" 2> /dev/null
 diff "$SMOKE/sofull.txt" "$SMOKE/soresumed.txt"
+
+# Vectorized-path gates (DESIGN.md §4j): the batch-at-a-time engine is
+# crossed into the sweep grid with --engine, and its outputs must be
+# invariant under --jobs/--shards, tracing, the reference memory model,
+# and kill-and-resume — the same identity discipline as every other
+# executor knob.
+VARGS=(sweep w3 --machine B --threads 4 --n 6000 --trials 2 --engine tuple+vec)
+"$CLI" "${VARGS[@]}" --csv "$SMOKE/va.csv" --trace-dir "$SMOKE/vt1" > "$SMOKE/vfull.txt"
+grep -q "engine=vec" "$SMOKE/vfull.txt"
+"$CLI" "${VARGS[@]}" --jobs 2 --shards 2 --csv "$SMOKE/vb.csv" --trace-dir "$SMOKE/vt2" > "$SMOKE/vjobs.txt"
+diff "$SMOKE/vfull.txt" "$SMOKE/vjobs.txt"
+diff "$SMOKE/va.csv" "$SMOKE/vb.csv"
+diff -r "$SMOKE/vt1" "$SMOKE/vt2"
+
+# Kill-and-resume across the engine-crossed grid (--engine is part of
+# the grid fingerprint, so the resume reconstructs the crossed grid).
+"$CLI" "${VARGS[@]}" --journal "$SMOKE/vj.jsonl" --max-cells 2 > /dev/null 2> "$SMOKE/vpart.err"
+grep -q "interrupted" "$SMOKE/vpart.err"
+"$CLI" "${VARGS[@]}" --resume "$SMOKE/vj.jsonl" --csv "$SMOKE/vc.csv" > "$SMOKE/vresumed.txt" 2> /dev/null
+diff "$SMOKE/vfull.txt" "$SMOKE/vresumed.txt"
+diff "$SMOKE/va.csv" "$SMOKE/vc.csv"
+
+# The vectorized path under the per-line reference model: bit-identical.
+NQP_REFERENCE=1 "$CLI" "${VARGS[@]}" --csv "$SMOKE/vref.csv" > "$SMOKE/vrefpath.txt"
+diff "$SMOKE/vfull.txt" "$SMOKE/vrefpath.txt"
+diff "$SMOKE/va.csv" "$SMOKE/vref.csv"
+
+# `--engine tuple` spelled out is the default: byte-identical stdout.
+"$CLI" sweep w1 --machine B --threads 4 --n 6000 --card 600 --trials 2 > "$SMOKE/vdef.txt"
+"$CLI" sweep w1 --machine B --threads 4 --n 6000 --card 600 --trials 2 --engine tuple > "$SMOKE/vtup.txt"
+diff "$SMOKE/vdef.txt" "$SMOKE/vtup.txt"
+
+# Result identity: each workload's checksum line — the query result —
+# must match between engines, and --batch-size (host staging only) must
+# never move a byte of the vectorized run's output.
+for wk in w1 w2 w3 w4; do
+  "$CLI" workload "$wk" --machine B --threads 4 --n 5000 --card 500 --engine tuple \
+    | grep checksum > "$SMOKE/ck-t.txt"
+  "$CLI" workload "$wk" --machine B --threads 4 --n 5000 --card 500 --engine vec \
+    > "$SMOKE/ckv-full.txt"
+  grep checksum "$SMOKE/ckv-full.txt" > "$SMOKE/ck-v.txt"
+  diff "$SMOKE/ck-t.txt" "$SMOKE/ck-v.txt"
+  "$CLI" workload "$wk" --machine B --threads 4 --n 5000 --card 500 --engine vec \
+    --batch-size 7 > "$SMOKE/ckv-b7.txt"
+  diff "$SMOKE/ckv-full.txt" "$SMOKE/ckv-b7.txt"
+done
+
+# Malformed --engine / --batch-size tokens are typed BadSpec errors:
+# nonzero exit, the offending token named — never a panic.
+for bad in '--engine bogus' '--batch-size 0' '--batch-size 99999999999'; do
+  # shellcheck disable=SC2086
+  if "$CLI" workload w1 --machine B --n 500 --card 50 $bad > /dev/null 2> "$SMOKE/vbad.err"; then
+    echo "check.sh: \`workload $bad\` must exit nonzero" >&2
+    exit 1
+  fi
+  grep -q "malformed" "$SMOKE/vbad.err"
+done
+("$CLI" workload w1 --machine B --n 500 --card 50 --engine bogus 2>&1 || true) \
+  | grep -q '`bogus`'
 
 echo "check.sh: all gates passed"

@@ -9,17 +9,20 @@
 //!                [--placement sparse|dense|none] [--autonuma on|off]
 //!                [--thp on|off] [--n N] [--card N] [--index NAME] [--seed N]
 //!                [--faults SPEC] [--trial-budget CYCLES] [--tier SPEC]
+//!                [--engine tuple|vec] [--batch-size N]
 //! nqp-cli compare w1|w2|w3|w4 [--machine A|B|C]      # default vs tuned
 //! nqp-cli sweep w1|w2|w3|w4|wshift [--trials N] [--retries N] [--faults SPEC]
 //!                [--trial-budget CYCLES] [--machine A|B|C|S|machine_b_cxl] [--jobs N]
 //!                [--shards N] [--advisor online[,autonuma]] [--tier SPEC[+SPEC..]]
+//!                [--engine E[+E..]] [--batch-size N]
 //!                [--journal PATH | --resume PATH] [--max-cells N]
 //!                [--watchdog CYCLES] [--retry-budget N] [--breaker K]
 //!                [--csv FILE] [--json FILE]
 //!                [--trace-dir DIR] [--trace-epoch CYCLES]
 //! nqp-cli hotpath w1|w3 [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
+//!                [--engine tuple|vec]
 //! nqp-cli trace FILE [--chrome OUT] [--csv OUT] [--decisions OUT] [--report]
-//! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned]
+//! nqp-cli tpch QNUM [--system NAME] [--sf F] [--tuned] [--engine tuple|vec]
 //! ```
 //!
 //! `--faults` takes the deterministic fault-plan grammar of
@@ -53,6 +56,16 @@
 //! list crosses every contender with each policy (the knobs × tiering
 //! study); unlike `--jobs`/`--shards` it changes what runs, so it
 //! enters the grid fingerprint.
+//!
+//! `--engine tuple|vec` picks the operator path: the tuple-at-a-time
+//! oracle or the batch-at-a-time vectorized path. Both compute
+//! byte-identical query results (the `checksum:` line); only the
+//! charged cycles move, so — like `--tier` — it enters the grid
+//! fingerprint, and on `sweep` a `+` list (`--engine tuple+vec`)
+//! crosses every contender with each path. `--batch-size N` only
+//! resizes the vectorized path's host-side staging buffers (the
+//! simulated stream is fixed at the 32-word column run), so it can
+//! never change results; 0 and absurd sizes are rejected.
 
 use nqp::advisor::ControllerConfig;
 use nqp::alloc::AllocatorKind;
@@ -68,8 +81,9 @@ use nqp::datagen::{generate, JoinDataset};
 use nqp::engines::{query_name, DbSystem, SystemKind};
 use nqp::indexes::IndexKind;
 use nqp::query::{
-    try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on,
-    try_run_phase_shift, AggConfig, AggKind, PhaseShiftConfig, WorkloadEnv,
+    parse_batch_size, try_run_aggregation_on, try_run_hash_join_on, try_run_inl_join_on,
+    try_run_phase_shift, AggConfig, AggKind, EngineKind, PhaseShiftConfig, WorkloadEnv,
+    DEFAULT_BATCH_SIZE,
 };
 use nqp::sim::{
     Access, Counters, FaultPlan, MemPolicy, NumaSim, SimError, SimResult, ThreadPlacement,
@@ -121,9 +135,11 @@ const USAGE: &str = "usage:
   nqp-cli machines
   nqp-cli advise [--managed] [--cache-bound] [--no-root] [--placed] [--alloc-light] [--mem-tight]
   nqp-cli workload <w1|w2|w3|w4> [options] [--faults SPEC] [--trial-budget CYCLES] [--tier SPEC]
+                [--engine tuple|vec] [--batch-size N]
   nqp-cli compare <w1|w2|w3|w4> [--machine A|B|C]
   nqp-cli sweep <w1|w2|w3|w4|wshift> [--trials N] [--retries N] [--faults SPEC] [--trial-budget CYCLES]
                 [--advisor online[,autonuma]] [--tier SPEC[+SPEC..]]
+                [--engine tuple|vec|tuple+vec] [--batch-size N]
                 [--jobs N] [--shards N] [--journal PATH | --resume PATH]
                 [--max-cells N] [--watchdog CYCLES]
                 [--retry-budget N] [--breaker K] [--csv FILE] [--json FILE]
@@ -132,15 +148,16 @@ const USAGE: &str = "usage:
                 [--lanes N] [--queue-cap N] [--tokens N] [--refill R] [--deadline MCYCLES]
                 [--breaker K] [--epoch MCYCLES] [--outage T1..T2:node=N]
                 [--advisor static|online[:rearm=N]] [--tier SPEC]
-                [--configs both|os-default|tuned] [--jobs N] [--shards N]
+                [--configs both|os-default|tuned] [--engine tuple|vec] [--jobs N] [--shards N]
                 [--journal PATH | --resume PATH] [--max-cells N]
                 [--csv FILE] [--json FILE] [--trace-dir DIR]
                 (arrivals: poisson:rate=R | burst:rate=R,x=M,on=A,off=B | diurnal:rate=R,x=M,period=P)
                 (tier: none | lru-epoch[:idle=N,budget=N] | hot-watermark[:dwm=N,pwm=N,budget=N])
   nqp-cli hotpath <w1|w3> [--machine A|B|C] [--threads N] [--n N] [--card N] [--reps K]
-                [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
+                [--engine tuple|vec] [--policy ...] [--autonuma on|off] [--thp on|off]   # NQP_REFERENCE=1 for the oracle
   nqp-cli trace <FILE.trace> [--chrome OUT.json] [--csv OUT.csv] [--decisions OUT.csv] [--report]
   nqp-cli tpch <1..22> [--system monetdb|postgresql|mysql|dbmsx|quickstep] [--sf 0.005] [--tuned]
+                [--engine tuple|vec]
   (see `nqp-cli workload --help` equivalents in the README)";
 
 /// Parse `--key value` / `--flag` argument lists.
@@ -197,6 +214,36 @@ fn single_tier_arg(flags: &HashMap<String, String>) -> Result<TierSpec, String> 
     match specs[..] {
         [one] => Ok(one),
         _ => Err("this command takes a single --tier policy (`+` lists are for sweep)"
+            .to_string()),
+    }
+}
+
+/// Parse `--engine` as a `+`-separated list of operator paths, the
+/// [`tier_arg`] pattern: `tuple`, `vec`, or `tuple+vec` to cross both
+/// in one sweep. Absent flag = `tuple` (the differential oracle).
+fn engine_arg(flags: &HashMap<String, String>) -> Result<Vec<EngineKind>, String> {
+    let Some(list) = flags.get("engine") else {
+        return Ok(vec![EngineKind::Tuple]);
+    };
+    let kinds: Vec<EngineKind> = list
+        .split('+')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| EngineKind::parse(s).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if kinds.is_empty() {
+        return Err("empty --engine list (tuple, vec)".to_string());
+    }
+    Ok(kinds)
+}
+
+/// The single-engine form of [`engine_arg`], for commands that run one
+/// configuration rather than a sweep grid.
+fn single_engine_arg(flags: &HashMap<String, String>) -> Result<EngineKind, String> {
+    let kinds = engine_arg(flags)?;
+    match kinds[..] {
+        [one] => Ok(one),
+        _ => Err("this command takes a single --engine (`+` lists are for sweep)"
             .to_string()),
     }
 }
@@ -303,6 +350,13 @@ fn config_from_flags(
         let cycles: u64 = b.parse().map_err(|_| format!("bad --trial-budget `{b}`"))?;
         cfg = cfg.with_trial_budget(cycles);
     }
+    // --batch-size only resizes the vectorized path's host-side staging
+    // buffers; the simulated access stream is fixed at the column run
+    // width, so results never move with it. Zero and overflow are typed
+    // BadSpec errors (nonzero exit), not silent clamps.
+    if let Some(b) = flags.get("batch-size") {
+        cfg = cfg.with_batch(parse_batch_size(b).map_err(|e| e.to_string())?);
+    }
     // --shards N spreads one trial's simulated workers over N host
     // threads. Results are byte-identical for every shard count (the
     // check.sh gate), so — like --jobs — it is excluded from grid
@@ -401,29 +455,57 @@ impl WorkloadPlan {
     }
 
     /// Run once under `env`, surfacing simulation faults (OOM under a
-    /// strict bind, injected failures, budget timeouts) as errors. The
-    /// third element is the finalised trace log when `env.sim.trace`
-    /// was configured, else `None`.
-    fn try_run(&self, env: &WorkloadEnv) -> SimResult<(u64, Counters, Option<TraceLog>)> {
+    /// strict bind, injected failures, budget timeouts) as errors.
+    fn try_run(&self, env: &WorkloadEnv) -> SimResult<RunOut> {
         match self {
             WorkloadPlan::Agg { acfg, records } => {
                 let out = try_run_aggregation_on(env, acfg, records)?;
-                Ok((out.exec_cycles, out.counters, out.trace))
+                Ok(RunOut {
+                    cycles: out.exec_cycles,
+                    checksum: out.checksum,
+                    counters: out.counters,
+                    trace: out.trace,
+                })
             }
             WorkloadPlan::Hash { data } => {
                 let out = try_run_hash_join_on(env, data)?;
-                Ok((out.build_cycles + out.probe_cycles, out.counters, out.trace))
+                Ok(RunOut {
+                    cycles: out.build_cycles + out.probe_cycles,
+                    checksum: out.checksum,
+                    counters: out.counters,
+                    trace: out.trace,
+                })
             }
             WorkloadPlan::Inl { index, data } => {
                 let out = try_run_inl_join_on(env, *index, data)?;
-                Ok((out.build_cycles + out.join_cycles, out.counters, out.trace))
+                Ok(RunOut {
+                    cycles: out.build_cycles + out.join_cycles,
+                    checksum: out.checksum,
+                    counters: out.counters,
+                    trace: out.trace,
+                })
             }
             WorkloadPlan::Shift { cfg } => {
                 let out = try_run_phase_shift(env, cfg)?;
-                Ok((out.exec_cycles, out.counters, out.trace))
+                Ok(RunOut {
+                    cycles: out.exec_cycles,
+                    checksum: out.checksum,
+                    counters: out.counters,
+                    trace: out.trace,
+                })
             }
         }
     }
+}
+
+/// One workload run's observables: the simulated latency, the
+/// result checksum (the engine-identity invariant `--engine` pins),
+/// the counters, and the trace log when tracing was configured.
+struct RunOut {
+    cycles: u64,
+    checksum: u64,
+    counters: Counters,
+    trace: Option<TraceLog>,
 }
 
 fn run_workload(
@@ -431,10 +513,9 @@ fn run_workload(
     cfg: &TuningConfig,
     threads: usize,
     flags: &HashMap<String, String>,
-) -> Result<(u64, Counters), String> {
+) -> Result<RunOut, String> {
     let plan = WorkloadPlan::parse(which, flags)?;
     plan.try_run(&cfg.env(threads))
-        .map(|(cycles, counters, _trace)| (cycles, counters))
         .map_err(|e| format!("simulation fault: {e}"))
 }
 
@@ -446,19 +527,27 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
         .get("threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(machine.total_hw_threads());
-    let cfg = config_from_flags(machine, &flags)?.with_tier(single_tier_arg(&flags)?);
-    let (cycles, counters) = run_workload(which, &cfg, threads, &flags)?;
+    let cfg = config_from_flags(machine, &flags)?
+        .with_tier(single_tier_arg(&flags)?)
+        .with_engine(single_engine_arg(&flags)?);
+    let out = run_workload(which, &cfg, threads, &flags)?;
+    let (cycles, counters) = (out.cycles, out.counters);
     println!("{which} on machine {} with {} threads:", cfg.sim.machine.name, threads);
     println!(
-        "  placement={} policy={} autonuma={} thp={} allocator={} tier={}",
+        "  placement={} policy={} autonuma={} thp={} allocator={} tier={} engine={}",
         cfg.sim.thread_placement.label(),
         cfg.sim.mem_policy.label(),
         cfg.sim.autonuma,
         cfg.sim.thp,
         cfg.allocator.label(),
-        cfg.tier.label()
+        cfg.tier.label(),
+        cfg.engine.as_str()
     );
     println!("  cycles: {cycles}");
+    // Machine-readable result checksum: scripts/check.sh diffs this
+    // line between `--engine tuple` and `--engine vec` runs — the
+    // vectorized path must compute byte-identical query results.
+    println!("  checksum: 0x{:016x}", out.checksum);
     if cfg.sim.machine.has_slow_tier() {
         println!(
             "  promotions={} demotions={} slow-tier-hits={} slow-tier-hit-ratio={:.1}%",
@@ -479,8 +568,8 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let threads = machine.total_hw_threads();
     let default = TuningConfig::os_default(machine.clone());
     let tuned = TuningConfig::tuned(machine);
-    let (d, _) = run_workload(which, &default, threads, &flags)?;
-    let (t, _) = run_workload(which, &tuned, threads, &flags)?;
+    let d = run_workload(which, &default, threads, &flags)?.cycles;
+    let t = run_workload(which, &tuned, threads, &flags)?.cycles;
     println!("{which}: os-default {d} cycles, tuned {t} cycles -> {:.2}x", d as f64 / t as f64);
     Ok(())
 }
@@ -504,6 +593,13 @@ fn cmd_hotpath(args: &[String]) -> Result<(), String> {
     let machine = machine_arg(&flags)?;
     let threads: usize = flags.get("threads").and_then(|s| s.parse().ok()).unwrap_or(8);
     let reps: usize = flags.get("reps").and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    // `--engine vec` replays the vectorized operators' access stream:
+    // direct perfect-hash slot updates and ranged column reads instead
+    // of hash + directory walk + chain entries. Fewer simulator calls
+    // per tuple is exactly where the vectorized path's host wall-time
+    // win comes from, and this microbench isolates it
+    // (scripts/bench.sh `vector_speedup` times both engines here).
+    let engine = single_engine_arg(&flags)?;
     let cfg = config_from_flags(machine, &flags)?;
     let model = if cfg.sim.reference_model { "reference" } else { "fast" };
     let seed = cfg.sim.seed;
@@ -549,36 +645,69 @@ fn cmd_hotpath(args: &[String]) -> Result<(), String> {
                     }
                 })
                 .map_err(|e| e.to_string())?;
-                // Build: per tuple one hashed directory read, one entry
-                // read, one entry write — W1's upsert + chain push shape.
+                // Build. Tuple: per tuple one hash charge, one
+                // directory read, one entry read, one entry write —
+                // W1's upsert + chain push shape. Vec: one direct
+                // perfect-hash slot update per tuple, nothing else.
                 sim.try_parallel(threads, &mut (), |w, _| {
                     let (start, end) = slice(n, w.tid());
                     let mut x = seed ^ (0x9e37 + w.tid() as u64);
-                    for _ in start..end {
-                        x = lcg(x);
-                        w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
-                        x = lcg(x);
-                        let e = heap + (x >> 33) % n * 24;
-                        w.touch(e, 24, Access::Read);
-                        w.touch(e + 8, 16, Access::Write);
+                    match engine {
+                        EngineKind::Tuple => {
+                            for _ in start..end {
+                                x = lcg(x);
+                                w.compute(6);
+                                w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                                x = lcg(x);
+                                let e = heap + (x >> 33) % n * 24;
+                                w.touch(e, 24, Access::Read);
+                                w.touch(e + 8, 16, Access::Write);
+                            }
+                        }
+                        EngineKind::Vectorized => {
+                            for _ in start..end {
+                                x = lcg(x);
+                                w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Write);
+                            }
+                        }
                     }
                 })
                 .map_err(|e| e.to_string())?;
-                // Finalize: sequential entry walk + one chain hop each.
+                // Finalize. Tuple: sequential entry walk + one chain
+                // hop each. Vec: ranged 32-word reads over the slot
+                // array — the batched finalize scan.
                 sim.try_parallel(threads, &mut (), |w, _| {
-                    let (start, end) = slice(n, w.tid());
-                    let mut x = seed ^ (0x51ed + w.tid() as u64);
-                    for i in start..end {
-                        w.touch(heap + i * 24, 24, Access::Read);
-                        x = lcg(x);
-                        w.touch(heap + (x >> 33) % n * 8, 8, Access::Read);
+                    match engine {
+                        EngineKind::Tuple => {
+                            let (start, end) = slice(n, w.tid());
+                            let mut x = seed ^ (0x51ed + w.tid() as u64);
+                            for i in start..end {
+                                w.touch(heap + i * 24, 24, Access::Read);
+                                x = lcg(x);
+                                w.touch(heap + (x >> 33) % n * 8, 8, Access::Read);
+                            }
+                        }
+                        EngineKind::Vectorized => {
+                            let (start, end) = slice(dir_slots, w.tid());
+                            let mut i = start;
+                            while i < end {
+                                let k = (end - i).min(32);
+                                w.touch(dir + i * 8, k * 8, Access::Read);
+                                i += k;
+                            }
+                        }
                     }
                 })
                 .map_err(|e| e.to_string())?;
                 best = best.min(t.elapsed().as_nanos() as u64);
             }
-            // scan n/4 + build ~4n + finalize ~3n lines, roughly.
-            (best, n * 7 + n / 4, format!("w1 n={n} card={card}"))
+            let lines = match engine {
+                // scan n/4 + build ~4n + finalize ~3n lines, roughly.
+                EngineKind::Tuple => n * 7 + n / 4,
+                // scan n/4 + build n slot lines + finalize slots/8.
+                EngineKind::Vectorized => n + n / 4 + dir_slots / 8,
+            };
+            (best, lines, format!("w1 n={n} card={card}"))
         }
         "w3" => {
             let r: u64 = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(200_000);
@@ -596,7 +725,9 @@ fn cmd_hotpath(args: &[String]) -> Result<(), String> {
             let mut best = u64::MAX;
             for _ in 0..reps {
                 let t = std::time::Instant::now();
-                // Build: scan R, insert each tuple (directory + entry).
+                // Build: scan R, insert each tuple. Tuple: hash charge +
+                // directory read + entry write. Vec: direct tag + payload
+                // slot writes, no hash and no directory indirection.
                 sim.try_parallel(threads, &mut (), |w, _| {
                     let (start, end) = slice(r, w.tid());
                     let mut x = seed ^ (0xb10c + w.tid() as u64);
@@ -606,27 +737,61 @@ fn cmd_hotpath(args: &[String]) -> Result<(), String> {
                         w.touch(r_arr + i * 16, k * 16, Access::Read);
                         for _ in 0..k {
                             x = lcg(x);
-                            w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
-                            x = lcg(x);
-                            w.touch(heap + (x >> 33) % r * 24, 24, Access::Write);
+                            match engine {
+                                EngineKind::Tuple => {
+                                    w.compute(6);
+                                    w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                                    x = lcg(x);
+                                    w.touch(heap + (x >> 33) % r * 24, 24, Access::Write);
+                                }
+                                EngineKind::Vectorized => {
+                                    let s = (x >> 33) % r;
+                                    w.touch(dir + s * 8, 8, Access::Write);
+                                    w.touch(heap + s * 8, 8, Access::Write);
+                                }
+                            }
                         }
                         i += k;
                     }
                 })
                 .map_err(|e| e.to_string())?;
-                // Probe: scan S, look each tuple up (directory + entry).
+                // Probe: scan S, look each tuple up. Tuple: hash charge +
+                // directory read + entry read per tuple. Vec: ranged key
+                // and value column reads per 32, then one tag read and
+                // one payload gather per tuple.
                 sim.try_parallel(threads, &mut (), |w, _| {
                     let (start, end) = slice(s_len, w.tid());
                     let mut x = seed ^ (0x9406 + w.tid() as u64);
                     let mut i = start;
                     while i < end {
                         let k = (end - i).min(32);
-                        w.touch(s_arr + i * 16, k * 16, Access::Read);
-                        for _ in 0..k {
-                            x = lcg(x);
-                            w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
-                            x = lcg(x);
-                            w.touch(heap + (x >> 33) % r * 24, 24, Access::Read);
+                        match engine {
+                            EngineKind::Tuple => {
+                                w.touch(s_arr + i * 16, k * 16, Access::Read);
+                                for _ in 0..k {
+                                    x = lcg(x);
+                                    w.compute(6);
+                                    w.touch(dir + (x >> 33) % dir_slots * 8, 8, Access::Read);
+                                    x = lcg(x);
+                                    w.touch(heap + (x >> 33) % r * 24, 24, Access::Read);
+                                }
+                            }
+                            EngineKind::Vectorized => {
+                                // Key column run, per-lane tag checks,
+                                // value column run, payload gathers.
+                                w.touch(s_arr + i * 8, k * 8, Access::Read);
+                                let x0 = x;
+                                for _ in 0..k {
+                                    x = lcg(x);
+                                    w.touch(dir + (x >> 33) % r * 8, 8, Access::Read);
+                                }
+                                w.touch(s_arr + s_len * 8 + i * 8, k * 8, Access::Read);
+                                x = x0;
+                                for _ in 0..k {
+                                    x = lcg(x);
+                                    w.touch(heap + (x >> 33) % r * 8, 8, Access::Read);
+                                }
+                            }
                         }
                         i += k;
                     }
@@ -634,14 +799,19 @@ fn cmd_hotpath(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
                 best = best.min(t.elapsed().as_nanos() as u64);
             }
-            (best, r * 5 + s_len * 4, format!("w3 r={r}"))
+            let lines = match engine {
+                EngineKind::Tuple => r * 5 + s_len * 4,
+                EngineKind::Vectorized => r * 3 + s_len * 5 / 2,
+            };
+            (best, lines, format!("w3 r={r}"))
         }
         other => return Err(format!("hotpath needs w1 or w3, got `{other}`")),
     };
     let cycles = sim.now_cycles();
     println!(
-        "hotpath {label} machine={} threads={threads} model={model} reps={reps}",
-        cfg.sim.machine.name
+        "hotpath {label} machine={} threads={threads} model={model} engine={} reps={reps}",
+        cfg.sim.machine.name,
+        engine.as_str()
     );
     println!(
         "  best {:.1} ms  (~{:.0} ns per simulated line)",
@@ -812,6 +982,28 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
         configs = crossed;
     }
+    // `--engine E1+E2` crosses every contender with each operator path,
+    // exactly like `--tier`: a `tuple` entry keeps the base column
+    // untouched (same name, default engine), so `--engine tuple` yields
+    // a table byte-identical to omitting the flag, and `--engine
+    // tuple+vec` puts the oracle and the vectorized path side by side
+    // in one grid. The flag enters the grid fingerprint (it changes
+    // charged cycles), unlike `--jobs`/`--shards`.
+    let engines = engine_arg(&flags)?;
+    if engines.iter().any(|e| *e != EngineKind::Tuple) {
+        let mut crossed = Vec::with_capacity(configs.len() * engines.len());
+        for cfg in &configs {
+            for e in &engines {
+                crossed.push(if *e == EngineKind::Tuple {
+                    cfg.clone()
+                } else {
+                    let name = format!("{} engine={}", cfg.name, e.as_str());
+                    cfg.clone().with_engine(*e).named(name)
+                });
+            }
+        }
+        configs = crossed;
+    }
     if trace_dir.is_some() {
         // Tracing is pay-for-what-you-use: the hooks charge no cycles,
         // so enabling it here cannot perturb the sweep's results. The
@@ -882,7 +1074,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             }
         };
         let workload = |env: &WorkloadEnv, trial: usize| {
-            let (cycles, counters, trace) = plan.try_run(env)?;
+            let out = plan.try_run(env)?;
+            let (cycles, counters, trace) = (out.cycles, out.counters, out.trace);
             // One artifact per (config, trial) cell, named purely from
             // the cell's coordinates — the same cell writes the same
             // bytes to the same path whether it runs serially, under
@@ -1186,6 +1379,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             })
             .collect()
     };
+    // One --engine applies to every serve configuration (like --tier):
+    // the operator path shapes each class's calibrated phase costs, so
+    // it enters the grid fingerprint via the raw flag. `tuple` keeps the
+    // base names, so omitting the flag changes nothing.
+    let engine = single_engine_arg(&flags)?;
+    let configs: Vec<TuningConfig> = if engine == EngineKind::Tuple {
+        configs
+    } else {
+        configs
+            .into_iter()
+            .map(|c| {
+                let name = format!("{} engine={}", c.name, engine.as_str());
+                c.with_engine(engine).named(name)
+            })
+            .collect()
+    };
     let cells: Vec<CellInput> = configs
         .iter()
         .map(|c| CellInput { config: c.name.clone(), spec: spec.clone() })
@@ -1253,8 +1462,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             healthy_cfg.sim = healthy_cfg.sim.with_trace(
                 TraceConfig::default().with_label(&format!("{} {}", cfg.name, classes[ci])),
             );
-            let (cycles, _, trace) = plan.try_run(&healthy_cfg.env(threads))?;
-            let healthy = profile_phases(trace, cycles);
+            let run = plan.try_run(&healthy_cfg.env(threads))?;
+            let healthy = profile_phases(run.trace, run.cycles);
             let (degraded, evacuated_pages) = if let Some(o) = spec.outage {
                 let mut dcfg = cfg.clone();
                 // Region 2 is the first region where workload pages
@@ -1266,8 +1475,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 dcfg.sim = dcfg.sim.with_trace(TraceConfig::default().with_label(
                     &format!("{} {} offline", cfg.name, classes[ci]),
                 ));
-                let (dcycles, dcounters, dtrace) = plan.try_run(&dcfg.env(threads))?;
-                (profile_phases(dtrace, dcycles), dcounters.evacuated_pages)
+                let drun = plan.try_run(&dcfg.env(threads))?;
+                (profile_phases(drun.trace, drun.cycles), drun.counters.evacuated_pages)
             } else {
                 (healthy.clone(), 0)
             };
@@ -1446,6 +1655,11 @@ fn cmd_tpch(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown system `{other}`")),
     };
     let machine = machine_arg(&flags)?;
+    let engine = single_engine_arg(&flags)?;
+    let batch = match flags.get("batch-size") {
+        Some(b) => parse_batch_size(b).map_err(|e| e.to_string())?,
+        None => DEFAULT_BATCH_SIZE,
+    };
     let env = if flags.contains_key("tuned") {
         WorkloadEnv {
             sim: nqp::sim::SimConfig::os_default(machine)
@@ -1454,9 +1668,11 @@ fn cmd_tpch(args: &[String]) -> Result<(), String> {
                 .with_thp(false),
             allocator: AllocatorKind::Tbbmalloc,
             threads: 16,
+            engine,
+            batch,
         }
     } else {
-        WorkloadEnv::os_default(machine)
+        WorkloadEnv::os_default(machine).with_engine(engine).with_batch(batch)
     };
     let data = TpchData::generate(sf, 42);
     let mut db = DbSystem::boot(system, &env, &data);

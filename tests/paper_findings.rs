@@ -185,6 +185,8 @@ fn advisor_plan_delivers_a_large_speedup() {
         sim: plan.apply(default.sim.clone()),
         allocator: plan.allocator_or_default(),
         threads: 16,
+        engine: nqp::query::EngineKind::Tuple,
+        batch: nqp::query::DEFAULT_BATCH_SIZE,
     };
     let a = run_aggregation_on(&advised, &cfg, &records);
     assert_eq!(d.checksum, a.checksum, "tuning must not change results");
